@@ -1,0 +1,101 @@
+// E2 + E3 — §VII-B experiments 2 and 3 (Fig. 4 left): latency of group
+// membership addition/revocation.
+//
+// Paper reference: first-group add 154.05 ms / revoke 153.40 ms;
+// with 1..1000 prior memberships both stay between ~150.1 and ~151.1 ms
+// (logarithmic member-list search is invisible inside the total).
+// The operations must be independent of |FS|, file sizes and |rP|.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace seg;
+using namespace seg::bench;
+
+int main() {
+  print_header("E2/E3  membership add/revoke latency (Fig. 4, memberships)",
+               "§VII-B: add 154.05 ms, revoke 153.40 ms; 1..1000 prior "
+               "memberships: 150.29-151.13 ms");
+
+  const int runs = quick_mode() ? 5 : 20;
+
+  // --- E2: first group, fresh user ----------------------------------------
+  {
+    Deployment d;
+    auto& owner = d.admin("owner");
+    owner.put_file("/seed", to_bytes("x"));  // non-empty FS
+    int counter = 0;
+    const double add_ms = mean_ms(runs, [&] {
+      const std::string member = "member" + std::to_string(counter);
+      const std::string group = "grp" + std::to_string(counter);
+      ++counter;
+      return d.measure_ms("owner", [&](client::UserClient& c) {
+        c.add_user_to_group(member, group);
+      });
+    });
+    counter = 0;
+    const double rm_ms = mean_ms(runs, [&] {
+      const std::string member = "member" + std::to_string(counter);
+      const std::string group = "grp" + std::to_string(counter);
+      ++counter;
+      return d.measure_ms("owner", [&](client::UserClient& c) {
+        c.remove_user_from_group(member, group);
+      });
+    });
+    std::printf("first-group membership:  add %.2f ms   revoke %.2f ms\n",
+                add_ms, rm_ms);
+  }
+
+  // --- E3: latency vs number of prior memberships --------------------------
+  std::vector<int> prior = {1, 10, 100, 1000};
+  if (quick_mode()) prior = {1, 10, 100};
+
+  std::printf("\n%12s %12s %12s\n", "memberships", "add_ms", "revoke_ms");
+  Deployment d;
+  auto& owner = d.admin("owner");
+  int built = 0;
+  for (const int target : prior) {
+    // Grow bob's membership count to `target` (same member list file the
+    // measured operation touches).
+    for (; built < target; ++built)
+      owner.add_user_to_group("bob", "g" + std::to_string(built));
+
+    int seq = 0;
+    const double add_ms = mean_ms(runs, [&] {
+      const std::string group = "probe" + std::to_string(seq++);
+      owner.add_user_to_group("tmp", group);  // create group (not measured)
+      return d.measure_ms("owner", [&](client::UserClient& c) {
+        c.add_user_to_group("bob", group);
+      });
+    });
+    seq = 0;
+    const double rm_ms = mean_ms(runs, [&] {
+      const std::string group = "probe" + std::to_string(seq++);
+      return d.measure_ms("owner", [&](client::UserClient& c) {
+        c.remove_user_from_group("bob", group);
+      });
+    });
+    std::printf("%12d %12.2f %12.2f\n", target, add_ms, rm_ms);
+  }
+
+  // --- independence probe: |FS| and file sizes must not matter -------------
+  std::printf("\nindependence probe (paper: membership ops independent of "
+              "|FS| and file size):\n");
+  {
+    Deployment d2;
+    auto& owner = d2.admin("owner");
+    const double before = d2.measure_ms("owner", [](client::UserClient& c) {
+      c.add_user_to_group("carol", "probe");
+    });
+    for (int i = 0; i < 50; ++i)
+      owner.put_file("/bulk" + std::to_string(i), Bytes(64 * 1024, 1));
+    owner.put_file("/large", Bytes(8 << 20, 2));
+    const double after = d2.measure_ms("owner", [](client::UserClient& c) {
+      c.add_user_to_group("dave", "probe");
+    });
+    std::printf("  empty FS: %.2f ms   51 files + 8 MB stored: %.2f ms\n",
+                before, after);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) of the primitives the end-to-end
+// numbers are built from: hashing, PAE (AES-GCM), the TLS record layer,
+// signatures/key agreement, and the Protected FS layer.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+#include "mset/mset_hash.h"
+#include "pfs/protected_fs.h"
+#include "store/untrusted_store.h"
+#include "tls/record.h"
+
+namespace {
+
+using namespace seg;
+
+void BM_Sha256(benchmark::State& state) {
+  TestRng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_HmacSha256(benchmark::State& state) {
+  TestRng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(4096)->Arg(1 << 20);
+
+void BM_PaeEncrypt(benchmark::State& state) {
+  TestRng rng(3);
+  const Bytes key = rng.bytes(16);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::pae_encrypt(key, rng, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PaeEncrypt)->Arg(4096)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_PaeDecrypt(benchmark::State& state) {
+  TestRng rng(4);
+  const Bytes key = rng.bytes(16);
+  const Bytes sealed = crypto::pae_encrypt(
+      key, rng, rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::pae_decrypt(key, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PaeDecrypt)->Arg(4096)->Arg(1 << 20);
+
+void BM_TlsRecordRoundtrip(benchmark::State& state) {
+  TestRng rng(5);
+  tls::SessionKeys keys;
+  keys.client_write_key = rng.bytes(32);
+  keys.server_write_key = rng.bytes(32);
+  rng.fill(keys.client_iv_salt);
+  rng.fill(keys.server_iv_salt);
+  tls::RecordLayer client(keys, true), server(keys, false);
+  const Bytes payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.unprotect(client.protect(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TlsRecordRoundtrip)->Arg(1024)->Arg(16 * 1024 - 1);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  TestRng rng(6);
+  const auto pair = crypto::ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::ed25519_sign(pair.seed, pair.public_key, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  TestRng rng(7);
+  const auto pair = crypto::ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  const auto sig = crypto::ed25519_sign(pair.seed, pair.public_key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519_verify(pair.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_X25519(benchmark::State& state) {
+  TestRng rng(8);
+  const auto a = crypto::x25519_generate(rng);
+  const auto b = crypto::x25519_generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::x25519_shared(a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_MsetAdd(benchmark::State& state) {
+  TestRng rng(9);
+  const Bytes key = rng.bytes(32);
+  const Bytes elem = rng.bytes(32);
+  mset::MsetXorHash hash;
+  for (auto _ : state) {
+    hash.add(key, elem);
+    benchmark::DoNotOptimize(hash);
+  }
+}
+BENCHMARK(BM_MsetAdd);
+
+void BM_PfsWrite(benchmark::State& state) {
+  TestRng rng(10);
+  store::MemoryStore store;
+  pfs::ProtectedFs fs(store, Bytes(16, 1), rng);
+  const Bytes content = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fs.write_file("bench", content);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PfsWrite)->Arg(4096)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_PfsRead(benchmark::State& state) {
+  TestRng rng(11);
+  store::MemoryStore store;
+  pfs::ProtectedFs fs(store, Bytes(16, 1), rng);
+  fs.write_file("bench", rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.read_file("bench"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PfsRead)->Arg(4096)->Arg(1 << 20)->Arg(16 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

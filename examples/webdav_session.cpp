@@ -1,0 +1,73 @@
+// WebDAV compatibility demo (§VI): drive a SeGShare deployment with raw
+// textual HTTP/WebDAV messages, the way davfs2 or the Windows/macOS
+// WebDAV clients would.
+//
+// Build & run:  ./build/examples/webdav_session
+#include <cstdio>
+
+#include "client/user_client.h"
+#include "core/enclave.h"
+#include "core/server.h"
+#include "crypto/drbg.h"
+#include "net/channel.h"
+#include "store/untrusted_store.h"
+#include "webdav/dav_client.h"
+
+using namespace seg;
+
+namespace {
+void exchange(webdav::DavClient& dav, const char* title,
+              const std::string& http_text) {
+  const Bytes reply = dav.execute(to_bytes(http_text));
+  const auto response = webdav::parse_response(reply);
+  std::printf("--- %s\n", title);
+  std::printf(">> %s", http_text.substr(0, http_text.find('\r')).c_str());
+  std::printf("\n<< HTTP/1.1 %d %s\n", response.status,
+              response.reason.c_str());
+  if (!response.body.empty() && response.body.size() < 600)
+    std::printf("%s\n", to_string(response.body).c_str());
+}
+}  // namespace
+
+int main() {
+  auto& rng = crypto::system_rng();
+  tls::CertificateAuthority ca(rng);
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore content, group, dedup;
+  core::SegShareEnclave enclave(platform, rng, ca.public_key(),
+                                core::Stores{content, group, dedup});
+  core::SegShareServer::provision_certificate(enclave, ca, platform);
+  core::SegShareServer server(enclave);
+
+  net::DuplexChannel wire;
+  client::UserClient alice(rng, ca.public_key(),
+                           client::enroll_user(rng, ca, "alice"));
+  server.accept(wire);
+  alice.connect(wire.a(), [&] { server.pump(); });
+  webdav::DavClient dav(alice);
+
+  exchange(dav, "create a collection",
+           "MKCOL /projects/ HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+  exchange(dav, "upload a document",
+           "PUT /projects/readme.md HTTP/1.1\r\ncontent-length: 20\r\n\r\n"
+           "# SeGShare over DAV\n");
+  exchange(dav, "share it with bob (vendor ACL extension)",
+           "ACL /projects/readme.md HTTP/1.1\r\n"
+           "x-segshare-action: set-permission\r\n"
+           "x-segshare-group: user:bob\r\n"
+           "x-segshare-permission: 1\r\ncontent-length: 0\r\n\r\n");
+  exchange(dav, "list the collection (PROPFIND)",
+           "PROPFIND /projects/ HTTP/1.1\r\ndepth: 1\r\n"
+           "content-length: 0\r\n\r\n");
+  exchange(dav, "download",
+           "GET /projects/readme.md HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+  exchange(dav, "rename",
+           "MOVE /projects/readme.md HTTP/1.1\r\n"
+           "destination: /projects/README.md\r\ncontent-length: 0\r\n\r\n");
+  exchange(dav, "group membership (vendor GROUP extension)",
+           "GROUP /eng HTTP/1.1\r\nx-segshare-action: add-member\r\n"
+           "x-segshare-user: bob\r\ncontent-length: 0\r\n\r\n");
+  exchange(dav, "delete",
+           "DELETE /projects/README.md HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "baseline/he_share.h"
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+
+namespace seg::baseline {
+
+void HeShare::add_member(const std::string& member) {
+  if (!members_.contains(member))
+    members_[member] = crypto::x25519_generate(rng_);
+}
+
+HeShare::WrappedKey HeShare::wrap_key(BytesView file_key,
+                                      const std::string& member) {
+  const auto it = members_.find(member);
+  if (it == members_.end()) throw AuthError("unknown member: " + member);
+  const auto ephemeral = crypto::x25519_generate(rng_);
+  const auto shared =
+      crypto::x25519_shared(ephemeral.private_key, it->second.public_key);
+  const Bytes kek = crypto::hkdf({}, shared, to_bytes("he-wrap"), 16);
+  WrappedKey wrap;
+  wrap.ephemeral_public = ephemeral.public_key;
+  wrap.ciphertext = crypto::pae_encrypt(kek, rng_, file_key);
+  ++stats_.keys_wrapped;
+  return wrap;
+}
+
+Bytes HeShare::unwrap_key(const WrappedKey& wrap,
+                          const std::string& member) const {
+  const auto it = members_.find(member);
+  if (it == members_.end()) throw AuthError("unknown member: " + member);
+  const auto shared = crypto::x25519_shared(it->second.private_key,
+                                            wrap.ephemeral_public);
+  const Bytes kek = crypto::hkdf({}, shared, to_bytes("he-wrap"), 16);
+  return crypto::pae_decrypt(kek, wrap.ciphertext);
+}
+
+void HeShare::upload(const std::string& name, BytesView content,
+                     const std::vector<std::string>& members) {
+  const Bytes file_key = rng_.bytes(16);
+  SharedFile file;
+  file.ciphertext = crypto::pae_encrypt(file_key, rng_, content);
+  stats_.bytes_reencrypted += file.ciphertext.size();
+  for (const auto& member : members)
+    file.wraps[member] = wrap_key(file_key, member);
+  files_[name] = std::move(file);
+}
+
+Bytes HeShare::download(const std::string& name,
+                        const std::string& member) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw StorageError("no such file: " + name);
+  const auto wrap = it->second.wraps.find(member);
+  if (wrap == it->second.wraps.end())
+    throw AuthError("member has no access: " + member);
+  const Bytes file_key = unwrap_key(wrap->second, member);
+  return crypto::pae_decrypt(file_key, it->second.ciphertext);
+}
+
+std::uint64_t HeShare::revoke_member(const std::string& member) {
+  std::uint64_t rewritten = 0;
+  for (auto& [name, file] : files_) {
+    const auto wrap = file.wraps.find(member);
+    if (wrap == file.wraps.end()) continue;
+    // The revoked member knew the file key: decrypt with any remaining
+    // wrap... the server in HE designs holds no key, so in practice a
+    // client re-uploads; we model the crypto cost server-side.
+    const Bytes old_key = unwrap_key(wrap->second, member);
+    const Bytes plaintext = crypto::pae_decrypt(old_key, file.ciphertext);
+    const Bytes new_key = rng_.bytes(16);
+    file.ciphertext = crypto::pae_encrypt(new_key, rng_, plaintext);
+    rewritten += file.ciphertext.size();
+    stats_.bytes_reencrypted += file.ciphertext.size();
+    file.wraps.erase(wrap);
+    for (auto& [other, other_wrap] : file.wraps)
+      other_wrap = wrap_key(new_key, other);
+  }
+  return rewritten;
+}
+
+void HeShare::revoke_member_lazily(const std::string& member) {
+  for (auto& [name, file] : files_) file.wraps.erase(member);
+}
+
+}  // namespace seg::baseline

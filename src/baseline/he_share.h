@@ -1,0 +1,81 @@
+// Hybrid-Encryption file-sharing baseline (paper §III-D).
+//
+// The comparator class SeGShare argues against: each file is encrypted
+// under a unique symmetric file key, and the file key is wrapped (ECIES
+// over X25519 + AES-GCM) for every member who should have access. Members
+// therefore *hold plaintext file keys*, so revocation must
+//
+//   1. generate a fresh file key,
+//   2. re-encrypt the file under it,
+//   3. re-wrap the new key for every remaining member,
+//
+// for every file the revoked member could read. Experiment E7 measures
+// exactly this against SeGShare's constant-cost revocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/x25519.h"
+
+namespace seg::baseline {
+
+class HeShare {
+ public:
+  explicit HeShare(RandomSource& rng) : rng_(rng) {}
+
+  /// Registers a member (generates their X25519 key pair; in reality this
+  /// lives on the member's device).
+  void add_member(const std::string& member);
+
+  /// Uploads a file shared with `members`; encrypts it once and wraps the
+  /// file key for each of them.
+  void upload(const std::string& name, BytesView content,
+              const std::vector<std::string>& members);
+
+  /// A member downloads and decrypts a file with their own key. Throws
+  /// AuthError if they have no wrapped key.
+  Bytes download(const std::string& name, const std::string& member) const;
+
+  /// Immediate revocation: removes `member` from every file they can
+  /// read, re-encrypting and re-wrapping as HE requires. Returns the
+  /// number of ciphertext bytes rewritten.
+  std::uint64_t revoke_member(const std::string& member);
+
+  /// Lazy alternative (what half the related work does): drop the wrap
+  /// only; the old key remains known to the revoked member until the next
+  /// file update. Constant-time, but insecure in the interim.
+  void revoke_member_lazily(const std::string& member);
+
+  struct Stats {
+    std::uint64_t bytes_reencrypted = 0;
+    std::uint64_t keys_wrapped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct WrappedKey {
+    crypto::X25519Key ephemeral_public{};
+    Bytes ciphertext;  // PAE of the file key under the ECDH secret
+  };
+  struct SharedFile {
+    Bytes ciphertext;  // PAE of the content under the file key
+    std::map<std::string, WrappedKey> wraps;
+  };
+
+  WrappedKey wrap_key(BytesView file_key, const std::string& member);
+  Bytes unwrap_key(const WrappedKey& wrap, const std::string& member) const;
+
+  RandomSource& rng_;
+  std::map<std::string, crypto::X25519KeyPair> members_;
+  std::map<std::string, SharedFile> files_;
+  Stats stats_;
+};
+
+}  // namespace seg::baseline

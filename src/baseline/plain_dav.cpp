@@ -1,0 +1,144 @@
+#include "baseline/plain_dav.h"
+
+#include "common/error.h"
+
+namespace seg::baseline {
+
+ServerProfile ServerProfile::nginx_like() {
+  // Streamed, sendfile-style I/O with negligible per-byte handling.
+  return ServerProfile{"nginx", /*pipelined=*/true,
+                       /*storage_ms_per_mib=*/0.6};
+}
+
+ServerProfile ServerProfile::apache_like() {
+  // Buffered request handling: bodies staged through the brigade/bucket
+  // machinery and written through before completion.
+  return ServerProfile{"apache", /*pipelined=*/false,
+                       /*storage_ms_per_mib=*/5.0};
+}
+
+PlainDavServer::PlainDavServer(RandomSource& rng,
+                               tls::CertificateAuthority& ca,
+                               store::UntrustedStore& storage,
+                               ServerProfile profile)
+    : rng_(rng),
+      ca_public_key_(ca.public_key()),
+      storage_(storage),
+      profile_(std::move(profile)) {
+  const auto pair = crypto::ed25519_generate(rng_);
+  certificate_ = ca.issue_server_certificate(
+      tls::make_csr(profile_.name + "-server", pair));
+  signing_seed_ = pair.seed;
+}
+
+std::uint64_t PlainDavServer::accept(net::DuplexChannel& channel) {
+  const std::uint64_t id = next_id_++;
+  connections_[id].transport = &channel.b();
+  return id;
+}
+
+void PlainDavServer::pump() {
+  for (auto& [id, connection] : connections_) {
+    if (connection.transport->pending()) service(connection);
+  }
+}
+
+void PlainDavServer::charge_storage(std::uint64_t bytes) {
+  storage_ms_ +=
+      profile_.storage_ms_per_mib * static_cast<double>(bytes) / (1 << 20);
+}
+
+void PlainDavServer::service(Connection& connection) {
+  while (connection.transport->pending()) {
+    const Bytes message = connection.transport->recv();
+    if (!connection.channel) {
+      if (!connection.handshake) {
+        connection.handshake = std::make_unique<tls::ServerHandshake>(
+            rng_, ca_public_key_, certificate_, signing_seed_);
+        connection.transport->send(
+            connection.handshake->on_client_hello(message));
+      } else {
+        connection.transport->send(
+            connection.handshake->on_client_finished(message));
+        connection.channel = std::make_unique<tls::SecureChannel>(
+            *connection.transport, connection.handshake->result().keys,
+            /*is_client=*/false);
+        connection.handshake.reset();
+      }
+      continue;
+    }
+    // Reassemble one application message (see SecureChannel framing).
+    Bytes app_message;
+    Bytes fragment = connection.channel->records().unprotect(message);
+    if (fragment.empty()) throw ProtocolError("empty record");
+    append(app_message, BytesView(fragment).subspan(1));
+    while (fragment[0] == 1) {
+      fragment = connection.channel->records().unprotect(
+          connection.transport->recv());
+      append(app_message, BytesView(fragment).subspan(1));
+    }
+    handle_frame(connection, app_message);
+  }
+}
+
+void PlainDavServer::handle_frame(Connection& connection, BytesView message) {
+  const auto [type, payload] = proto::unframe(message);
+  auto respond = [&](proto::Status status, std::uint64_t body_size = 0) {
+    proto::Response resp;
+    resp.status = status;
+    resp.body_size = body_size;
+    connection.channel->send_message(
+        proto::frame(proto::FrameType::kResponse, resp.serialize()));
+  };
+
+  switch (type) {
+    case proto::FrameType::kRequest: {
+      const proto::Request request = proto::Request::parse(payload);
+      if (request.verb == proto::Verb::kPutFile) {
+        connection.put = std::make_unique<PutState>();
+        connection.put->request = request;
+        connection.put->body.reserve(request.body_size);
+        return;
+      }
+      if (request.verb == proto::Verb::kGetFile) {
+        const auto content = storage_.get(request.path);
+        if (!content) {
+          respond(proto::Status::kNotFound);
+          return;
+        }
+        charge_storage(content->size());
+        respond(proto::Status::kOk, content->size());
+        std::size_t pos = 0;
+        while (pos < content->size()) {
+          const std::size_t take =
+              std::min(proto::kStreamChunk, content->size() - pos);
+          connection.channel->send_message(proto::frame(
+              proto::FrameType::kData,
+              BytesView(content->data() + pos, take)));
+          pos += take;
+        }
+        connection.channel->send_message(
+            proto::frame(proto::FrameType::kEnd));
+        return;
+      }
+      respond(proto::Status::kBadRequest);
+      return;
+    }
+    case proto::FrameType::kData:
+      if (!connection.put) throw ProtocolError("data outside PUT");
+      append(connection.put->body, payload);
+      return;
+    case proto::FrameType::kEnd: {
+      if (!connection.put) throw ProtocolError("end outside PUT");
+      auto put = std::move(connection.put);
+      charge_storage(put->body.size());
+      storage_.put(put->request.path, put->body);  // plaintext at rest
+      respond(proto::Status::kOk);
+      return;
+    }
+    case proto::FrameType::kResponse:
+      throw ProtocolError("unexpected response frame");
+  }
+}
+
+}  // namespace seg::baseline

@@ -1,0 +1,91 @@
+// Plaintext-storing WebDAV baseline (paper §VII-B, Fig. 3).
+//
+// The paper compares SeGShare against TLS-enabled Apache httpd and nginx
+// WebDAV servers that store files in the clear. This baseline runs on the
+// same simulated network and the same TLS-shaped channel; the two
+// profiles model the behavioural difference that shows up in the paper's
+// numbers:
+//
+//  * nginx-like  — fully streamed I/O: the transfer pipelines with
+//    storage, so latency ≈ RTT + wire time.
+//  * apache-like — buffered request handling: the body is staged and
+//    written through before the response (and before the transfer on
+//    download), so storage time adds to wire time instead of
+//    overlapping, plus a higher per-MB storage cost.
+//
+// Fig. 3's ordering (nginx < SeGShare < Apache) then emerges from the
+// models rather than being hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/channel.h"
+#include "proto/messages.h"
+#include "store/untrusted_store.h"
+#include "tls/certificate.h"
+#include "tls/handshake.h"
+#include "tls/secure_channel.h"
+
+namespace seg::baseline {
+
+struct ServerProfile {
+  std::string name;
+  /// Whether storage I/O overlaps the network transfer.
+  bool pipelined = true;
+  /// Storage-path cost per MiB moved (models disk write-through, content
+  /// copies, buffer management).
+  double storage_ms_per_mib = 0.0;
+
+  static ServerProfile nginx_like();
+  static ServerProfile apache_like();
+};
+
+class PlainDavServer {
+ public:
+  /// The CA issues a normal (non-attested) server certificate.
+  PlainDavServer(RandomSource& rng, tls::CertificateAuthority& ca,
+                 store::UntrustedStore& storage, ServerProfile profile);
+
+  std::uint64_t accept(net::DuplexChannel& channel);
+  void pump();
+  void close(std::uint64_t connection_id) { connections_.erase(connection_id); }
+
+  const ServerProfile& profile() const { return profile_; }
+  /// Simulated storage-path milliseconds accrued (added to wire time by
+  /// the benchmark according to the profile's pipelining).
+  double storage_ms() const { return storage_ms_; }
+  void reset_storage_ms() { storage_ms_ = 0; }
+
+ private:
+  struct PutState {
+    proto::Request request;
+    Bytes body;
+  };
+  struct Connection {
+    net::DuplexChannel::End* transport = nullptr;
+    std::unique_ptr<tls::ServerHandshake> handshake;
+    std::unique_ptr<tls::SecureChannel> channel;
+    std::unique_ptr<PutState> put;
+  };
+
+  void service(Connection& connection);
+  void handle_frame(Connection& connection, BytesView message);
+  void charge_storage(std::uint64_t bytes);
+
+  RandomSource& rng_;
+  crypto::Ed25519PublicKey ca_public_key_;
+  tls::Certificate certificate_;
+  crypto::Ed25519Seed signing_seed_{};
+  store::UntrustedStore& storage_;
+  ServerProfile profile_;
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_id_ = 1;
+  double storage_ms_ = 0;
+};
+
+}  // namespace seg::baseline

@@ -1,0 +1,242 @@
+#include "client/user_client.h"
+
+#include "common/error.h"
+#include "crypto/sha2.h"
+
+namespace seg::client {
+
+Identity enroll_user(RandomSource& rng, tls::CertificateAuthority& ca,
+                     const std::string& user_id) {
+  const auto pair = crypto::ed25519_generate(rng);
+  Identity identity;
+  identity.certificate = ca.issue_user_certificate(user_id, pair.public_key);
+  identity.signing_seed = pair.seed;
+  return identity;
+}
+
+UserClient::UserClient(RandomSource& rng,
+                       const crypto::Ed25519PublicKey& ca_public_key,
+                       Identity identity)
+    : rng_(rng), ca_public_key_(ca_public_key), identity_(std::move(identity)) {}
+
+void UserClient::connect(net::DuplexChannel::End& end, Pump pump) {
+  end_ = &end;
+  pump_ = std::move(pump);
+
+  tls::ClientHandshake handshake(rng_, ca_public_key_, identity_.certificate,
+                                 identity_.signing_seed);
+  end_->send(handshake.start());
+  pump_();
+  const Bytes client_finished = handshake.on_server_hello(end_->recv());
+  end_->send(client_finished);
+  pump_();
+  handshake.on_server_finished(end_->recv());
+
+  const tls::HandshakeResult& result = handshake.result();
+  server_certificate_ = result.peer_certificate;
+  channel_ = std::make_unique<tls::SecureChannel>(*end_, result.keys,
+                                                  /*is_client=*/true);
+}
+
+const tls::Certificate& UserClient::server_certificate() const {
+  if (!channel_) throw ProtocolError("client: not connected");
+  return server_certificate_;
+}
+
+proto::Response UserClient::read_response() {
+  const auto [type, payload] = proto::unframe(channel_->recv_message());
+  if (type != proto::FrameType::kResponse)
+    throw ProtocolError("client: expected response frame");
+  return proto::Response::parse(payload);
+}
+
+proto::Response UserClient::simple_request(const proto::Request& request) {
+  if (!channel_) throw ProtocolError("client: not connected");
+  channel_->send_message(
+      proto::frame(proto::FrameType::kRequest, request.serialize()));
+  pump_();
+  return read_response();
+}
+
+proto::Response UserClient::put_file(const std::string& path,
+                                     BytesView content) {
+  if (!channel_) throw ProtocolError("client: not connected");
+  proto::Request request;
+  request.verb = proto::Verb::kPutFile;
+  request.path = path;
+  request.body_size = content.size();
+  channel_->send_message(
+      proto::frame(proto::FrameType::kRequest, request.serialize()));
+  // Stream the body in fixed-size pieces, letting the server drain the
+  // pipe after every piece (§VI streaming: the enclave needs only a
+  // small, constant buffer per request).
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t take =
+        std::min(proto::kStreamChunk, content.size() - pos);
+    channel_->send_message(
+        proto::frame(proto::FrameType::kData, content.subspan(pos, take)));
+    pump_();
+    pos += take;
+  }
+  channel_->send_message(proto::frame(proto::FrameType::kEnd));
+  pump_();
+  return read_response();
+}
+
+proto::Response UserClient::put_file_deduplicated(const std::string& path,
+                                                  BytesView content,
+                                                  bool* uploaded) {
+  proto::Request probe;
+  probe.verb = proto::Verb::kPutByHash;
+  probe.path = path;
+  probe.target = to_hex(crypto::Sha256::hash(content));
+  const proto::Response response = simple_request(probe);
+  if (uploaded != nullptr) *uploaded = false;
+  if (response.status != proto::Status::kNotFound) return response;
+  if (uploaded != nullptr) *uploaded = true;
+  return put_file(path, content);
+}
+
+std::pair<proto::Response, Bytes> UserClient::get_file(
+    const std::string& path) {
+  if (!channel_) throw ProtocolError("client: not connected");
+  proto::Request request;
+  request.verb = proto::Verb::kGetFile;
+  request.path = path;
+  channel_->send_message(
+      proto::frame(proto::FrameType::kRequest, request.serialize()));
+  pump_();
+  const proto::Response header = read_response();
+  if (!header.ok()) return {header, {}};
+  Bytes content;
+  content.reserve(header.body_size);
+  for (;;) {
+    const auto [type, payload] = proto::unframe(channel_->recv_message());
+    switch (type) {
+      case proto::FrameType::kData:
+        append(content, payload);
+        continue;
+      case proto::FrameType::kEnd:
+        if (content.size() != header.body_size)
+          throw ProtocolError("client: body size mismatch");
+        return {header, std::move(content)};
+      case proto::FrameType::kResponse:
+        // Server aborted the stream (e.g. rollback detected mid-download).
+        return {proto::Response::parse(payload), {}};
+      case proto::FrameType::kRequest:
+        throw ProtocolError("client: unexpected request frame");
+    }
+  }
+}
+
+proto::Response UserClient::mkdir(const std::string& path) {
+  proto::Request request;
+  request.verb = proto::Verb::kMkdir;
+  request.path = path;
+  return simple_request(request);
+}
+
+proto::Response UserClient::list(const std::string& path) {
+  proto::Request request;
+  request.verb = proto::Verb::kList;
+  request.path = path;
+  return simple_request(request);
+}
+
+proto::Response UserClient::remove(const std::string& path) {
+  proto::Request request;
+  request.verb = proto::Verb::kRemove;
+  request.path = path;
+  return simple_request(request);
+}
+
+proto::Response UserClient::move(const std::string& from,
+                                 const std::string& to) {
+  proto::Request request;
+  request.verb = proto::Verb::kMove;
+  request.path = from;
+  request.target = to;
+  return simple_request(request);
+}
+
+proto::Response UserClient::set_permission(const std::string& path,
+                                           const std::string& group,
+                                           std::uint32_t perm) {
+  proto::Request request;
+  request.verb = proto::Verb::kSetPermission;
+  request.path = path;
+  request.group = group;
+  request.perm = perm;
+  return simple_request(request);
+}
+
+proto::Response UserClient::set_inherit(const std::string& path,
+                                        bool inherit) {
+  proto::Request request;
+  request.verb = proto::Verb::kSetInherit;
+  request.path = path;
+  request.flag = inherit;
+  return simple_request(request);
+}
+
+proto::Response UserClient::add_user_to_group(const std::string& user,
+                                              const std::string& group) {
+  proto::Request request;
+  request.verb = proto::Verb::kAddUserToGroup;
+  request.target = user;
+  request.group = group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::remove_user_from_group(const std::string& user,
+                                                   const std::string& group) {
+  proto::Request request;
+  request.verb = proto::Verb::kRemoveUserFromGroup;
+  request.target = user;
+  request.group = group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::add_file_owner(const std::string& path,
+                                           const std::string& group) {
+  proto::Request request;
+  request.verb = proto::Verb::kAddFileOwner;
+  request.path = path;
+  request.group = group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::add_group_owner(const std::string& group,
+                                            const std::string& owner_group) {
+  proto::Request request;
+  request.verb = proto::Verb::kAddGroupOwner;
+  request.group = group;
+  request.target = owner_group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::remove_group_owner(const std::string& group,
+                                               const std::string& owner_group) {
+  proto::Request request;
+  request.verb = proto::Verb::kRemoveGroupOwner;
+  request.group = group;
+  request.target = owner_group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::delete_group(const std::string& group) {
+  proto::Request request;
+  request.verb = proto::Verb::kDeleteGroup;
+  request.group = group;
+  return simple_request(request);
+}
+
+proto::Response UserClient::stat(const std::string& path) {
+  proto::Request request;
+  request.verb = proto::Verb::kStat;
+  request.path = path;
+  return simple_request(request);
+}
+
+}  // namespace seg::client

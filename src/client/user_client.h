@@ -1,0 +1,105 @@
+// User application (paper Fig. 1, §IV-B).
+//
+// Links a user's machine to the remote SeGShare file system: performs the
+// TLS handshake against the enclave's trusted TLS interface (verifying
+// the server certificate against the CA public key — remote attestation
+// by the user is NOT necessary, §IV-A), then issues WebDAV-flavoured
+// requests over the secure channel. Requires no special hardware (F5);
+// its only persistent state is the client certificate and private key,
+// independent of stored files or memberships (P1).
+//
+// Because the simulation is single-threaded, every exchange takes a
+// `pump` callback that runs the server side until it has responded.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "net/channel.h"
+#include "proto/messages.h"
+#include "tls/certificate.h"
+#include "tls/handshake.h"
+#include "tls/secure_channel.h"
+
+namespace seg::client {
+
+/// A user's credentials: CA-issued certificate + matching private key.
+struct Identity {
+  tls::Certificate certificate;
+  crypto::Ed25519Seed signing_seed{};
+};
+
+/// Convenience: register a user with the CA (generates a key pair and has
+/// the CA issue the client certificate carrying `user_id` as identity).
+Identity enroll_user(RandomSource& rng, tls::CertificateAuthority& ca,
+                     const std::string& user_id);
+
+class UserClient {
+ public:
+  using Pump = std::function<void()>;
+
+  UserClient(RandomSource& rng, const crypto::Ed25519PublicKey& ca_public_key,
+             Identity identity);
+
+  /// Runs the TLS handshake over `end` ("a" side of the channel). `pump`
+  /// must make the server process pending traffic. Throws AuthError if
+  /// the server cannot present a CA-signed server certificate.
+  void connect(net::DuplexChannel::End& end, Pump pump);
+  bool connected() const { return channel_ != nullptr; }
+  const tls::Certificate& server_certificate() const;
+
+  // --- requests (§IV-B + extensions) ---------------------------------------
+
+  proto::Response put_file(const std::string& path, BytesView content);
+  /// Client-side dedup upload (§V-A alternative, requires the server to
+  /// enable it): probes by plaintext hash and skips the transfer on a
+  /// hit. `uploaded` reports whether the body actually travelled.
+  proto::Response put_file_deduplicated(const std::string& path,
+                                        BytesView content, bool* uploaded);
+  /// Returns the response and, on success, the file content.
+  std::pair<proto::Response, Bytes> get_file(const std::string& path);
+  proto::Response mkdir(const std::string& path);
+  /// Directory listing (PROPFIND); entries are in Response::listing.
+  proto::Response list(const std::string& path);
+  proto::Response remove(const std::string& path);
+  proto::Response move(const std::string& from, const std::string& to);
+  proto::Response set_permission(const std::string& path,
+                                 const std::string& group, std::uint32_t perm);
+  proto::Response set_inherit(const std::string& path, bool inherit);
+  proto::Response add_user_to_group(const std::string& user,
+                                    const std::string& group);
+  proto::Response remove_user_from_group(const std::string& user,
+                                         const std::string& group);
+  proto::Response add_file_owner(const std::string& path,
+                                 const std::string& group);
+  proto::Response add_group_owner(const std::string& group,
+                                  const std::string& owner_group);
+  proto::Response remove_group_owner(const std::string& group,
+                                     const std::string& owner_group);
+  proto::Response delete_group(const std::string& group);
+  proto::Response stat(const std::string& path);
+
+  const std::string& user_id() const {
+    return identity_.certificate.subject;
+  }
+
+ private:
+  proto::Response simple_request(const proto::Request& request);
+  proto::Response read_response();
+
+  RandomSource& rng_;
+  crypto::Ed25519PublicKey ca_public_key_;
+  Identity identity_;
+  net::DuplexChannel::End* end_ = nullptr;
+  Pump pump_;
+  std::unique_ptr<tls::SecureChannel> channel_;
+  tls::Certificate server_certificate_;
+};
+
+}  // namespace seg::client

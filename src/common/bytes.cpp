@@ -1,0 +1,110 @@
+#include "common/bytes.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace seg {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) { return std::string(b.begin(), b.end()); }
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw Error("from_hex: odd-length input");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw Error("from_hex: invalid hex digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void secure_zero(MutableBytesView b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+}
+
+void put_u16_be(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32_be(Bytes& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_u64_be(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+namespace {
+void check_range(BytesView b, std::size_t offset, std::size_t len) {
+  if (offset > b.size() || b.size() - offset < len)
+    throw Error("bytes: out-of-range read");
+}
+}  // namespace
+
+std::uint16_t get_u16_be(BytesView b, std::size_t offset) {
+  check_range(b, offset, 2);
+  return static_cast<std::uint16_t>((b[offset] << 8) | b[offset + 1]);
+}
+
+std::uint32_t get_u32_be(BytesView b, std::size_t offset) {
+  check_range(b, offset, 4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | b[offset + i];
+  return v;
+}
+
+std::uint64_t get_u64_be(BytesView b, std::size_t offset) {
+  check_range(b, offset, 8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | b[offset + i];
+  return v;
+}
+
+Bytes slice(BytesView b, std::size_t offset, std::size_t len) {
+  check_range(b, offset, len);
+  return Bytes(b.begin() + static_cast<std::ptrdiff_t>(offset),
+               b.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+}  // namespace seg

@@ -1,0 +1,69 @@
+// Byte-buffer primitives shared by every SeGShare module.
+//
+// All binary data in the code base travels as `seg::Bytes` (a vector of
+// octets) or is viewed through `seg::BytesView` (a non-owning span). The
+// helpers here cover the encodings the paper's formats need: hex strings
+// (deduplication store names, hidden path names), big-endian integer
+// serialization (wire format, file headers), and constant-time comparison
+// for anything derived from secrets.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seg {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+using MutableBytesView = std::span<std::uint8_t>;
+
+/// Builds a byte buffer from a UTF-8/ASCII string.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a string (no validation; bytes are copied).
+std::string to_string(BytesView b);
+
+/// Lower-case hexadecimal encoding ("deadbeef").
+std::string to_hex(BytesView b);
+
+/// Parses a hex string; throws seg::Error on odd length or non-hex digit.
+Bytes from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates an arbitrary number of buffers.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = 0;
+  ((total += BytesView(views).size()), ...);
+  out.reserve(total);
+  (append(out, BytesView(views)), ...);
+  return out;
+}
+
+/// Equality that does not leak the position of the first mismatch through
+/// timing. Both buffers must have equal length for a `true` result, and the
+/// length comparison itself is allowed to be observable.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Best-effort secure wipe (volatile writes so the optimizer keeps them).
+void secure_zero(MutableBytesView b);
+
+// Big-endian (network order) fixed-width integer serialization.
+void put_u16_be(Bytes& out, std::uint16_t v);
+void put_u32_be(Bytes& out, std::uint32_t v);
+void put_u64_be(Bytes& out, std::uint64_t v);
+std::uint16_t get_u16_be(BytesView b, std::size_t offset);
+std::uint32_t get_u32_be(BytesView b, std::size_t offset);
+std::uint64_t get_u64_be(BytesView b, std::size_t offset);
+
+/// Returns a copy of the sub-range [offset, offset+len); throws on overflow.
+Bytes slice(BytesView b, std::size_t offset, std::size_t len);
+
+}  // namespace seg

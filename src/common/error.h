@@ -1,0 +1,71 @@
+// Error taxonomy for SeGShare.
+//
+// Exceptions signal contract violations and environmental failures
+// (corrupt ciphertext, malformed wire data, I/O trouble). Expected outcomes
+// of a request — such as "permission denied" — are *not* exceptions; they
+// are carried in proto::Status so the enclave's request handler can turn
+// them into protocol responses without unwinding.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace seg {
+
+/// Root of the SeGShare exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cryptographic failure: bad key sizes, malformed points, DRBG misuse.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Authenticated decryption failed or a hash/Merkle check mismatched.
+/// Under the paper's attacker model this means the untrusted side tampered
+/// with (or rolled back) stored data.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : Error("integrity: " + what) {}
+};
+
+/// A detected rollback: content authenticates but is stale (Merkle root or
+/// monotonic counter mismatch). Distinct from IntegrityError because the
+/// paper treats rollback protection (S5) separately from integrity (S2).
+class RollbackError : public IntegrityError {
+ public:
+  explicit RollbackError(const std::string& what)
+      : IntegrityError("rollback: " + what) {}
+};
+
+/// Certificate validation / handshake authentication failure.
+class AuthError : public Error {
+ public:
+  explicit AuthError(const std::string& what) : Error("auth: " + what) {}
+};
+
+/// Malformed wire data, file formats, or protocol state machine misuse.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+/// Untrusted-storage failures (missing file, I/O error).
+class StorageError : public Error {
+ public:
+  explicit StorageError(const std::string& what) : Error("storage: " + what) {}
+};
+
+/// Simulated-SGX misuse: calling into a destroyed enclave, sealing-key
+/// mismatch, monotonic counter exhaustion, ...
+class EnclaveError : public Error {
+ public:
+  explicit EnclaveError(const std::string& what) : Error("enclave: " + what) {}
+};
+
+}  // namespace seg

@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+namespace seg {
+
+std::uint64_t RandomSource::uniform(std::uint64_t bound) {
+  // Rejection sampling over 64-bit draws to avoid modulo bias.
+  const std::uint64_t limit = bound == 0 ? 0 : (~std::uint64_t{0}) - (~std::uint64_t{0}) % bound;
+  std::uint8_t raw[8];
+  for (;;) {
+    fill(raw);
+    std::uint64_t v = 0;
+    for (std::uint8_t b : raw) v = (v << 8) | b;
+    if (v < limit) return v % bound;
+  }
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15u;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9u;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebu;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+TestRng::TestRng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t TestRng::next() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void TestRng::fill(MutableBytesView out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = next();
+    for (int shift = 0; shift < 64 && i < out.size(); shift += 8)
+      out[i++] = static_cast<std::uint8_t>(word >> shift);
+  }
+}
+
+}  // namespace seg

@@ -1,0 +1,45 @@
+// Randomness sources.
+//
+// `RandomSource` is the interface every module takes when it needs random
+// bytes (IVs, temporary dedup names, key generation). Production code uses
+// the ChaCha20-based DRBG from seg_crypto seeded from the OS; tests and
+// benchmarks inject `TestRng` for reproducibility.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace seg {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random octets.
+  virtual void fill(MutableBytesView out) = 0;
+
+  /// Convenience: returns `n` random octets.
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+};
+
+/// Deterministic, seedable generator for tests (splitmix64/xoshiro256**).
+/// NOT cryptographically secure.
+class TestRng final : public RandomSource {
+ public:
+  explicit TestRng(std::uint64_t seed = 0x5e65'5a4e'0001u);
+  void fill(MutableBytesView out) override;
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace seg

@@ -1,0 +1,57 @@
+// Simulated time.
+//
+// The evaluation machinery reproduces the paper's WAN latencies on a single
+// machine by accounting wire time on a virtual clock while compute time is
+// measured for real and added in. SimClock is a plain monotonically
+// advancing nanosecond counter that network links and cost models charge
+// against.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace seg {
+
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  Nanos now() const { return now_ns_; }
+
+  /// Moves the clock forward. Time never goes backwards.
+  void advance(Nanos delta_ns) { now_ns_ += delta_ns; }
+
+  /// Ensures the clock reads at least `t`; used when independent event
+  /// streams (e.g. two ends of a link) merge.
+  void advance_to(Nanos t) {
+    if (t > now_ns_) now_ns_ = t;
+  }
+
+  static Nanos from_millis(double ms) {
+    return static_cast<Nanos>(ms * 1e6);
+  }
+  static double to_millis(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+/// Measures real (wall-clock) compute time; benches add this to simulated
+/// wire time to produce end-to-end latency figures.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace seg

@@ -1,0 +1,94 @@
+// Access-control component (paper Fig. 1, Table I, Table IV).
+//
+// Implements the relation model over the encrypted administration files:
+//   rG   — user → groups          (member list files, group store)
+//   rGO  — group → owned groups   (group list file, group store)
+//   rP   — (perm, group, file)    (ACL files, content store)
+//   rFO  — group → owned files    (ACL files, content store)
+//   rI   — files inheriting permissions (inherit flag in the ACL, §V-B)
+//
+// Every user u has a default group g_u ("user:<u>") so individual-user
+// sharing is group sharing with a singleton group (Table I).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trusted_file_manager.h"
+#include "fs/records.h"
+
+namespace seg::core {
+
+class AccessControl {
+ public:
+  explicit AccessControl(TrustedFileManager& tfm) : tfm_(tfm) {}
+
+  /// Name of a user's default group.
+  static std::string default_group_name(const std::string& user);
+
+  /// Ensures the user has a member list and a default group; returns the
+  /// default group id. Called when a user first authenticates (their
+  /// identity comes from the validated client certificate).
+  fs::GroupId ensure_user(const std::string& user);
+
+  /// Group ids the user belongs to (memberships include the default
+  /// group). Empty if the user is unknown.
+  std::vector<fs::GroupId> memberships(const std::string& user) const;
+
+  // --- Table IV predicates -------------------------------------------------
+
+  /// auth_f(u, p, f): does some group of u grant permission `p` on the
+  /// file at `path` (explicitly, by inheritance §V-B, or by ownership)?
+  bool auth_file(const std::string& user, fs::Perm p,
+                 const std::string& path) const;
+
+  /// auth_f(u, "", f): ownership-only check (used by set_p and friends).
+  bool auth_owner(const std::string& user, const std::string& path) const;
+
+  /// auth_g(u, g): may the user change group `g` (some group of u owns g)?
+  bool auth_group(const std::string& user, const std::string& group) const;
+
+  bool group_exists(const std::string& group) const;
+  std::optional<fs::GroupId> group_id(const std::string& group) const;
+
+  /// Resolves a group name for permission targets; lazily creates the
+  /// default group when the name designates a user ("user:<id>"), so
+  /// files can be shared with users who have not connected yet.
+  std::optional<fs::GroupId> resolve_permission_group(const std::string& group);
+
+  // --- relation updates (updateRel) ----------------------------------------
+
+  /// Creates group `g` with `creator` as first member and creator's
+  /// default group as owner (Algo 1 add_u semantics: "the group owner is
+  /// initially the user adding the first member"). Returns the id.
+  fs::GroupId create_group(const std::string& group,
+                           const std::string& creator);
+
+  void add_member(const std::string& user, fs::GroupId group);
+  void remove_member(const std::string& user, fs::GroupId group);
+
+  void add_group_owner(fs::GroupId group, fs::GroupId owner);
+  void remove_group_owner(fs::GroupId group, fs::GroupId owner);
+
+  /// Deletes the group everywhere: group list plus every member list (the
+  /// operation the paper calls out as deliberately expensive).
+  void delete_group(fs::GroupId group);
+
+  // --- ACL plumbing ---------------------------------------------------------
+
+  static std::string acl_name(const std::string& path) { return path + ".acl"; }
+  fs::Acl load_acl(const std::string& path) const;
+  void save_acl(const std::string& path, const fs::Acl& acl);
+  bool acl_exists(const std::string& path) const;
+
+ private:
+  /// Effective permission of group g on path, honouring explicit entries
+  /// (which take precedence, including deny) and the inherit chain.
+  std::optional<std::uint32_t> effective_permission(
+      const std::string& path, fs::GroupId g) const;
+
+  TrustedFileManager& tfm_;
+};
+
+}  // namespace seg::core

@@ -1,0 +1,46 @@
+// SeGShare enclave configuration.
+//
+// Every paper extension is a toggle so the benchmarks can ablate it:
+// Fig. 5 compares individual-file rollback protection on/off, E8 measures
+// deduplication, E9 the switchless-call choice.
+#pragma once
+
+#include <cstddef>
+
+namespace seg::core {
+
+/// How the root hashes are protected against whole-file-system rollback
+/// (§V-E). kNone leaves only the per-file tree (§V-D).
+enum class FsRollbackGuard {
+  kNone,
+  /// TEE-protected memory persisted across restarts.
+  kProtectedMemory,
+  /// TEE monotonic counter checked against a counter value stored in the
+  /// root file.
+  kMonotonicCounter,
+};
+
+struct EnclaveConfig {
+  /// §V-C: store files under HMAC(SK_r, path) pseudorandom names.
+  bool hide_names = true;
+  /// §V-A: server-side, file-granular deduplication via a third store.
+  bool deduplication = false;
+  /// §V-A alternative: client-side deduplication — clients probe by
+  /// plaintext hash and skip the upload on a hit. Saves bandwidth but
+  /// has the classic existence-leak / fake-hash trade-offs [58], [59],
+  /// which is why the paper's default is server-side. Requires
+  /// `deduplication`.
+  bool client_side_dedup = false;
+  /// §V-D: multiset-hash tree over the file system for per-file rollback
+  /// protection.
+  bool rollback_protection = false;
+  FsRollbackGuard fs_guard = FsRollbackGuard::kNone;
+  /// Bucket hashes per directory node (§V-D second optimization). The
+  /// paper sizes buckets "depending on the number of child files"; a
+  /// fixed 64 keeps validation cost low even for huge flat directories.
+  std::size_t rollback_buckets = 64;
+  /// §VI: use switchless calls for TLS and file I/O.
+  bool switchless = true;
+};
+
+}  // namespace seg::core

@@ -1,0 +1,928 @@
+#include "core/enclave.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+#include "fs/path.h"
+
+namespace seg::core {
+
+namespace {
+
+Bytes serialize_quote(const sgx::Quote& quote) {
+  Bytes out;
+  append(out, quote.measurement);
+  put_u32_be(out, static_cast<std::uint32_t>(quote.report_data.size()));
+  append(out, quote.report_data);
+  append(out, quote.signature);
+  return out;
+}
+
+sgx::Quote parse_quote(BytesView data, std::size_t& offset) {
+  sgx::Quote quote;
+  const Bytes m = slice(data, offset, 32);
+  std::copy(m.begin(), m.end(), quote.measurement.begin());
+  offset += 32;
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  quote.report_data = slice(data, offset, len);
+  offset += len;
+  const Bytes sig = slice(data, offset, crypto::kEd25519SignatureSize);
+  std::copy(sig.begin(), sig.end(), quote.signature.begin());
+  offset += crypto::kEd25519SignatureSize;
+  return quote;
+}
+
+proto::Response make_status(proto::Status status, std::string message = {}) {
+  proto::Response resp;
+  resp.status = status;
+  resp.message = std::move(message);
+  return resp;
+}
+
+}  // namespace
+
+Bytes enclave_image(const crypto::Ed25519PublicKey& ca_public_key) {
+  // The CA public key is part of the measured initial image (§IV-A:
+  // "The CA's public key is hard-coded into the enclave").
+  return concat(to_bytes("segshare-enclave-v1:"), ca_public_key);
+}
+
+SegShareEnclave::SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
+                                 const crypto::Ed25519PublicKey& ca_public_key,
+                                 Stores stores, EnclaveConfig config,
+                                 bool auto_bootstrap,
+                                 sgx::CounterProvider* counters)
+    : sgx::Enclave(platform, enclave_image(ca_public_key)),
+      rng_(rng),
+      ca_public_key_(ca_public_key),
+      stores_(stores),
+      config_(config),
+      counters_(counters) {
+  // Sealed blobs are platform-bound, so with a shared central data
+  // repository (§V-F) each platform's enclave keeps its own bootstrap.
+  const std::string platform_tag =
+      to_hex(platform.attestation_public_key()).substr(0, 16);
+  bootstrap_blob_ = "__segshare_bootstrap_" + platform_tag;
+  server_cert_blob_ = "__segshare_server_cert_" + platform_tag;
+  server_key_blob_ = "__segshare_server_key_" + platform_tag;
+  if (const auto sealed = stores_.content.get(bootstrap_blob_)) {
+    bootstrap_existing(*sealed);
+  } else if (auto_bootstrap) {
+    bootstrap_new();
+  }
+  // Restore a previously installed server certificate + sealed key.
+  if (const auto cert_bytes = stores_.content.get(server_cert_blob_)) {
+    const auto sealed_key = stores_.content.get(server_key_blob_);
+    if (sealed_key) {
+      const Bytes key_material = unseal(*sealed_key, to_bytes("server-key"));
+      if (key_material.size() !=
+          crypto::kEd25519SeedSize + crypto::kEd25519PublicKeySize)
+        throw EnclaveError("bad sealed server key");
+      crypto::Ed25519KeyPair pair;
+      std::copy(key_material.begin(),
+                key_material.begin() + crypto::kEd25519SeedSize,
+                pair.seed.begin());
+      std::copy(key_material.begin() + crypto::kEd25519SeedSize,
+                key_material.end(), pair.public_key.begin());
+      server_key_ = pair;
+      const tls::Certificate cert = tls::Certificate::parse(*cert_bytes);
+      if (!cert.verify(ca_public_key_))
+        throw AuthError("persisted server certificate invalid");
+      server_cert_ = cert;
+    }
+  }
+}
+
+SegShareEnclave::~SegShareEnclave() = default;
+
+// ------------------------------------------------------------- bootstrap ---
+
+void SegShareEnclave::bootstrap_new() {
+  root_key_ = rng_.bytes(16);  // SK_r
+  tfm_ = std::make_unique<TrustedFileManager>(
+      stores_, root_key_, rng_, config_, &platform(), measurement(),
+      TrustedFileManager::GuardState{}, counters_);
+  access_ = std::make_unique<AccessControl>(*tfm_);
+  init_root_directory();
+  persist_bootstrap();
+}
+
+void SegShareEnclave::bootstrap_existing(BytesView sealed_bootstrap) {
+  const Bytes plain = unseal(sealed_bootstrap, to_bytes("bootstrap"));
+  if (plain.size() != 16 + 8 + 8) throw EnclaveError("bad bootstrap blob");
+  root_key_ = slice(plain, 0, 16);
+  TrustedFileManager::GuardState guard;
+  const std::uint64_t fs_counter = get_u64_be(plain, 16);
+  const std::uint64_t group_counter = get_u64_be(plain, 24);
+  if (fs_counter != 0) guard.fs_counter = fs_counter;
+  if (group_counter != 0) guard.group_counter = group_counter;
+  tfm_ = std::make_unique<TrustedFileManager>(stores_, root_key_, rng_,
+                                              config_, &platform(),
+                                              measurement(), guard, counters_);
+  access_ = std::make_unique<AccessControl>(*tfm_);
+  try {
+    tfm_->startup_validation();
+  } catch (const RollbackError&) {
+    // §V-G: a restored backup legitimately fails the freshness check. The
+    // enclave stays up but refuses service until the CA authorises the
+    // state via a signed reset message.
+    needs_reset_ = true;
+  }
+}
+
+void SegShareEnclave::persist_bootstrap() {
+  Bytes plain = root_key_;
+  const auto guard = tfm_->guard_state();
+  put_u64_be(plain, guard.fs_counter.value_or(0));
+  put_u64_be(plain, guard.group_counter.value_or(0));
+  stores_.content.put(bootstrap_blob_,
+                      seal(rng_, plain, to_bytes("bootstrap")));
+}
+
+void SegShareEnclave::init_root_directory() {
+  if (!tfm_->exists("/")) {
+    tfm_->write("/", fs::Directory{}.serialize());
+    tfm_->write(AccessControl::acl_name("/"), fs::Acl{}.serialize());
+  }
+}
+
+// ----------------------------------------------------------------- setup ---
+
+SegShareEnclave::CsrWithQuote SegShareEnclave::make_csr(
+    const std::string& server_name) {
+  enter(config_.switchless);
+  server_key_ = crypto::ed25519_generate(rng_);
+  CsrWithQuote result;
+  result.csr = tls::make_csr(server_name, *server_key_);
+  result.quote = generate_quote(result.csr.serialize());
+  return result;
+}
+
+void SegShareEnclave::install_server_certificate(
+    const tls::Certificate& certificate) {
+  enter(config_.switchless);
+  if (!server_key_) throw ProtocolError("no CSR outstanding");
+  if (!certificate.verify(ca_public_key_))
+    throw AuthError("server certificate not signed by our CA");
+  if (certificate.public_key != server_key_->public_key)
+    throw AuthError("server certificate key mismatch");
+  if (!certificate.is_server)
+    throw AuthError("certificate is not a server certificate");
+  server_cert_ = certificate;
+
+  // Persist: certificate in the clear, key pair sealed (§IV-A).
+  stores_.content.put(server_cert_blob_, certificate.serialize());
+  const Bytes key_material = concat(server_key_->seed, server_key_->public_key);
+  stores_.content.put(server_key_blob_,
+                      seal(rng_, key_material, to_bytes("server-key")));
+}
+
+const tls::Certificate& SegShareEnclave::server_certificate() const {
+  if (!server_cert_) throw ProtocolError("no server certificate installed");
+  return *server_cert_;
+}
+
+// ----------------------------------------------------------- connections ---
+
+std::uint64_t SegShareEnclave::accept(net::DuplexChannel::End& transport) {
+  enter(config_.switchless);
+  if (needs_reset_)
+    throw RollbackError("stores failed freshness check; CA reset required");
+  if (!ready()) throw ProtocolError("enclave not ready (setup incomplete)");
+  const std::uint64_t id = next_connection_id_++;
+  connections_[id].transport = &transport;
+  return id;
+}
+
+void SegShareEnclave::close(std::uint64_t connection_id) {
+  connections_.erase(connection_id);
+}
+
+std::string SegShareEnclave::connection_user(
+    std::uint64_t connection_id) const {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) throw ProtocolError("unknown connection");
+  return it->second.user;
+}
+
+void SegShareEnclave::service(std::uint64_t connection_id) {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) throw ProtocolError("unknown connection");
+  Connection& connection = it->second;
+  while (connection.transport->pending()) {
+    enter(config_.switchless);
+    const Bytes message = connection.transport->recv();
+    if (!connection.channel) {
+      handle_handshake_message(connection, message);
+    } else {
+      // Reassemble the record-fragmented application message. The first
+      // record is already in hand; SecureChannel pulls continuations.
+      handle_frame(connection, reassemble(connection, message));
+    }
+  }
+}
+
+Bytes SegShareEnclave::reassemble(Connection& connection,
+                                  BytesView first_record) {
+  // One application message = one or more records with a continuation
+  // flag (see SecureChannel). We decrypt the first here and delegate the
+  // rest to the channel's record layer.
+  Bytes message;
+  Bytes fragment = connection.channel->records().unprotect(first_record);
+  if (fragment.empty()) throw ProtocolError("empty record");
+  append(message, BytesView(fragment).subspan(1));
+  while (fragment[0] == 1) {
+    fragment = connection.channel->records().unprotect(
+        connection.transport->recv());
+    if (fragment.empty()) throw ProtocolError("empty record");
+    append(message, BytesView(fragment).subspan(1));
+  }
+  return message;
+}
+
+void SegShareEnclave::handle_handshake_message(Connection& connection,
+                                               BytesView message) {
+  if (!connection.handshake) {
+    connection.handshake = std::make_unique<tls::ServerHandshake>(
+        rng_, ca_public_key_, server_certificate(), server_key_->seed);
+    const Bytes reply = connection.handshake->on_client_hello(message);
+    exit_call(config_.switchless);
+    connection.transport->send(reply);
+    return;
+  }
+  const Bytes reply = connection.handshake->on_client_finished(message);
+  exit_call(config_.switchless);
+  connection.transport->send(reply);
+  const tls::HandshakeResult& result = connection.handshake->result();
+  connection.channel = std::make_unique<tls::SecureChannel>(
+      *connection.transport, result.keys, /*is_client=*/false);
+  connection.user = result.peer_certificate.subject;
+  connection.handshake.reset();
+  access_->ensure_user(connection.user);
+}
+
+void SegShareEnclave::send_response(Connection& connection,
+                                    const proto::Response& response) {
+  exit_call(config_.switchless);
+  connection.channel->send_message(
+      proto::frame(proto::FrameType::kResponse, response.serialize()));
+}
+
+void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
+  const auto [type, payload] = proto::unframe(message);
+  try {
+    switch (type) {
+      case proto::FrameType::kRequest:
+        handle_request(connection, proto::Request::parse(payload));
+        return;
+      case proto::FrameType::kData:
+        handle_data(connection, payload);
+        return;
+      case proto::FrameType::kEnd:
+        handle_end(connection);
+        return;
+      case proto::FrameType::kResponse:
+        throw ProtocolError("unexpected response frame from client");
+    }
+  } catch (const RollbackError& e) {
+    connection.put.reset();
+    send_response(connection, make_status(proto::Status::kError, e.what()));
+  } catch (const IntegrityError& e) {
+    connection.put.reset();
+    send_response(connection, make_status(proto::Status::kError, e.what()));
+  } catch (const StorageError& e) {
+    connection.put.reset();
+    send_response(connection, make_status(proto::Status::kNotFound, e.what()));
+  } catch (const ProtocolError& e) {
+    connection.put.reset();
+    send_response(connection,
+                  make_status(proto::Status::kBadRequest, e.what()));
+  }
+}
+
+void SegShareEnclave::handle_request(Connection& connection,
+                                     const proto::Request& request) {
+  const std::string& user = connection.user;
+  switch (request.verb) {
+    case proto::Verb::kPutFile:
+      start_put_file(connection, request);
+      return;
+    case proto::Verb::kGetFile:
+      do_get(connection, request);
+      return;
+    case proto::Verb::kMkdir:
+      send_response(connection, do_mkdir(user, request));
+      return;
+    case proto::Verb::kList:
+      send_response(connection, do_list(user, request));
+      return;
+    case proto::Verb::kRemove:
+      send_response(connection, do_remove(user, request));
+      return;
+    case proto::Verb::kMove:
+      send_response(connection, do_move(user, request));
+      return;
+    case proto::Verb::kSetPermission:
+      send_response(connection, do_set_permission(user, request));
+      return;
+    case proto::Verb::kSetInherit:
+      send_response(connection, do_set_inherit(user, request));
+      return;
+    case proto::Verb::kAddUserToGroup:
+      send_response(connection, do_add_member(user, request));
+      return;
+    case proto::Verb::kRemoveUserFromGroup:
+      send_response(connection, do_remove_member(user, request));
+      return;
+    case proto::Verb::kAddFileOwner:
+      send_response(connection, do_add_file_owner(user, request));
+      return;
+    case proto::Verb::kAddGroupOwner:
+      send_response(connection, do_group_owner(user, request, /*add=*/true));
+      return;
+    case proto::Verb::kRemoveGroupOwner:
+      send_response(connection, do_group_owner(user, request, /*add=*/false));
+      return;
+    case proto::Verb::kDeleteGroup:
+      send_response(connection, do_delete_group(user, request));
+      return;
+    case proto::Verb::kStat:
+      send_response(connection, do_stat(user, request));
+      return;
+    case proto::Verb::kPutByHash:
+      send_response(connection, do_put_by_hash(user, request));
+      return;
+  }
+  send_response(connection,
+                make_status(proto::Status::kBadRequest, "unknown verb"));
+}
+
+// -------------------------------------------------------------- put file ---
+
+void SegShareEnclave::start_put_file(Connection& connection,
+                                     const proto::Request& request) {
+  if (connection.put)
+    throw ProtocolError("nested PUT");
+  PutState state;
+  state.request = request;
+
+  const std::string& path = request.path;
+  const std::string& user = connection.user;
+  if (!fs::is_valid_path(path) || fs::is_dir_path(path)) {
+    state.deny_status = proto::Status::kBadRequest;
+    state.deny_message = "invalid content-file path";
+  } else {
+    const std::string parent = fs::parent(path);
+    const bool file_exists = access_->acl_exists(path);
+    // Algo 1 put_fC authorization condition, with one correction: the
+    // root-directory bypass only applies to *creating* files (taken
+    // literally, the paper's predicate would let any user overwrite any
+    // existing file stored directly under "/").
+    const bool parent_writable =
+        tfm_->exists(parent) && !fs::is_root(parent) &&
+        access_->auth_file(user, fs::kPermWrite, parent);
+    const bool parent_ok =
+        file_exists ? parent_writable
+                    : (fs::is_root(parent) || parent_writable);
+    const bool file_ok =
+        file_exists && access_->auth_file(user, fs::kPermWrite, path);
+    if (!fs::is_root(parent) && !tfm_->exists(parent)) {
+      state.deny_status = proto::Status::kNotFound;
+      state.deny_message = "parent directory does not exist";
+    } else if (parent_ok || file_ok) {
+      state.upload = tfm_->begin_upload(path);
+      state.is_new_file = !file_exists;
+    } else {
+      state.deny_status = proto::Status::kForbidden;
+      state.deny_message = "write access denied";
+    }
+  }
+  connection.put = std::move(state);
+}
+
+void SegShareEnclave::handle_data(Connection& connection, BytesView payload) {
+  if (connection.put) {
+    if (connection.put->upload) connection.put->upload->append(payload);
+    connection.put->received += payload.size();
+    return;
+  }
+  throw ProtocolError("data frame outside of PUT");
+}
+
+void SegShareEnclave::handle_end(Connection& connection) {
+  if (!connection.put) throw ProtocolError("end frame outside of PUT");
+  PutState state = std::move(*connection.put);
+  connection.put.reset();
+
+  if (!state.upload) {
+    send_response(connection,
+                  make_status(state.deny_status, state.deny_message));
+    return;
+  }
+  if (state.received != state.request.body_size) {
+    send_response(connection, make_status(proto::Status::kBadRequest,
+                                          "body size mismatch"));
+    return;
+  }
+  state.upload->finish();
+
+  const std::string& path = state.request.path;
+  if (state.is_new_file) {
+    // updateRel(rFO, rFO ∪ (g_u, f)) — the uploader's default group owns
+    // the new file; then register the child with its parent directory.
+    const fs::GroupId gu = access_->ensure_user(connection.user);
+    fs::Acl acl;
+    acl.add_owner(gu);
+    access_->save_acl(path, acl);
+
+    const std::string parent = fs::parent(path);
+    fs::Directory dir = fs::Directory::parse(tfm_->read(parent));
+    dir.add(path);
+    tfm_->write(parent, dir.serialize());
+  }
+  send_response(connection, make_status(proto::Status::kOk));
+}
+
+// ------------------------------------------------------------------- get ---
+
+void SegShareEnclave::do_get(Connection& connection,
+                             const proto::Request& request) {
+  const std::string& path = request.path;
+  if (fs::is_dir_path(path)) {
+    send_response(connection, do_list(connection.user, request));
+    return;
+  }
+  if (!access_->acl_exists(path)) {
+    send_response(connection, make_status(proto::Status::kNotFound,
+                                          "no such file"));
+    return;
+  }
+  if (!access_->auth_file(connection.user, fs::kPermRead, path)) {
+    send_response(connection, make_status(proto::Status::kForbidden,
+                                          "read access denied"));
+    return;
+  }
+  auto download = tfm_->open_download(path);
+  proto::Response header;
+  header.body_size = download->size();
+  send_response(connection, header);
+  for (std::uint64_t i = 0; i < download->chunk_count(); ++i) {
+    const Bytes chunk = download->read_chunk(i);
+    exit_call(config_.switchless);
+    connection.channel->send_message(
+        proto::frame(proto::FrameType::kData, chunk));
+  }
+  download->finalize();  // throws on rollback before the END frame is sent
+  exit_call(config_.switchless);
+  connection.channel->send_message(proto::frame(proto::FrameType::kEnd));
+}
+
+// ----------------------------------------------------- namespace requests ---
+
+proto::Response SegShareEnclave::do_mkdir(const std::string& user,
+                                          const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!fs::is_valid_path(path) || !fs::is_dir_path(path) || fs::is_root(path))
+    return make_status(proto::Status::kBadRequest, "invalid directory path");
+  if (tfm_->exists(path))
+    return make_status(proto::Status::kConflict, "directory exists");
+  const std::string parent = fs::parent(path);
+  if (!tfm_->exists(parent))
+    return make_status(proto::Status::kNotFound, "parent does not exist");
+  if (!fs::is_root(parent) &&
+      !access_->auth_file(user, fs::kPermWrite, parent))
+    return make_status(proto::Status::kForbidden, "write access denied");
+
+  const fs::GroupId gu = access_->ensure_user(user);
+  fs::Acl acl;
+  acl.add_owner(gu);
+  access_->save_acl(path, acl);
+  tfm_->write(path, fs::Directory{}.serialize());
+
+  fs::Directory parent_dir = fs::Directory::parse(tfm_->read(parent));
+  parent_dir.add(path);
+  tfm_->write(parent, parent_dir.serialize());
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_list(const std::string& user,
+                                         const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!fs::is_valid_path(path) || !fs::is_dir_path(path))
+    return make_status(proto::Status::kBadRequest, "not a directory path");
+  if (!tfm_->exists(path))
+    return make_status(proto::Status::kNotFound, "no such directory");
+  // The root is the shared namespace: any authenticated user may list it
+  // (design decision; the paper's model has no root ACL owner).
+  if (!fs::is_root(path) &&
+      !access_->auth_file(user, fs::kPermRead, path))
+    return make_status(proto::Status::kForbidden, "read access denied");
+  proto::Response resp;
+  resp.listing = fs::Directory::parse(tfm_->read(path)).children();
+  return resp;
+}
+
+void SegShareEnclave::remove_subtree(const std::string& path) {
+  if (fs::is_dir_path(path)) {
+    const fs::Directory dir = fs::Directory::parse(tfm_->read(path));
+    for (const auto& child : dir.children()) remove_subtree(child);
+  }
+  tfm_->remove(path);
+  if (tfm_->exists(AccessControl::acl_name(path)))
+    tfm_->remove(AccessControl::acl_name(path));
+}
+
+proto::Response SegShareEnclave::do_remove(const std::string& user,
+                                           const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!fs::is_valid_path(path) || fs::is_root(path))
+    return make_status(proto::Status::kBadRequest, "invalid path");
+  if (!access_->acl_exists(path))
+    return make_status(proto::Status::kNotFound, "no such file");
+  if (!access_->auth_owner(user, path) &&
+      !access_->auth_file(user, fs::kPermWrite, path))
+    return make_status(proto::Status::kForbidden, "remove denied");
+
+  remove_subtree(path);
+  const std::string parent = fs::parent(path);
+  fs::Directory dir = fs::Directory::parse(tfm_->read(parent));
+  dir.remove(path);
+  tfm_->write(parent, dir.serialize());
+  return make_status(proto::Status::kOk);
+}
+
+void SegShareEnclave::move_subtree(const std::string& from,
+                                   const std::string& to) {
+  if (fs::is_dir_path(from)) {
+    const fs::Directory dir = fs::Directory::parse(tfm_->read(from));
+    fs::Directory rebased;
+    for (const auto& child : dir.children())
+      rebased.add(fs::rebase(child, from, to));
+    tfm_->write(to, rebased.serialize());
+    tfm_->move_object(AccessControl::acl_name(from),
+                      AccessControl::acl_name(to));
+    for (const auto& child : dir.children())
+      move_subtree(child, fs::rebase(child, from, to));
+    tfm_->remove(from);
+    return;
+  }
+  tfm_->move_object(from, to);
+  tfm_->move_object(AccessControl::acl_name(from),
+                    AccessControl::acl_name(to));
+}
+
+proto::Response SegShareEnclave::do_move(const std::string& user,
+                                         const proto::Request& request) {
+  const std::string& from = request.path;
+  const std::string& to = request.target;
+  if (!fs::is_valid_path(from) || !fs::is_valid_path(to) ||
+      fs::is_root(from) || fs::is_root(to) ||
+      fs::is_dir_path(from) != fs::is_dir_path(to))
+    return make_status(proto::Status::kBadRequest, "invalid move");
+  if (fs::is_dir_path(from) && fs::is_ancestor(from, to))
+    return make_status(proto::Status::kBadRequest, "move into own subtree");
+  if (!access_->acl_exists(from))
+    return make_status(proto::Status::kNotFound, "no such source");
+  if (access_->acl_exists(to) || tfm_->exists(to))
+    return make_status(proto::Status::kConflict, "target exists");
+  const std::string to_parent = fs::parent(to);
+  if (!tfm_->exists(to_parent))
+    return make_status(proto::Status::kNotFound, "target parent missing");
+  const bool source_ok = access_->auth_owner(user, from) ||
+                         access_->auth_file(user, fs::kPermWrite, from);
+  const bool target_ok = fs::is_root(to_parent) ||
+                         access_->auth_file(user, fs::kPermWrite, to_parent);
+  if (!source_ok || !target_ok)
+    return make_status(proto::Status::kForbidden, "move denied");
+
+  move_subtree(from, to);
+  const std::string from_parent = fs::parent(from);
+  fs::Directory src_dir = fs::Directory::parse(tfm_->read(from_parent));
+  src_dir.remove(from);
+  tfm_->write(from_parent, src_dir.serialize());
+  fs::Directory dst_dir = fs::Directory::parse(tfm_->read(to_parent));
+  dst_dir.add(to);
+  tfm_->write(to_parent, dst_dir.serialize());
+  return make_status(proto::Status::kOk);
+}
+
+// ---------------------------------------------------- permission requests ---
+
+proto::Response SegShareEnclave::do_set_permission(
+    const std::string& user, const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!access_->acl_exists(path))
+    return make_status(proto::Status::kNotFound, "no such file");
+  if (!access_->auth_owner(user, path))
+    return make_status(proto::Status::kForbidden, "only owners set permissions");
+  const auto gid = access_->resolve_permission_group(request.group);
+  if (!gid) return make_status(proto::Status::kNotFound, "no such group");
+  if (request.perm > (fs::kPermDeny | fs::kPermReadWrite))
+    return make_status(proto::Status::kBadRequest, "invalid permission bits");
+  fs::Acl acl = access_->load_acl(path);
+  acl.set_permission(*gid, request.perm);
+  access_->save_acl(path, acl);
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_set_inherit(const std::string& user,
+                                                const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!access_->acl_exists(path))
+    return make_status(proto::Status::kNotFound, "no such file");
+  if (!access_->auth_owner(user, path))
+    return make_status(proto::Status::kForbidden, "only owners set inheritance");
+  fs::Acl acl = access_->load_acl(path);
+  acl.set_inherit(request.flag);
+  access_->save_acl(path, acl);
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_add_file_owner(
+    const std::string& user, const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!access_->acl_exists(path))
+    return make_status(proto::Status::kNotFound, "no such file");
+  if (!access_->auth_owner(user, path))
+    return make_status(proto::Status::kForbidden, "only owners extend ownership");
+  const auto gid = access_->resolve_permission_group(request.group);
+  if (!gid) return make_status(proto::Status::kNotFound, "no such group");
+  fs::Acl acl = access_->load_acl(path);
+  acl.add_owner(*gid);
+  access_->save_acl(path, acl);
+  return make_status(proto::Status::kOk);
+}
+
+// --------------------------------------------------------- group requests ---
+
+namespace {
+bool is_default_group_name(const std::string& group) {
+  return group.rfind("user:", 0) == 0;
+}
+}  // namespace
+
+proto::Response SegShareEnclave::do_add_member(const std::string& user,
+                                               const proto::Request& request) {
+  const std::string& group = request.group;
+  const std::string& member = request.target;
+  if (group.empty() || member.empty() || is_default_group_name(group))
+    return make_status(proto::Status::kBadRequest, "invalid group/member");
+  // Algo 1 add_u: creating on first use; the creator becomes first member
+  // and their default group the owner.
+  if (!access_->group_exists(group)) access_->create_group(group, user);
+  if (!access_->auth_group(user, group))
+    return make_status(proto::Status::kForbidden, "not a group owner");
+  access_->add_member(member, *access_->group_id(group));
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_remove_member(
+    const std::string& user, const proto::Request& request) {
+  const std::string& group = request.group;
+  const std::string& member = request.target;
+  if (is_default_group_name(group))
+    return make_status(proto::Status::kBadRequest,
+                       "cannot edit default groups");
+  if (!access_->group_exists(group))
+    return make_status(proto::Status::kNotFound, "no such group");
+  if (!access_->auth_group(user, group))
+    return make_status(proto::Status::kForbidden, "not a group owner");
+  access_->remove_member(member, *access_->group_id(group));
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_group_owner(const std::string& user,
+                                                const proto::Request& request,
+                                                bool add) {
+  const std::string& group = request.group;    // the owned group
+  const std::string& owner = request.target;   // the (new) owner group
+  const auto gid = access_->group_id(group);
+  if (!gid) return make_status(proto::Status::kNotFound, "no such group");
+  if (!access_->auth_group(user, group))
+    return make_status(proto::Status::kForbidden, "not a group owner");
+  const auto owner_gid = access_->resolve_permission_group(owner);
+  if (!owner_gid)
+    return make_status(proto::Status::kNotFound, "no such owner group");
+  if (add) {
+    access_->add_group_owner(*gid, *owner_gid);
+  } else {
+    access_->remove_group_owner(*gid, *owner_gid);
+  }
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_delete_group(
+    const std::string& user, const proto::Request& request) {
+  const std::string& group = request.group;
+  if (is_default_group_name(group))
+    return make_status(proto::Status::kBadRequest,
+                       "cannot delete default groups");
+  const auto gid = access_->group_id(group);
+  if (!gid) return make_status(proto::Status::kNotFound, "no such group");
+  if (!access_->auth_group(user, group))
+    return make_status(proto::Status::kForbidden, "not a group owner");
+  access_->delete_group(*gid);
+  return make_status(proto::Status::kOk);
+}
+
+proto::Response SegShareEnclave::do_stat(const std::string& user,
+                                         const proto::Request& request) {
+  const std::string& path = request.path;
+  if (!fs::is_valid_path(path))
+    return make_status(proto::Status::kBadRequest, "invalid path");
+  if (!access_->acl_exists(path))
+    return make_status(proto::Status::kNotFound, "no such path");
+  if (!fs::is_root(path) && !access_->auth_owner(user, path) &&
+      !access_->auth_file(user, fs::kPermRead, path))
+    return make_status(proto::Status::kForbidden, "access denied");
+  proto::Response resp;
+  resp.message = fs::is_dir_path(path) ? "directory" : "file";
+  if (!fs::is_dir_path(path)) resp.body_size = tfm_->logical_size(path);
+  return resp;
+}
+
+proto::Response SegShareEnclave::do_put_by_hash(
+    const std::string& user, const proto::Request& request) {
+  // §V-A client-side alternative: same authorization as put_fC, but the
+  // body is replaced by a plaintext hash probe against the dedup store.
+  if (!config_.deduplication || !config_.client_side_dedup)
+    return make_status(proto::Status::kBadRequest,
+                       "client-side dedup disabled");
+  const std::string& path = request.path;
+  if (!fs::is_valid_path(path) || fs::is_dir_path(path))
+    return make_status(proto::Status::kBadRequest, "invalid content path");
+  const Bytes hash_bytes = [&] {
+    try {
+      return from_hex(request.target);
+    } catch (const Error&) {
+      return Bytes{};
+    }
+  }();
+  if (hash_bytes.size() != crypto::Sha256::kDigestSize)
+    return make_status(proto::Status::kBadRequest, "bad content hash");
+
+  const std::string parent = fs::parent(path);
+  const bool file_exists = access_->acl_exists(path);
+  const bool parent_writable =
+      tfm_->exists(parent) && !fs::is_root(parent) &&
+      access_->auth_file(user, fs::kPermWrite, parent);
+  const bool parent_ok =
+      file_exists ? parent_writable : (fs::is_root(parent) || parent_writable);
+  const bool file_ok =
+      file_exists && access_->auth_file(user, fs::kPermWrite, path);
+  if (!fs::is_root(parent) && !tfm_->exists(parent))
+    return make_status(proto::Status::kNotFound, "parent directory missing");
+  if (!parent_ok && !file_ok)
+    return make_status(proto::Status::kForbidden, "write access denied");
+
+  crypto::Sha256::Digest digest;
+  std::copy(hash_bytes.begin(), hash_bytes.end(), digest.begin());
+  if (!tfm_->commit_by_hash(path, digest))
+    return make_status(proto::Status::kNotFound,
+                       "content unknown; full upload required");
+
+  if (!file_exists) {
+    const fs::GroupId gu = access_->ensure_user(user);
+    fs::Acl acl;
+    acl.add_owner(gu);
+    access_->save_acl(path, acl);
+    fs::Directory dir = fs::Directory::parse(tfm_->read(parent));
+    dir.add(path);
+    tfm_->write(parent, dir.serialize());
+  }
+  return make_status(proto::Status::kOk);
+}
+
+// ------------------------------------------------------------ replication ---
+
+Bytes SegShareEnclave::replication_request() {
+  enter(config_.switchless);
+  replication_ephemeral_ = crypto::x25519_generate(rng_);
+  const sgx::Quote quote =
+      generate_quote(replication_ephemeral_->public_key);
+  Bytes out = to_bytes("repl-req:");
+  append(out, replication_ephemeral_->public_key);
+  append(out, serialize_quote(quote));
+  return out;
+}
+
+Bytes SegShareEnclave::serve_replication(
+    BytesView request, const crypto::Ed25519PublicKey& peer_platform_key) {
+  enter(config_.switchless);
+  if (root_key_.empty()) throw ProtocolError("not a root enclave");
+  const Bytes magic = to_bytes("repl-req:");
+  if (request.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), request.begin()))
+    throw ProtocolError("bad replication request");
+  std::size_t offset = magic.size();
+  crypto::X25519Key peer_pub;
+  const Bytes pub = slice(request, offset, 32);
+  std::copy(pub.begin(), pub.end(), peer_pub.begin());
+  offset += 32;
+  const sgx::Quote quote = parse_quote(request, offset);
+
+  // Mutual attestation (§V-F): same measurement ⇒ compiled for the same
+  // hard-coded CA; quote must come from a trusted platform and bind the
+  // ephemeral key.
+  if (!sgx::SgxPlatform::verify_quote(peer_platform_key, quote))
+    throw AuthError("replication: invalid quote");
+  if (quote.measurement != measurement())
+    throw AuthError("replication: measurement mismatch");
+  if (!constant_time_equal(quote.report_data, peer_pub))
+    throw AuthError("replication: quote does not bind key");
+
+  const auto ours = crypto::x25519_generate(rng_);
+  const auto shared = crypto::x25519_shared(ours.private_key, peer_pub);
+  const Bytes key = crypto::hkdf({}, shared, to_bytes("segshare-replication"),
+                                 16);
+  const Bytes ciphertext = crypto::pae_encrypt(key, rng_, root_key_);
+
+  const Bytes binding = concat(ours.public_key,
+                               crypto::Sha256::hash(ciphertext));
+  const sgx::Quote reply_quote = generate_quote(binding);
+
+  Bytes out = to_bytes("repl-resp:");
+  append(out, ours.public_key);
+  append(out, serialize_quote(reply_quote));
+  put_u32_be(out, static_cast<std::uint32_t>(ciphertext.size()));
+  append(out, ciphertext);
+  return out;
+}
+
+void SegShareEnclave::install_replicated_key(
+    BytesView response, const crypto::Ed25519PublicKey& peer_platform_key) {
+  enter(config_.switchless);
+  if (!replication_ephemeral_)
+    throw ProtocolError("no replication request outstanding");
+  const Bytes magic = to_bytes("repl-resp:");
+  if (response.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), response.begin()))
+    throw ProtocolError("bad replication response");
+  std::size_t offset = magic.size();
+  crypto::X25519Key peer_pub;
+  const Bytes pub = slice(response, offset, 32);
+  std::copy(pub.begin(), pub.end(), peer_pub.begin());
+  offset += 32;
+  const sgx::Quote quote = parse_quote(response, offset);
+  const std::uint32_t ct_len = get_u32_be(response, offset);
+  offset += 4;
+  const Bytes ciphertext = slice(response, offset, ct_len);
+
+  if (!sgx::SgxPlatform::verify_quote(peer_platform_key, quote))
+    throw AuthError("replication: invalid root quote");
+  if (quote.measurement != measurement())
+    throw AuthError("replication: root measurement mismatch");
+  const Bytes binding = concat(peer_pub, crypto::Sha256::hash(ciphertext));
+  if (!constant_time_equal(quote.report_data, binding))
+    throw AuthError("replication: root quote does not bind payload");
+
+  const auto shared =
+      crypto::x25519_shared(replication_ephemeral_->private_key, peer_pub);
+  const Bytes key = crypto::hkdf({}, shared, to_bytes("segshare-replication"),
+                                 16);
+  root_key_ = crypto::pae_decrypt(key, ciphertext);
+  replication_ephemeral_.reset();
+
+  tfm_ = std::make_unique<TrustedFileManager>(
+      stores_, root_key_, rng_, config_, &platform(), measurement(),
+      TrustedFileManager::GuardState{}, counters_);
+  access_ = std::make_unique<AccessControl>(*tfm_);
+  // The replica runs on its own platform: adopt the (shared or restored)
+  // state and arm this platform's guards. Non-local guards are out of
+  // scope, as in the paper.
+  tfm_->accept_restored_state();
+  init_root_directory();
+  persist_bootstrap();
+}
+
+// ---------------------------------------------------------------- backup ---
+
+void SegShareEnclave::apply_signed_reset(
+    BytesView reset_message, const crypto::Ed25519Signature& signature) {
+  enter(config_.switchless);
+  if (!constant_time_equal(reset_message, reset_message_payload()))
+    throw AuthError("unknown reset message");
+  if (!crypto::ed25519_verify(ca_public_key_, reset_message, signature))
+    throw AuthError("reset message not signed by CA");
+  tfm_->accept_restored_state();
+  needs_reset_ = false;
+}
+
+// ----------------------------------------------------------- introspection ---
+
+TrustedFileManager& SegShareEnclave::file_manager() {
+  if (!tfm_) throw ProtocolError("enclave has no root key yet");
+  return *tfm_;
+}
+
+AccessControl& SegShareEnclave::access_control() {
+  if (!access_) throw ProtocolError("enclave has no root key yet");
+  return *access_;
+}
+
+}  // namespace seg::core

@@ -1,0 +1,202 @@
+// The SeGShare enclave (paper Fig. 1, §IV, §V).
+//
+// Hosts the trusted half of the architecture: the trusted TLS interface,
+// the trusted certification component, the request handler, the access
+// control component and the trusted file manager. The untrusted half
+// (certification forwarding, TCP termination, connection pumping) lives
+// in core/server.h.
+//
+// The CA public key is folded into the enclave's initial image, so the
+// measurement — and with it sealing and attestation — binds the enclave
+// to its CA exactly as §IV-A requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/access_control.h"
+#include "core/config.h"
+#include "core/trusted_file_manager.h"
+#include "net/channel.h"
+#include "proto/messages.h"
+#include "sgx/enclave.h"
+#include "tls/certificate.h"
+#include "tls/handshake.h"
+#include "tls/secure_channel.h"
+
+namespace seg::core {
+
+class SegShareEnclave : public sgx::Enclave {
+ public:
+  /// `auto_bootstrap`: generate SK_r on first start (root enclave, the
+  /// common case). Pass false for a replica that will obtain SK_r via the
+  /// §V-F replication protocol.
+  /// `counters` optionally overrides the monotonic-counter backend for
+  /// the §V-E guard (e.g. a rote::RoteCounters quorum client).
+  SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
+                  const crypto::Ed25519PublicKey& ca_public_key, Stores stores,
+                  EnclaveConfig config = {}, bool auto_bootstrap = true,
+                  sgx::CounterProvider* counters = nullptr);
+  ~SegShareEnclave() override;
+
+  // ---- setup phase (§IV-A) -------------------------------------------------
+
+  struct CsrWithQuote {
+    tls::CertificateSigningRequest csr;
+    sgx::Quote quote;  // report data binds the CSR
+  };
+  /// Generates the temporary server key pair and a CSR, quoted so the CA
+  /// can attest this enclave.
+  CsrWithQuote make_csr(const std::string& server_name = "segshare-server");
+
+  /// Installs the CA-issued server certificate; seals the key pair and
+  /// persists the certificate in untrusted memory.
+  void install_server_certificate(const tls::Certificate& certificate);
+
+  bool ready() const { return server_cert_.has_value() && tfm_ != nullptr; }
+  const tls::Certificate& server_certificate() const;
+
+  // ---- runtime: trusted TLS interface + request handler (§IV-B) ------------
+
+  /// Accepts a new connection whose transport is the given channel end;
+  /// returns a connection id.
+  std::uint64_t accept(net::DuplexChannel::End& transport);
+
+  /// Processes everything pending on the connection: handshake flights
+  /// and request frames. Each processed message is one (switchless)
+  /// transition into the enclave.
+  void service(std::uint64_t connection_id);
+
+  void close(std::uint64_t connection_id);
+
+  /// Authenticated identity of the connection (empty until established).
+  std::string connection_user(std::uint64_t connection_id) const;
+
+  // ---- replication (§V-F) ---------------------------------------------------
+
+  /// Replica side: ephemeral key + quote, asking a root enclave for SK_r.
+  Bytes replication_request();
+  /// Root side: verifies the replica's quote (same measurement, trusted
+  /// platform) and returns SK_r encrypted under the ECDH key.
+  Bytes serve_replication(BytesView request,
+                          const crypto::Ed25519PublicKey& peer_platform_key);
+  /// Replica side: decrypts and installs SK_r, then bootstraps.
+  void install_replicated_key(
+      BytesView response, const crypto::Ed25519PublicKey& peer_platform_key);
+
+  // ---- backup restore (§V-G) ------------------------------------------------
+
+  /// Applies a CA-signed reset message: re-validates the restored stores
+  /// and re-arms the rollback guards. Throws AuthError on bad signature.
+  void apply_signed_reset(BytesView reset_message,
+                          const crypto::Ed25519Signature& signature);
+  static Bytes reset_message_payload() { return to_bytes("segshare-reset-v1"); }
+
+  /// True when startup freshness validation failed (restored backup or a
+  /// whole-store rollback): the enclave refuses connections until a valid
+  /// CA reset arrives.
+  bool needs_reset() const { return needs_reset_; }
+
+  // ---- introspection for tests and benchmarks ------------------------------
+
+  const EnclaveConfig& config() const { return config_; }
+  TrustedFileManager& file_manager();
+  AccessControl& access_control();
+
+ private:
+  struct PutState {
+    proto::Request request;
+    std::unique_ptr<TrustedFileManager::Upload> upload;  // null if denied
+    proto::Status deny_status = proto::Status::kOk;
+    std::string deny_message;
+    bool is_new_file = false;
+    std::uint64_t received = 0;
+  };
+
+  struct Connection {
+    net::DuplexChannel::End* transport = nullptr;
+    std::unique_ptr<tls::ServerHandshake> handshake;
+    std::unique_ptr<tls::SecureChannel> channel;
+    std::string user;
+    std::optional<PutState> put;
+  };
+
+  void bootstrap_new();
+  void bootstrap_existing(BytesView sealed_bootstrap);
+  void persist_bootstrap();
+  void init_root_directory();
+
+  void handle_handshake_message(Connection& connection, BytesView message);
+  Bytes reassemble(Connection& connection, BytesView first_record);
+  void handle_frame(Connection& connection, BytesView message);
+  void handle_request(Connection& connection, const proto::Request& request);
+  void handle_data(Connection& connection, BytesView payload);
+  void handle_end(Connection& connection);
+
+  // Request implementations (Algo 1 + the "straightforward" ones).
+  void start_put_file(Connection& connection, const proto::Request& request);
+  proto::Response do_mkdir(const std::string& user,
+                           const proto::Request& request);
+  void do_get(Connection& connection, const proto::Request& request);
+  proto::Response do_list(const std::string& user,
+                          const proto::Request& request);
+  proto::Response do_remove(const std::string& user,
+                            const proto::Request& request);
+  proto::Response do_move(const std::string& user,
+                          const proto::Request& request);
+  proto::Response do_set_permission(const std::string& user,
+                                    const proto::Request& request);
+  proto::Response do_set_inherit(const std::string& user,
+                                 const proto::Request& request);
+  proto::Response do_add_member(const std::string& user,
+                                const proto::Request& request);
+  proto::Response do_remove_member(const std::string& user,
+                                   const proto::Request& request);
+  proto::Response do_add_file_owner(const std::string& user,
+                                    const proto::Request& request);
+  proto::Response do_group_owner(const std::string& user,
+                                 const proto::Request& request, bool add);
+  proto::Response do_delete_group(const std::string& user,
+                                  const proto::Request& request);
+  proto::Response do_stat(const std::string& user,
+                          const proto::Request& request);
+  proto::Response do_put_by_hash(const std::string& user,
+                                 const proto::Request& request);
+
+  void remove_subtree(const std::string& path);
+  void move_subtree(const std::string& from, const std::string& to);
+  void send_response(Connection& connection, const proto::Response& response);
+
+  RandomSource& rng_;
+  crypto::Ed25519PublicKey ca_public_key_;
+  Stores stores_;
+  EnclaveConfig config_;
+
+  Bytes root_key_;  // SK_r; empty until bootstrapped
+  std::unique_ptr<TrustedFileManager> tfm_;
+  std::unique_ptr<AccessControl> access_;
+
+  std::optional<crypto::Ed25519KeyPair> server_key_;
+  std::optional<tls::Certificate> server_cert_;
+
+  std::optional<crypto::X25519KeyPair> replication_ephemeral_;
+
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_connection_id_ = 1;
+  bool needs_reset_ = false;
+  sgx::CounterProvider* counters_ = nullptr;
+  std::string bootstrap_blob_;
+  std::string server_cert_blob_;
+  std::string server_key_blob_;
+};
+
+/// Builds the enclave's initial image bytes (identity + hard-coded CA
+/// key); exported so the CA / tests can predict the expected measurement.
+Bytes enclave_image(const crypto::Ed25519PublicKey& ca_public_key);
+
+}  // namespace seg::core

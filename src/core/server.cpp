@@ -1,0 +1,46 @@
+#include "core/server.h"
+
+#include "common/error.h"
+
+namespace seg::core {
+
+void SegShareServer::provision_certificate(SegShareEnclave& enclave,
+                                           tls::CertificateAuthority& ca,
+                                           const sgx::SgxPlatform& platform) {
+  const auto csr_with_quote = enclave.make_csr();
+  // Remote attestation by the CA: the quote must verify under the
+  // platform's attestation key, carry the measurement of a SeGShare
+  // enclave built for *this* CA, and bind the CSR.
+  if (!sgx::SgxPlatform::verify_quote(platform.attestation_public_key(),
+                                      csr_with_quote.quote))
+    throw AuthError("enclave attestation failed");
+  const auto expected = sgx::measure(enclave_image(ca.public_key()));
+  if (csr_with_quote.quote.measurement != expected)
+    throw AuthError("enclave measurement does not match this CA's build");
+  if (!constant_time_equal(csr_with_quote.quote.report_data,
+                           csr_with_quote.csr.serialize()))
+    throw AuthError("quote does not bind the CSR");
+
+  const tls::Certificate cert =
+      ca.issue_server_certificate(csr_with_quote.csr);
+  enclave.install_server_certificate(cert);
+}
+
+std::uint64_t SegShareServer::accept(net::DuplexChannel& channel) {
+  const std::uint64_t id = enclave_.accept(channel.b());
+  connections_[id] = &channel;
+  return id;
+}
+
+void SegShareServer::pump() {
+  for (const auto& [id, channel] : connections_) {
+    if (channel->b().pending()) enclave_.service(id);
+  }
+}
+
+void SegShareServer::close(std::uint64_t connection_id) {
+  enclave_.close(connection_id);
+  connections_.erase(connection_id);
+}
+
+}  // namespace seg::core

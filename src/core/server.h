@@ -1,0 +1,46 @@
+// Untrusted half of the SeGShare server (paper Fig. 1).
+//
+// Terminates "TCP" connections (DuplexChannel ends), forwards raw TLS
+// records into the enclave's trusted TLS interface, and implements the
+// untrusted certification component that lets the CA attest the enclave
+// and provision its server certificate (§IV-A). Contains no secrets —
+// everything it touches is ciphertext or public.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/enclave.h"
+#include "net/channel.h"
+#include "tls/certificate.h"
+
+namespace seg::core {
+
+class SegShareServer {
+ public:
+  explicit SegShareServer(SegShareEnclave& enclave) : enclave_(enclave) {}
+
+  /// §IV-A setup: the CA attests the enclave (quote verification against
+  /// the platform's attestation key and the expected measurement derived
+  /// from the CA's own public key), then signs the enclave's CSR.
+  /// Throws AuthError if attestation fails.
+  static void provision_certificate(SegShareEnclave& enclave,
+                                    tls::CertificateAuthority& ca,
+                                    const sgx::SgxPlatform& platform);
+
+  /// Accepts a client connection; the server always owns end "b".
+  std::uint64_t accept(net::DuplexChannel& channel);
+
+  /// Forwards pending traffic of every connection into the enclave.
+  void pump();
+
+  void close(std::uint64_t connection_id);
+
+  SegShareEnclave& enclave() { return enclave_; }
+
+ private:
+  SegShareEnclave& enclave_;
+  std::map<std::uint64_t, net::DuplexChannel*> connections_;
+};
+
+}  // namespace seg::core

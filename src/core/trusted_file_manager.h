@@ -1,0 +1,267 @@
+// Trusted file manager (paper §IV-B, Fig. 1) and its extensions:
+// deduplication (§V-A), filename & directory-structure hiding (§V-C),
+// per-file rollback protection via a multiset-hash tree with bucket
+// hashes (§V-D), and whole-file-system rollback protection (§V-E).
+//
+// Lives inside the enclave. All persistent state goes through the
+// untrusted file manager — here the store::UntrustedStore instances —
+// only after PAE encryption:
+//
+//   content store  — content files, directory files, ACL files; stored via
+//                    the Protected-FS layout under per-file keys derived
+//                    from the root key SK_r
+//   group store    — the group list file and one member list per user
+//   dedup store    — single encrypted copy per distinct plaintext, named
+//                    by HMAC(SK_r, content)
+//
+// With hide_names the physical blob namespace is HMAC(SK_r, logical name)
+// in hex, so the cloud provider sees a flat directory of pseudorandom
+// names (§V-C). The original paths live inside encrypted directory files,
+// which keeps listing possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+#include "fs/records.h"
+#include "crypto/gcm.h"
+#include "mset/mset_hash.h"
+#include "pfs/protected_fs.h"
+#include "sgx/platform.h"
+#include "store/untrusted_store.h"
+
+namespace seg::core {
+
+struct Stores {
+  store::UntrustedStore& content;
+  store::UntrustedStore& group;
+  store::UntrustedStore& dedup;
+};
+
+class TrustedFileManager {
+ public:
+  /// Monotonic-counter ids for the §V-E guard; created on first start and
+  /// persisted by the enclave inside the sealed bootstrap blob.
+  struct GuardState {
+    std::optional<std::uint64_t> fs_counter;
+    std::optional<std::uint64_t> group_counter;
+  };
+
+  /// `root_key` is SK_r (16 bytes). `measurement` scopes the protected-
+  /// memory guard; `platform` is required when config asks for a §V-E
+  /// guard or when transition charging is wanted.
+  /// `counters` overrides the monotonic-counter backend for the §V-E
+  /// guard (e.g. a ROTE-style distributed service); defaults to the
+  /// platform's native SGX counters.
+  TrustedFileManager(Stores stores, BytesView root_key, RandomSource& rng,
+                     const EnclaveConfig& config, sgx::SgxPlatform* platform,
+                     const sgx::Measurement& measurement,
+                     GuardState guard_state = {},
+                     sgx::CounterProvider* counters = nullptr);
+
+  /// Current guard state (for sealing across restarts).
+  GuardState guard_state() const;
+
+  // ---- content-store objects (content files, dir files, ACL files) -------
+
+  bool exists(const std::string& logical) const;
+  /// Reads and, when rollback protection is on, validates the object
+  /// against the hash tree up to the guarded root.
+  Bytes read(const std::string& logical) const;
+  void write(const std::string& logical, BytesView content);
+  void remove(const std::string& logical);
+  std::uint64_t logical_size(const std::string& logical) const;
+
+  /// Moves an object to a new logical name without touching dedup
+  /// refcounts (raw content — including indirection links — is preserved).
+  void move_object(const std::string& from, const std::string& to);
+
+  /// Streaming upload (constant enclave buffer; dedup-aware).
+  class Upload {
+   public:
+    ~Upload();
+    Upload(const Upload&) = delete;
+    Upload& operator=(const Upload&) = delete;
+    void append(BytesView data);
+    /// Commits the object. No effect on the logical namespace until now.
+    void finish();
+
+   private:
+    friend class TrustedFileManager;
+    Upload(TrustedFileManager& tfm, std::string logical);
+    TrustedFileManager& tfm_;
+    std::string logical_;
+    std::unique_ptr<pfs::ProtectedFs::Writer> writer_;
+    std::string temp_name_;  // dedup staging name (dedup mode only)
+    crypto::Sha256 content_hash_;
+    crypto::HmacSha256 dedup_mac_;
+    std::uint64_t size_ = 0;
+    bool finished_ = false;
+  };
+  std::unique_ptr<Upload> begin_upload(const std::string& logical);
+
+  /// Client-side dedup probe (§V-A alternative): if content with this
+  /// plaintext SHA-256 is already deduplicated, commits `logical` as a
+  /// reference to it and returns true; returns false when the content is
+  /// unknown and a normal upload is required.
+  bool commit_by_hash(const std::string& logical,
+                      const crypto::Sha256::Digest& content_hash);
+
+  /// Streaming download. Rollback validation happens at open.
+  /// Structural rollback validation (bucket chain to the guarded root)
+  /// happens at open; the object's own content hash is accumulated while
+  /// streaming and checked by finalize(), so large downloads stay
+  /// streamed. Chunks must be read in order.
+  class Download {
+   public:
+    std::uint64_t size() const;
+    std::uint64_t chunk_count() const;
+    Bytes read_chunk(std::uint64_t index);
+    /// Throws RollbackError if the streamed content does not match the
+    /// hash tree. Call after the last chunk, before trusting the data.
+    void finalize();
+
+   private:
+    friend class TrustedFileManager;
+    std::unique_ptr<pfs::ProtectedFs::Reader> reader_;
+    crypto::Sha256 hasher_;
+    std::optional<crypto::Sha256::Digest> expected_hash_;
+    std::uint64_t next_chunk_ = 0;
+    bool validate_ = false;
+  };
+  std::unique_ptr<Download> open_download(const std::string& logical) const;
+
+  // ---- group-store records ------------------------------------------------
+
+  fs::GroupList load_group_list() const;
+  void save_group_list(const fs::GroupList& list);
+  bool member_list_exists(const std::string& user) const;
+  fs::MemberList load_member_list(const std::string& user) const;
+  void save_member_list(const std::string& user, const fs::MemberList& list);
+  /// All users that have a member list (needed by group deletion, which the
+  /// paper notes is the one deliberately inefficient operation).
+  std::vector<std::string> member_list_users() const;
+
+  // ---- accounting / maintenance -------------------------------------------
+
+  std::uint64_t content_store_bytes() const;
+  std::uint64_t dedup_store_bytes() const;
+  std::uint64_t group_store_bytes() const;
+
+  /// Re-derives and checks the group-store root hash after a restart; also
+  /// primes the in-enclave group-record cache. Throws RollbackError if the
+  /// guarded root does not match the stored state.
+  void startup_validation();
+
+  /// §V-G backup restore: the CA authorised a reset, so adopt the current
+  /// on-disk state as fresh (recompute roots, re-arm guards).
+  void accept_restored_state();
+
+  const EnclaveConfig& config() const { return config_; }
+
+ private:
+  friend class Upload;
+
+  // --- physical naming (hiding extension §V-C) ---
+  std::string physical(const std::string& logical) const;
+  std::string header_blob(const std::string& logical) const;
+
+  // --- rollback tree (§V-D/E) ---
+  struct HashHeader {
+    crypto::Sha256::Digest content_hash{};
+    crypto::Sha256::Digest main_hash{};
+    std::vector<mset::MsetXorHash> buckets;  // empty for leaves
+    std::uint64_t counter = 0;               // root only, counter guard mode
+
+    Bytes serialize() const;
+    static HashHeader parse(BytesView data, std::size_t expected_buckets);
+  };
+
+  std::optional<HashHeader> load_header(const std::string& logical) const;
+  void store_header(const std::string& logical, const HashHeader& header);
+  void remove_header(const std::string& logical);
+  std::size_t bucket_of(const std::string& logical) const;
+  crypto::Sha256::Digest leaf_main(const std::string& logical,
+                                   const crypto::Sha256::Digest& content) const;
+  crypto::Sha256::Digest dir_main(const std::string& logical,
+                                  const HashHeader& header) const;
+  bool is_tree_node_dir(const std::string& logical) const;
+
+  /// Records a write in the tree and propagates to the guarded root.
+  void tree_on_write(const std::string& logical,
+                     const crypto::Sha256::Digest& content_hash);
+  void tree_on_remove(const std::string& logical);
+  void tree_propagate(const std::string& child,
+                      const std::optional<crypto::Sha256::Digest>& old_main,
+                      const std::optional<crypto::Sha256::Digest>& new_main);
+  /// Full §V-D validation: own hashes, one bucket per level, root guard.
+  void tree_validate(const std::string& logical,
+                     const crypto::Sha256::Digest& content_hash) const;
+  /// Structural part only; returns the expected content hash so streaming
+  /// downloads can defer the content comparison to finalize().
+  std::optional<crypto::Sha256::Digest> tree_validate_structure(
+      const std::string& logical) const;
+  void guard_update(const HashHeader& root_header);
+  void guard_check(const HashHeader& root_header) const;
+  /// Tree-children of directory `dir` that fall in bucket `bucket`.
+  std::vector<std::string> bucket_children(const std::string& dir,
+                                           std::size_t bucket) const;
+
+  // --- dedup (§V-A) ---
+  struct DedupIndex {
+    std::map<std::string, std::uint64_t> refcounts;  // hName -> references
+    // Plaintext-hash → hName lookup for the client-side dedup probe.
+    std::map<std::string, std::string> client_index;
+    Bytes serialize() const;
+    static DedupIndex parse(BytesView data);
+  };
+  DedupIndex load_dedup_index() const;
+  void save_dedup_index(const DedupIndex& index);
+  static bool is_link(BytesView content);
+  static std::string link_target(BytesView content);
+  static Bytes make_link(const std::string& hname);
+
+  // --- group store guard ---
+  void group_on_write(const std::string& record, BytesView content);
+  void group_on_remove(const std::string& record);
+  void guard_update_group();
+  void group_validate(const std::string& record, BytesView content) const;
+  std::string group_physical(const std::string& record) const;
+
+  Bytes raw_read_content(const std::string& logical) const;
+
+  EnclaveConfig config_;
+  Bytes root_key_;
+  RandomSource& rng_;
+  sgx::SgxPlatform* platform_;
+  sgx::Measurement measurement_;
+  store::UntrustedStore& content_store_;
+  store::UntrustedStore& group_store_;
+  store::UntrustedStore& dedup_store_;
+  pfs::ProtectedFs content_fs_;
+  pfs::ProtectedFs group_fs_;
+  pfs::ProtectedFs dedup_fs_;
+  Bytes header_key_;
+  crypto::AesGcm header_gcm_;
+  Bytes name_key_;
+  Bytes mset_key_;
+  std::unique_ptr<sgx::CounterProvider> owned_counters_;
+  sgx::CounterProvider* counters_ = nullptr;
+  std::optional<std::uint64_t> fs_counter_id_;
+  std::optional<std::uint64_t> group_counter_id_;
+  // In-enclave cache of group-store record hashes: cheap per-read rollback
+  // protection for the small, hot administration records.
+  mutable std::map<std::string, crypto::Sha256::Digest> group_record_hashes_;
+  mset::MsetXorHash group_root_;
+};
+
+}  // namespace seg::core

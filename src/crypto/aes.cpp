@@ -1,0 +1,174 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#if defined(__AES__)
+#include <wmmintrin.h>
+#endif
+
+#include "common/error.h"
+
+namespace seg::crypto {
+
+namespace {
+
+// S-box generated once at startup from the GF(2^8) inverse + affine map.
+struct SboxTables {
+  std::uint8_t sbox[256];
+
+  SboxTables() {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    std::uint8_t pow[256];
+    std::uint8_t log[256] = {};
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      pow[i] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply x by 3 (x + 2x)
+      std::uint8_t x2 = static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+      x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+    pow[255] = pow[0];
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t inv = 0;
+      if (i != 0) inv = pow[255 - log[i]];
+      // Affine transformation.
+      std::uint8_t s = inv;
+      std::uint8_t result = 0x63;
+      for (int bit = 0; bit < 8; ++bit) {
+        const std::uint8_t b = static_cast<std::uint8_t>(
+            ((inv >> bit) & 1) ^ ((inv >> ((bit + 4) % 8)) & 1) ^
+            ((inv >> ((bit + 5) % 8)) & 1) ^ ((inv >> ((bit + 6) % 8)) & 1) ^
+            ((inv >> ((bit + 7) % 8)) & 1));
+        result ^= static_cast<std::uint8_t>(b << bit);
+      }
+      (void)s;
+      sbox[i] = result;
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+}  // namespace
+
+Aes::Aes(BytesView key) {
+  const std::size_t key_len = key.size();
+  if (key_len != 16 && key_len != 32)
+    throw CryptoError("AES key must be 16 or 32 bytes");
+  const int nk = static_cast<int>(key_len / 4);  // words in key
+  rounds_ = nk + 6;
+  const int total_words = 4 * (rounds_ + 1);
+  const auto& sbox = tables().sbox;
+
+  std::uint8_t w[4 * 60];  // max 60 words
+  std::memcpy(w, key.data(), key_len);
+  std::uint8_t rcon = 1;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, w + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(sbox[temp[1]] ^ rcon);
+      temp[1] = sbox[temp[2]];
+      temp[2] = sbox[temp[3]];
+      temp[3] = sbox[t0];
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      for (auto& b : temp) b = sbox[b];
+    }
+    for (int j = 0; j < 4; ++j) w[4 * i + j] = w[4 * (i - nk) + j] ^ temp[j];
+  }
+  std::memcpy(round_keys_.data(), w, static_cast<std::size_t>(total_words) * 4);
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(__AES__)
+  // Hardware path: the expanded round keys are byte-identical to what
+  // AESENC expects, so we can load them directly.
+  __m128i st = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  st = _mm_xor_si128(
+      st, _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys_.data())));
+  for (int round = 1; round < rounds_; ++round) {
+    st = _mm_aesenc_si128(
+        st, _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(round_keys_.data() + 16 * round)));
+  }
+  st = _mm_aesenclast_si128(
+      st, _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(round_keys_.data() + 16 * rounds_)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), st);
+  return;
+#endif
+  const auto& sbox = tables().sbox;
+  std::uint8_t state[16];
+  for (int i = 0; i < 16; ++i) state[i] = in[i] ^ round_keys_[static_cast<std::size_t>(i)];
+
+  for (int round = 1; round <= rounds_; ++round) {
+    // SubBytes
+    for (auto& b : state) b = sbox[b];
+    // ShiftRows: state is column-major (state[4*c + r] is row r, column c).
+    std::uint8_t tmp[16];
+    for (int c = 0; c < 4; ++c)
+      for (int r = 0; r < 4; ++r) tmp[4 * c + r] = state[4 * ((c + r) % 4) + r];
+    std::memcpy(state, tmp, 16);
+    // MixColumns (skipped in final round)
+    if (round != rounds_) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = state + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        const std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+      }
+    }
+    // AddRoundKey
+    const std::uint8_t* rk = round_keys_.data() + 16 * round;
+    for (int i = 0; i < 16; ++i) state[i] ^= rk[i];
+  }
+  std::memcpy(out, state, 16);
+}
+
+void Aes::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                         std::size_t count) const {
+#if defined(__AES__)
+  const auto* rk = reinterpret_cast<const __m128i*>(round_keys_.data());
+  __m128i keys[15];
+  for (int i = 0; i <= rounds_; ++i) keys[i] = _mm_loadu_si128(rk + i);
+  std::size_t done = 0;
+  while (count - done >= 8) {
+    __m128i s[8];
+    for (int j = 0; j < 8; ++j) {
+      s[j] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + 16 * (done + j)));
+      s[j] = _mm_xor_si128(s[j], keys[0]);
+    }
+    for (int round = 1; round < rounds_; ++round) {
+      for (int j = 0; j < 8; ++j) s[j] = _mm_aesenc_si128(s[j], keys[round]);
+    }
+    for (int j = 0; j < 8; ++j) {
+      s[j] = _mm_aesenclast_si128(s[j], keys[rounds_]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (done + j)),
+                       s[j]);
+    }
+    done += 8;
+  }
+  for (; done < count; ++done)
+    encrypt_block(in + 16 * done, out + 16 * done);
+#else
+  for (std::size_t i = 0; i < count; ++i)
+    encrypt_block(in + 16 * i, out + 16 * i);
+#endif
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,43 @@
+// AES-128/AES-256 block cipher (FIPS 197).
+//
+// Portable table-free implementation (computed S-box, column mixing over
+// GF(2^8)). Used by the GCM mode in gcm.h, which is SeGShare's
+// probabilistic authenticated encryption (PAE, paper §II-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace seg::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Key must be 16 bytes (AES-128) or 32 bytes (AES-256).
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  /// Encrypts `count` consecutive blocks. On AES-NI hardware the blocks
+  /// are interleaved eight at a time to hide the AESENC latency chain —
+  /// this is what makes CTR mode run at full pipeline throughput.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t count) const;
+
+  Block encrypt_block(const Block& in) const {
+    Block out;
+    encrypt_block(in.data(), out.data());
+    return out;
+  }
+
+ private:
+  // Up to 15 round keys of 16 bytes (AES-256 has 14 rounds + whitening).
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+  int rounds_;
+};
+
+}  // namespace seg::crypto

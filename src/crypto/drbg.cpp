@@ -1,0 +1,101 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+#include <random>
+
+namespace seg::crypto {
+
+namespace {
+std::uint32_t rotl32(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+std::uint32_t load_u32_le(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+void store_u32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+}  // namespace
+
+void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
+                    const std::uint8_t nonce[12], std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_u32_le(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_u32_le(nonce + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_u32_le(out + 4 * i, x[i] + state[i]);
+}
+
+ChaChaDrbg::ChaChaDrbg() {
+  std::random_device rd;
+  for (std::size_t i = 0; i < key_.size(); i += 4) {
+    const std::uint32_t word = rd();
+    store_u32_le(key_.data() + i, word);
+  }
+}
+
+ChaChaDrbg::ChaChaDrbg(const std::array<std::uint8_t, 32>& seed) : key_(seed) {}
+
+void ChaChaDrbg::refill() {
+  std::uint8_t nonce[12] = {};
+  for (int i = 0; i < 8; ++i)
+    nonce[i] = static_cast<std::uint8_t>(reseed_counter_ >> (8 * i));
+  ++reseed_counter_;
+
+  std::uint8_t stream[128];
+  chacha20_block(key_.data(), 0, nonce, stream);
+  chacha20_block(key_.data(), 1, nonce, stream + 64);
+  // Fast key erasure: first 32 bytes become the next key, the rest is output.
+  std::memcpy(key_.data(), stream, 32);
+  std::memcpy(buffer_.data(), stream + 32, 64);
+  buffer_pos_ = 0;
+  secure_zero(stream);
+}
+
+void ChaChaDrbg::fill(MutableBytesView out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    if (buffer_pos_ == buffer_.size()) refill();
+    const std::size_t take =
+        std::min(out.size() - written, buffer_.size() - buffer_pos_);
+    std::memcpy(out.data() + written, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    written += take;
+  }
+}
+
+RandomSource& system_rng() {
+  static ChaChaDrbg rng;
+  return rng;
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,44 @@
+// ChaCha20-based deterministic random bit generator.
+//
+// Production RandomSource for the system: seeded from the OS entropy pool
+// (std::random_device) or explicitly (for reproducible simulations that
+// still exercise the real crypto paths). Forward secrecy via fast-key-
+// erasure: after each refill the first 32 keystream bytes become the next
+// key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace seg::crypto {
+
+/// Raw ChaCha20 block function (RFC 8439). Exposed for tests.
+void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
+                    const std::uint8_t nonce[12], std::uint8_t out[64]);
+
+class ChaChaDrbg final : public RandomSource {
+ public:
+  /// Seeds from the operating system.
+  ChaChaDrbg();
+
+  /// Seeds deterministically from the given 32-byte seed.
+  explicit ChaChaDrbg(const std::array<std::uint8_t, 32>& seed);
+
+  void fill(MutableBytesView out) override;
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_pos_ = 64;  // empty
+  std::uint64_t reseed_counter_ = 0;
+};
+
+/// Process-wide DRBG seeded from the OS; fine for examples and tools.
+RandomSource& system_rng();
+
+}  // namespace seg::crypto

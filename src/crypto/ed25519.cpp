@@ -1,0 +1,436 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/fe25519.h"
+#include "crypto/sha2.h"
+
+namespace seg::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Curve constants, computed at startup from first principles so no
+// hand-transcribed magic byte strings are needed:
+//   d       = -121665/121666 mod p
+//   sqrt(-1)= 2^((p-1)/4) mod p
+// ---------------------------------------------------------------------------
+
+/// out = base^exp for a 256-bit little-endian exponent (variable time; only
+/// used for constants and decompression checks in this research build).
+void fe_pow(Fe& out, const Fe& base, const std::uint8_t exp[32]) {
+  Fe result;
+  fe_one(result);
+  for (int bit = 255; bit >= 0; --bit) {
+    fe_sq(result, result);
+    if ((exp[bit / 8] >> (bit % 8)) & 1) fe_mul(result, result, base);
+  }
+  fe_copy(out, result);
+}
+
+struct CurveConstants {
+  Fe d;
+  Fe d2;
+  Fe sqrtm1;
+
+  CurveConstants() {
+    Fe num, den, den_inv;
+    fe_zero(num);
+    num.v[0] = 121665;
+    fe_neg(num, num);
+    fe_zero(den);
+    den.v[0] = 121666;
+    fe_invert(den_inv, den);
+    fe_mul(d, num, den_inv);
+    fe_add(d2, d, d);
+
+    // sqrt(-1) = 2^((p-1)/4), (p-1)/4 = 2^253 - 5.
+    std::uint8_t exp[32];
+    std::memset(exp, 0xff, sizeof(exp));
+    exp[0] = 0xfb;
+    exp[31] = 0x1f;
+    Fe two;
+    fe_zero(two);
+    two.v[0] = 2;
+    fe_pow(sqrtm1, two, exp);
+  }
+};
+
+const CurveConstants& curve() {
+  static const CurveConstants c;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Group arithmetic: extended twisted Edwards coordinates (X:Y:Z:T) with
+// x = X/Z, y = Y/Z, xy = T/Z on -x^2 + y^2 = 1 + d x^2 y^2.
+// ---------------------------------------------------------------------------
+
+struct GeP3 {
+  Fe x, y, z, t;
+};
+
+void ge_identity(GeP3& h) {
+  fe_zero(h.x);
+  fe_one(h.y);
+  fe_one(h.z);
+  fe_zero(h.t);
+}
+
+// add-2008-hwcd-3 style unified addition for a = -1.
+void ge_add(GeP3& r, const GeP3& p, const GeP3& q) {
+  Fe a, b, c, d, e, f, g, h, t0, t1;
+  fe_sub(t0, p.y, p.x);
+  fe_sub(t1, q.y, q.x);
+  fe_mul(a, t0, t1);            // A = (Y1-X1)(Y2-X2)
+  fe_add(t0, p.y, p.x);
+  fe_add(t1, q.y, q.x);
+  fe_mul(b, t0, t1);            // B = (Y1+X1)(Y2+X2)
+  fe_mul(c, p.t, q.t);
+  fe_mul(c, c, curve().d2);     // C = 2d T1 T2
+  fe_mul(d, p.z, q.z);
+  fe_add(d, d, d);              // D = 2 Z1 Z2
+  fe_sub(e, b, a);              // E = B - A
+  fe_sub(f, d, c);              // F = D - C
+  fe_add(g, d, c);              // G = D + C
+  fe_add(h, b, a);              // H = B + A
+  fe_mul(r.x, e, f);
+  fe_mul(r.y, g, h);
+  fe_mul(r.t, e, h);
+  fe_mul(r.z, f, g);
+}
+
+// dbl-2008-hwcd for a = -1.
+void ge_double(GeP3& r, const GeP3& p) {
+  Fe a, b, c, d, e, f, g, h, t0;
+  fe_sq(a, p.x);                // A = X1^2
+  fe_sq(b, p.y);                // B = Y1^2
+  fe_sq(c, p.z);
+  fe_add(c, c, c);              // C = 2 Z1^2
+  fe_neg(d, a);                 // D = aA = -A
+  fe_add(t0, p.x, p.y);
+  fe_sq(t0, t0);
+  fe_sub(t0, t0, a);
+  fe_sub(e, t0, b);             // E = (X1+Y1)^2 - A - B
+  fe_add(g, d, b);              // G = D + B
+  fe_sub(f, g, c);              // F = G - C
+  fe_sub(h, d, b);              // H = D - B
+  fe_mul(r.x, e, f);
+  fe_mul(r.y, g, h);
+  fe_mul(r.t, e, h);
+  fe_mul(r.z, f, g);
+}
+
+/// r = scalar * p, scalar is 32 little-endian bytes. Variable-time
+/// double-and-add; acceptable in this simulator (noted in README).
+void ge_scalarmult(GeP3& r, const std::uint8_t scalar[32], const GeP3& p) {
+  GeP3 result;
+  ge_identity(result);
+  for (int bit = 255; bit >= 0; --bit) {
+    ge_double(result, result);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) ge_add(result, result, p);
+  }
+  r = result;
+}
+
+void ge_compress(std::uint8_t s[32], const GeP3& p) {
+  Fe zinv, x, y;
+  fe_invert(zinv, p.z);
+  fe_mul(x, p.x, zinv);
+  fe_mul(y, p.y, zinv);
+  fe_tobytes(s, y);
+  s[31] ^= static_cast<std::uint8_t>(fe_is_negative(x) << 7);
+}
+
+/// Decompression per RFC 8032 §5.1.3; returns false on invalid encoding.
+bool ge_decompress(GeP3& p, const std::uint8_t s[32]) {
+  Fe y, y2, u, v, v3, x, x2, check;
+  fe_frombytes(y, s);
+  const unsigned sign = s[31] >> 7;
+
+  fe_sq(y2, y);
+  Fe one;
+  fe_one(one);
+  fe_sub(u, y2, one);            // u = y^2 - 1
+  fe_mul(v, y2, curve().d);
+  fe_add(v, v, one);             // v = d y^2 + 1
+
+  // x = u v^3 (u v^7)^((p-5)/8)
+  fe_sq(v3, v);
+  fe_mul(v3, v3, v);             // v^3
+  Fe v7, t0;
+  fe_sq(v7, v3);
+  fe_mul(v7, v7, v);             // v^7
+  fe_mul(t0, u, v7);
+  fe_pow22523(t0, t0);           // (u v^7)^((p-5)/8)
+  fe_mul(x, u, v3);
+  fe_mul(x, x, t0);
+
+  fe_sq(x2, x);
+  fe_mul(check, v, x2);          // v x^2
+  Fe neg_u;
+  fe_neg(neg_u, u);
+
+  Fe diff;
+  fe_sub(diff, check, u);
+  if (!fe_is_zero(diff)) {
+    fe_sub(diff, check, neg_u);
+    if (!fe_is_zero(diff)) return false;
+    fe_mul(x, x, curve().sqrtm1);
+  }
+
+  if (fe_is_zero(x) && sign != 0) return false;
+  if (fe_is_negative(x) != sign) fe_neg(x, x);
+
+  fe_copy(p.x, x);
+  fe_copy(p.y, y);
+  fe_one(p.z);
+  fe_mul(p.t, x, y);
+  return true;
+}
+
+const GeP3& base_point() {
+  static const GeP3 b = [] {
+    // y = 4/5, sign(x) = 0.
+    Fe four, five, five_inv, y;
+    fe_zero(four);
+    four.v[0] = 4;
+    fe_zero(five);
+    five.v[0] = 5;
+    fe_invert(five_inv, five);
+    fe_mul(y, four, five_inv);
+    std::uint8_t enc[32];
+    fe_tobytes(enc, y);
+    GeP3 point;
+    if (!ge_decompress(point, enc))
+      throw CryptoError("ed25519: base point decompression failed");
+    return point;
+  }();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// Straightforward 32-bit-limb big integers; speed is irrelevant here.
+// ---------------------------------------------------------------------------
+
+constexpr int kWords = 17;  // 544 bits: fits 512-bit products and shifts
+
+struct Big {
+  std::uint32_t w[kWords] = {};
+};
+
+Big big_from_le(const std::uint8_t* bytes, std::size_t len) {
+  Big b;
+  for (std::size_t i = 0; i < len; ++i)
+    b.w[i / 4] |= std::uint32_t(bytes[i]) << (8 * (i % 4));
+  return b;
+}
+
+void big_to_le32(std::uint8_t out[32], const Big& b) {
+  for (int i = 0; i < 32; ++i)
+    out[i] = static_cast<std::uint8_t>(b.w[i / 4] >> (8 * (i % 4)));
+}
+
+int big_cmp(const Big& a, const Big& b) {
+  for (int i = kWords - 1; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void big_sub(Big& a, const Big& b) {  // a -= b, assumes a >= b
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < kWords; ++i) {
+    const std::uint64_t diff =
+        std::uint64_t(a.w[i]) - b.w[i] - borrow;
+    a.w[i] = static_cast<std::uint32_t>(diff);
+    borrow = (diff >> 32) & 1;
+  }
+}
+
+void big_add(Big& a, const Big& b) {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < kWords; ++i) {
+    const std::uint64_t sum = std::uint64_t(a.w[i]) + b.w[i] + carry;
+    a.w[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+}
+
+Big big_shl(const Big& a, int bits) {
+  Big r;
+  const int word_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  for (int i = kWords - 1; i >= 0; --i) {
+    std::uint64_t v = 0;
+    if (i - word_shift >= 0) v = std::uint64_t(a.w[i - word_shift]) << bit_shift;
+    if (bit_shift != 0 && i - word_shift - 1 >= 0)
+      v |= a.w[i - word_shift - 1] >> (32 - bit_shift);
+    r.w[i] = static_cast<std::uint32_t>(v);
+  }
+  return r;
+}
+
+void big_shr1(Big& a) {
+  for (int i = 0; i < kWords; ++i) {
+    std::uint32_t v = a.w[i] >> 1;
+    if (i + 1 < kWords) v |= (a.w[i + 1] & 1) << 31;
+    a.w[i] = v;
+  }
+}
+
+Big big_mul(const Big& a, const Big& b) {  // low 8 words x low 8 words
+  Big r;
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t cur = std::uint64_t(r.w[i + j]) +
+                                std::uint64_t(a.w[i]) * b.w[j] + carry;
+      r.w[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    r.w[i + 8] = static_cast<std::uint32_t>(carry);
+  }
+  return r;
+}
+
+const Big& order_l() {
+  static const Big l = [] {
+    // L = 2^252 + 27742317777372353535851937790883648493
+    //   = 0x1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed
+    static const std::uint8_t le[32] = {
+        0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+        0xa2, 0xde, 0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+    return big_from_le(le, 32);
+  }();
+  return l;
+}
+
+void big_mod_l(Big& x) {
+  // All callers pass x < 2^513 (a 512-bit hash or a 256x256-bit product
+  // plus one addition). L > 2^252, so L << 260 > 2^512 >= x, and
+  // L << 260 still fits the 544-bit representation.
+  Big shifted = big_shl(order_l(), 260);
+  for (int i = 260; i >= 0; --i) {
+    if (big_cmp(x, shifted) >= 0) big_sub(x, shifted);
+    big_shr1(shifted);
+  }
+}
+
+/// out = in (little-endian, up to 64 bytes) mod L.
+void sc_reduce(std::uint8_t out[32], const std::uint8_t* in, std::size_t len) {
+  Big x = big_from_le(in, len);
+  big_mod_l(x);
+  big_to_le32(out, x);
+}
+
+/// s = (a*b + c) mod L; all inputs 32 little-endian bytes.
+void sc_muladd(std::uint8_t s[32], const std::uint8_t a[32],
+               const std::uint8_t b[32], const std::uint8_t c[32]) {
+  Big product = big_mul(big_from_le(a, 32), big_from_le(b, 32));
+  big_add(product, big_from_le(c, 32));
+  big_mod_l(product);
+  big_to_le32(s, product);
+}
+
+/// True iff s (little-endian 32 bytes) < L. Required by RFC 8032 to reject
+/// signature malleability.
+bool sc_is_canonical(const std::uint8_t s[32]) {
+  const Big v = big_from_le(s, 32);
+  return big_cmp(v, order_l()) < 0;
+}
+
+void clamp(std::uint8_t a[32]) {
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
+  auto h = Sha512::hash(seed);
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+  GeP3 point;
+  ge_scalarmult(point, a, base_point());
+  Ed25519PublicKey pk;
+  ge_compress(pk.data(), point);
+  return pk;
+}
+
+Ed25519KeyPair ed25519_generate(RandomSource& rng) {
+  Ed25519KeyPair pair;
+  rng.fill(pair.seed);
+  pair.public_key = ed25519_public_key(pair.seed);
+  return pair;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& public_key,
+                              BytesView message) {
+  auto h = Sha512::hash(seed);
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+  const std::uint8_t* prefix = h.data() + 32;
+
+  Sha512 r_hash;
+  r_hash.update(BytesView(prefix, 32));
+  r_hash.update(message);
+  const auto r_digest = r_hash.finish();
+  std::uint8_t r[32];
+  sc_reduce(r, r_digest.data(), r_digest.size());
+
+  GeP3 r_point;
+  ge_scalarmult(r_point, r, base_point());
+  Ed25519Signature sig;
+  ge_compress(sig.data(), r_point);
+
+  Sha512 k_hash;
+  k_hash.update(BytesView(sig.data(), 32));
+  k_hash.update(public_key);
+  k_hash.update(message);
+  const auto k_digest = k_hash.finish();
+  std::uint8_t k[32];
+  sc_reduce(k, k_digest.data(), k_digest.size());
+
+  sc_muladd(sig.data() + 32, k, a, r);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& public_key, BytesView message,
+                    const Ed25519Signature& signature) {
+  const std::uint8_t* r_bytes = signature.data();
+  const std::uint8_t* s_bytes = signature.data() + 32;
+  if (!sc_is_canonical(s_bytes)) return false;
+
+  GeP3 a_point, r_point;
+  if (!ge_decompress(a_point, public_key.data())) return false;
+  if (!ge_decompress(r_point, r_bytes)) return false;
+
+  Sha512 k_hash;
+  k_hash.update(BytesView(r_bytes, 32));
+  k_hash.update(public_key);
+  k_hash.update(message);
+  const auto k_digest = k_hash.finish();
+  std::uint8_t k[32];
+  sc_reduce(k, k_digest.data(), k_digest.size());
+
+  // Check [S]B == R + [k]A by comparing compressed encodings.
+  GeP3 sb, ka, rhs;
+  ge_scalarmult(sb, s_bytes, base_point());
+  ge_scalarmult(ka, k, a_point);
+  ge_add(rhs, r_point, ka);
+
+  std::uint8_t lhs_enc[32], rhs_enc[32];
+  ge_compress(lhs_enc, sb);
+  ge_compress(rhs_enc, rhs);
+  return constant_time_equal(BytesView(lhs_enc, 32), BytesView(rhs_enc, 32));
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,43 @@
+// Ed25519 signatures (RFC 8032).
+//
+// The certificate authority signs user and enclave-server certificates
+// with Ed25519; the TLS-shaped handshake uses it for certificate
+// verification and handshake-transcript signatures. The CA reset message
+// of the backup extension (§V-G) is also Ed25519-signed.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace seg::crypto {
+
+constexpr std::size_t kEd25519PublicKeySize = 32;
+constexpr std::size_t kEd25519SeedSize = 32;
+constexpr std::size_t kEd25519SignatureSize = 64;
+
+using Ed25519PublicKey = std::array<std::uint8_t, kEd25519PublicKeySize>;
+using Ed25519Seed = std::array<std::uint8_t, kEd25519SeedSize>;
+using Ed25519Signature = std::array<std::uint8_t, kEd25519SignatureSize>;
+
+struct Ed25519KeyPair {
+  Ed25519Seed seed;          // the RFC 8032 "private key"
+  Ed25519PublicKey public_key;
+};
+
+/// Derives the public key for a seed.
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
+
+Ed25519KeyPair ed25519_generate(RandomSource& rng);
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& public_key,
+                              BytesView message);
+
+/// Returns true iff `signature` is a valid signature of `message` under
+/// `public_key`. Never throws on malformed input — returns false.
+bool ed25519_verify(const Ed25519PublicKey& public_key, BytesView message,
+                    const Ed25519Signature& signature);
+
+}  // namespace seg::crypto

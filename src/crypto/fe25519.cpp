@@ -1,0 +1,252 @@
+#include "crypto/fe25519.h"
+
+#include <cstring>
+
+namespace seg::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+constexpr u64 kMask = (u64{1} << 51) - 1;
+
+u64 load_u64_le(const std::uint8_t* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_u64_le(std::uint8_t* p, u64 v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+}  // namespace
+
+void fe_zero(Fe& h) { std::memset(h.v, 0, sizeof(h.v)); }
+
+void fe_one(Fe& h) {
+  fe_zero(h);
+  h.v[0] = 1;
+}
+
+void fe_copy(Fe& h, const Fe& f) { std::memcpy(h.v, f.v, sizeof(h.v)); }
+
+void fe_add(Fe& h, const Fe& f, const Fe& g) {
+  for (int i = 0; i < 5; ++i) h.v[i] = f.v[i] + g.v[i];
+}
+
+void fe_sub(Fe& h, const Fe& f, const Fe& g) {
+  // Add 8p before subtracting so limbs never underflow (donna trick).
+  constexpr u64 kTwo54m152 = (u64{1} << 54) - 152;  // 8 * (2^51 - 19)
+  constexpr u64 kTwo54m8 = (u64{1} << 54) - 8;      // 8 * (2^51 - 1)
+  h.v[0] = f.v[0] + kTwo54m152 - g.v[0];
+  h.v[1] = f.v[1] + kTwo54m8 - g.v[1];
+  h.v[2] = f.v[2] + kTwo54m8 - g.v[2];
+  h.v[3] = f.v[3] + kTwo54m8 - g.v[3];
+  h.v[4] = f.v[4] + kTwo54m8 - g.v[4];
+}
+
+void fe_neg(Fe& h, const Fe& f) {
+  Fe zero;
+  fe_zero(zero);
+  fe_sub(h, zero, f);
+}
+
+namespace {
+// Carry chain after multiplication; reduces limbs below 2^52. Performed
+// entirely in 128-bit arithmetic: operand limbs may reach 2^56 (sums of
+// biased subtractions), so the carry folded back as 19*c can exceed 64 bits
+// and must not be truncated.
+void carry_reduce(u128 t[5], Fe& h) {
+  u128 c = 0;
+  for (int i = 0; i < 5; ++i) {
+    t[i] += c;
+    c = t[i] >> 51;
+    t[i] &= kMask;
+  }
+  t[0] += c * 19;
+  c = t[0] >> 51;
+  t[0] &= kMask;
+  t[1] += c;
+  c = t[1] >> 51;
+  t[1] &= kMask;
+  t[2] += c;  // carry here is at most 1; limb stays below 2^52
+  for (int i = 0; i < 5; ++i) h.v[i] = static_cast<u64>(t[i]);
+}
+}  // namespace
+
+void fe_mul(Fe& h, const Fe& f, const Fe& g) {
+  const u64* a = f.v;
+  const u64* b = g.v;
+  u128 t[5];
+  t[0] = (u128)a[0] * b[0] + 19 * ((u128)a[1] * b[4] + (u128)a[2] * b[3] +
+                                   (u128)a[3] * b[2] + (u128)a[4] * b[1]);
+  t[1] = (u128)a[0] * b[1] + (u128)a[1] * b[0] +
+         19 * ((u128)a[2] * b[4] + (u128)a[3] * b[3] + (u128)a[4] * b[2]);
+  t[2] = (u128)a[0] * b[2] + (u128)a[1] * b[1] + (u128)a[2] * b[0] +
+         19 * ((u128)a[3] * b[4] + (u128)a[4] * b[3]);
+  t[3] = (u128)a[0] * b[3] + (u128)a[1] * b[2] + (u128)a[2] * b[1] +
+         (u128)a[3] * b[0] + 19 * ((u128)a[4] * b[4]);
+  t[4] = (u128)a[0] * b[4] + (u128)a[1] * b[3] + (u128)a[2] * b[2] +
+         (u128)a[3] * b[1] + (u128)a[4] * b[0];
+  carry_reduce(t, h);
+}
+
+void fe_sq(Fe& h, const Fe& f) { fe_mul(h, f, f); }
+
+void fe_mul_small(Fe& h, const Fe& f, u64 n) {
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)f.v[i] * n;
+  carry_reduce(t, h);
+}
+
+namespace {
+void fe_sq_times(Fe& h, const Fe& f, int n) {
+  fe_sq(h, f);
+  for (int i = 1; i < n; ++i) fe_sq(h, h);
+}
+}  // namespace
+
+// Shared prefix of the inversion / pow22523 addition chains: f^(2^250 - 1)
+// is accumulated in z_250_0, and intermediates z9, z11, z_50_0 are returned
+// for the chain tails.
+namespace {
+struct ChainState {
+  Fe z9, z11, z_50_0, z_250_0;
+};
+
+void shared_chain(ChainState& s, const Fe& z) {
+  Fe t0, t1;
+  fe_sq(t0, z);                 // z^2
+  fe_sq_times(t1, t0, 2);       // z^8
+  fe_mul(s.z9, z, t1);          // z^9
+  fe_mul(s.z11, t0, s.z9);      // z^11
+  fe_sq(t0, s.z11);             // z^22
+  Fe z_5_0;
+  fe_mul(z_5_0, s.z9, t0);      // z^(2^5 - 2^0)
+  fe_sq_times(t0, z_5_0, 5);
+  Fe z_10_0;
+  fe_mul(z_10_0, t0, z_5_0);    // z^(2^10 - 1)
+  fe_sq_times(t0, z_10_0, 10);
+  Fe z_20_0;
+  fe_mul(z_20_0, t0, z_10_0);   // z^(2^20 - 1)
+  fe_sq_times(t0, z_20_0, 20);
+  Fe z_40_0;
+  fe_mul(z_40_0, t0, z_20_0);   // z^(2^40 - 1)
+  fe_sq_times(t0, z_40_0, 10);
+  fe_mul(s.z_50_0, t0, z_10_0);  // z^(2^50 - 1)
+  fe_sq_times(t0, s.z_50_0, 50);
+  Fe z_100_0;
+  fe_mul(z_100_0, t0, s.z_50_0);  // z^(2^100 - 1)
+  fe_sq_times(t0, z_100_0, 100);
+  Fe z_200_0;
+  fe_mul(z_200_0, t0, z_100_0);   // z^(2^200 - 1)
+  fe_sq_times(t0, z_200_0, 50);
+  fe_mul(s.z_250_0, t0, s.z_50_0);  // z^(2^250 - 1)
+}
+}  // namespace
+
+void fe_invert(Fe& h, const Fe& f) {
+  ChainState s;
+  shared_chain(s, f);
+  Fe t0;
+  fe_sq_times(t0, s.z_250_0, 5);  // z^(2^255 - 2^5)
+  fe_mul(h, t0, s.z11);           // z^(2^255 - 21) = z^(p - 2)
+}
+
+void fe_pow22523(Fe& h, const Fe& f) {
+  ChainState s;
+  shared_chain(s, f);
+  Fe t0;
+  fe_sq_times(t0, s.z_250_0, 2);  // z^(2^252 - 4)
+  fe_mul(h, t0, f);               // z^(2^252 - 3)
+}
+
+void fe_cswap(Fe& f, Fe& g, unsigned b) {
+  const u64 mask = 0 - static_cast<u64>(b & 1);
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (f.v[i] ^ g.v[i]);
+    f.v[i] ^= x;
+    g.v[i] ^= x;
+  }
+}
+
+void fe_cmov(Fe& h, const Fe& f, unsigned b) {
+  const u64 mask = 0 - static_cast<u64>(b & 1);
+  for (int i = 0; i < 5; ++i) h.v[i] ^= mask & (h.v[i] ^ f.v[i]);
+}
+
+void fe_tobytes(std::uint8_t s[32], const Fe& f) {
+  u64 t[5];
+  std::memcpy(t, f.v, sizeof(t));
+
+  // Two carry passes bring every limb below 2^52.
+  for (int pass = 0; pass < 2; ++pass) {
+    t[1] += t[0] >> 51;
+    t[0] &= kMask;
+    t[2] += t[1] >> 51;
+    t[1] &= kMask;
+    t[3] += t[2] >> 51;
+    t[2] &= kMask;
+    t[4] += t[3] >> 51;
+    t[3] &= kMask;
+    t[0] += 19 * (t[4] >> 51);
+    t[4] &= kMask;
+  }
+
+  // Freeze: compute (t + 19 + p) mod 2^255 == t mod p  (donna fcontract).
+  t[0] += 19;
+  t[1] += t[0] >> 51;
+  t[0] &= kMask;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask;
+  t[0] += 19 * (t[4] >> 51);
+  t[4] &= kMask;
+
+  t[0] += (u64{1} << 51) - 19;
+  t[1] += (u64{1} << 51) - 1;
+  t[2] += (u64{1} << 51) - 1;
+  t[3] += (u64{1} << 51) - 1;
+  t[4] += (u64{1} << 51) - 1;
+
+  t[1] += t[0] >> 51;
+  t[0] &= kMask;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask;
+  t[4] &= kMask;  // discard the 2^255 carry
+
+  store_u64_le(s, t[0] | (t[1] << 51));
+  store_u64_le(s + 8, (t[1] >> 13) | (t[2] << 38));
+  store_u64_le(s + 16, (t[2] >> 26) | (t[3] << 25));
+  store_u64_le(s + 24, (t[3] >> 39) | (t[4] << 12));
+}
+
+void fe_frombytes(Fe& h, const std::uint8_t s[32]) {
+  h.v[0] = load_u64_le(s) & kMask;
+  h.v[1] = (load_u64_le(s + 6) >> 3) & kMask;
+  h.v[2] = (load_u64_le(s + 12) >> 6) & kMask;
+  h.v[3] = (load_u64_le(s + 19) >> 1) & kMask;
+  h.v[4] = (load_u64_le(s + 24) >> 12) & kMask;
+}
+
+bool fe_is_zero(const Fe& f) {
+  std::uint8_t s[32];
+  fe_tobytes(s, f);
+  std::uint8_t acc = 0;
+  for (auto b : s) acc |= b;
+  return acc == 0;
+}
+
+unsigned fe_is_negative(const Fe& f) {
+  std::uint8_t s[32];
+  fe_tobytes(s, f);
+  return s[0] & 1;
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,47 @@
+// Field arithmetic over GF(2^255 - 19).
+//
+// Radix-2^51 representation (5 limbs of 51 bits) with unsigned __int128
+// products, following the curve25519-donna-c64 layout. Backs both X25519
+// (TLS key agreement) and Ed25519 (certificate signatures).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace seg::crypto {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+void fe_zero(Fe& h);
+void fe_one(Fe& h);
+void fe_copy(Fe& h, const Fe& f);
+void fe_add(Fe& h, const Fe& f, const Fe& g);
+void fe_sub(Fe& h, const Fe& f, const Fe& g);
+void fe_neg(Fe& h, const Fe& f);
+void fe_mul(Fe& h, const Fe& f, const Fe& g);
+void fe_sq(Fe& h, const Fe& f);
+/// h = f * n for a small constant n (< 2^13).
+void fe_mul_small(Fe& h, const Fe& f, std::uint64_t n);
+/// h = f^(p-2) = 1/f.
+void fe_invert(Fe& h, const Fe& f);
+/// h = f^((p-5)/8) = f^(2^252 - 3); used for square roots.
+void fe_pow22523(Fe& h, const Fe& f);
+/// Constant-time conditional swap (b must be 0 or 1).
+void fe_cswap(Fe& f, Fe& g, unsigned b);
+/// Constant-time move: h = f if b == 1.
+void fe_cmov(Fe& h, const Fe& f, unsigned b);
+
+/// Canonical little-endian serialization (fully reduced mod p).
+void fe_tobytes(std::uint8_t s[32], const Fe& f);
+/// Parses 32 little-endian bytes; the top bit (bit 255) is ignored.
+void fe_frombytes(Fe& h, const std::uint8_t s[32]);
+
+/// True iff f == 0 (after full reduction).
+bool fe_is_zero(const Fe& f);
+/// Least significant bit of the canonical encoding (the "sign" of x).
+unsigned fe_is_negative(const Fe& f);
+
+}  // namespace seg::crypto

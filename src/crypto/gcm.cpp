@@ -1,0 +1,310 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#if defined(__PCLMUL__) && defined(__SSSE3__)
+#define SEG_GCM_CLMUL 1
+#include <tmmintrin.h>
+#include <wmmintrin.h>
+#endif
+
+#include "common/error.h"
+
+namespace seg::crypto {
+
+namespace {
+
+// Reduction constants for the 4-bit GHASH table method (Shoup).
+constexpr std::uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+std::uint64_t load_u64_be(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_u64_be(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+void inc32(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+}  // namespace
+
+AesGcm::AesGcm(BytesView key) : aes_(key) {
+  std::memset(h_, 0, sizeof(h_));
+  aes_.encrypt_block(h_, h_);
+  ghash_tables_init(h_);
+}
+
+void AesGcm::ghash_tables_init(const std::uint8_t h[16]) {
+  std::uint64_t vh = load_u64_be(h);
+  std::uint64_t vl = load_u64_be(h + 8);
+
+  hl_[8] = vl;
+  hh_[8] = vh;
+  for (int i = 4; i > 0; i >>= 1) {
+    const std::uint32_t t = static_cast<std::uint32_t>(vl & 1) * 0xe1000000u;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (static_cast<std::uint64_t>(t) << 32);
+    hl_[i] = vl;
+    hh_[i] = vh;
+  }
+  for (int i = 2; i <= 8; i *= 2) {
+    const std::uint64_t base_h = hh_[i];
+    const std::uint64_t base_l = hl_[i];
+    for (int j = 1; j < i; ++j) {
+      hh_[i + j] = base_h ^ hh_[j];
+      hl_[i + j] = base_l ^ hl_[j];
+    }
+  }
+  hh_[0] = 0;
+  hl_[0] = 0;
+}
+
+namespace {
+// One GHASH block step: y <- (y ^ block) * H, using the 4-bit tables.
+void gmult(const std::uint64_t hl[16], const std::uint64_t hh[16],
+           std::uint8_t y[16]) {
+  std::uint8_t lo = y[15] & 0x0f;
+  std::uint64_t zh = hh[lo];
+  std::uint64_t zl = hl[lo];
+  for (int i = 15; i >= 0; --i) {
+    lo = y[i] & 0x0f;
+    const std::uint8_t hi = y[i] >> 4;
+    if (i != 15) {
+      const std::uint8_t rem = static_cast<std::uint8_t>(zl & 0x0f);
+      zl = (zh << 60) | (zl >> 4);
+      zh = zh >> 4;
+      zh ^= kLast4[rem] << 48;
+      zh ^= hh[lo];
+      zl ^= hl[lo];
+    }
+    const std::uint8_t rem = static_cast<std::uint8_t>(zl & 0x0f);
+    zl = (zh << 60) | (zl >> 4);
+    zh = zh >> 4;
+    zh ^= kLast4[rem] << 48;
+    zh ^= hh[hi];
+    zl ^= hl[hi];
+  }
+  store_u64_be(y, zh);
+  store_u64_be(y + 8, zl);
+}
+
+#if defined(SEG_GCM_CLMUL)
+
+const __m128i kByteSwap =
+    _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Carry-less GF(2^128) multiply + reduction (Intel GCM white paper).
+/// Operands and result are in byte-reversed ("natural polynomial") form.
+__m128i gfmul(__m128i a, __m128i b) {
+  __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+
+  tmp4 = _mm_xor_si128(tmp4, tmp5);
+  tmp5 = _mm_slli_si128(tmp4, 8);
+  tmp4 = _mm_srli_si128(tmp4, 8);
+  tmp3 = _mm_xor_si128(tmp3, tmp5);
+  tmp6 = _mm_xor_si128(tmp6, tmp4);
+
+  __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+  __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+  tmp3 = _mm_slli_epi32(tmp3, 1);
+  tmp6 = _mm_slli_epi32(tmp6, 1);
+
+  __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+  tmp8 = _mm_slli_si128(tmp8, 4);
+  tmp7 = _mm_slli_si128(tmp7, 4);
+  tmp3 = _mm_or_si128(tmp3, tmp7);
+  tmp6 = _mm_or_si128(tmp6, tmp8);
+  tmp6 = _mm_or_si128(tmp6, tmp9);
+
+  tmp7 = _mm_slli_epi32(tmp3, 31);
+  tmp8 = _mm_slli_epi32(tmp3, 30);
+  tmp9 = _mm_slli_epi32(tmp3, 25);
+  tmp7 = _mm_xor_si128(tmp7, tmp8);
+  tmp7 = _mm_xor_si128(tmp7, tmp9);
+  tmp8 = _mm_srli_si128(tmp7, 4);
+  tmp7 = _mm_slli_si128(tmp7, 12);
+  tmp3 = _mm_xor_si128(tmp3, tmp7);
+
+  __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+  tmp4 = _mm_srli_epi32(tmp3, 2);
+  tmp5 = _mm_srli_epi32(tmp3, 7);
+  tmp2 = _mm_xor_si128(tmp2, tmp4);
+  tmp2 = _mm_xor_si128(tmp2, tmp5);
+  tmp2 = _mm_xor_si128(tmp2, tmp8);
+  tmp3 = _mm_xor_si128(tmp3, tmp2);
+  tmp6 = _mm_xor_si128(tmp6, tmp3);
+  return tmp6;
+}
+
+void ghash_absorb_clmul(const std::uint8_t h[16], std::uint8_t y[16],
+                        BytesView data) {
+  const __m128i h_rev = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(h)), kByteSwap);
+  __m128i acc = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(y)), kByteSwap);
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t take = std::min<std::size_t>(16, data.size() - pos);
+    std::uint8_t block[16] = {};
+    std::memcpy(block, data.data() + pos, take);
+    const __m128i x = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block)), kByteSwap);
+    acc = gfmul(_mm_xor_si128(acc, x), h_rev);
+    pos += take;
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(y),
+                   _mm_shuffle_epi8(acc, kByteSwap));
+}
+
+#endif  // SEG_GCM_CLMUL
+
+void ghash_absorb_tables(const std::uint64_t hl[16], const std::uint64_t hh[16],
+                         std::uint8_t y[16], BytesView data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t take = std::min<std::size_t>(16, data.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) y[i] ^= data[pos + i];
+    gmult(hl, hh, y);
+    pos += take;
+  }
+}
+}  // namespace
+
+void AesGcm::ghash(BytesView aad, BytesView data, std::uint8_t out[16]) const {
+  std::uint8_t y[16] = {};
+  std::uint8_t lengths[16];
+  store_u64_be(lengths, static_cast<std::uint64_t>(aad.size()) * 8);
+  store_u64_be(lengths + 8, static_cast<std::uint64_t>(data.size()) * 8);
+#if defined(SEG_GCM_CLMUL)
+  ghash_absorb_clmul(h_, y, aad);
+  ghash_absorb_clmul(h_, y, data);
+  ghash_absorb_clmul(h_, y, lengths);
+#else
+  ghash_absorb_tables(hl_, hh_, y, aad);
+  ghash_absorb_tables(hl_, hh_, y, data);
+  ghash_absorb_tables(hl_, hh_, y, lengths);
+#endif
+  std::memcpy(out, y, 16);
+}
+
+void AesGcm::ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const {
+  std::uint8_t counter[16];
+  std::memcpy(counter, iv.data(), 12);
+  counter[12] = 0;
+  counter[13] = 0;
+  counter[14] = 0;
+  counter[15] = 1;  // J0; first data block uses inc32(J0)
+
+  out.resize(in.size());
+  std::size_t pos = 0;
+  // Batch the keystream generation so hardware AES can pipeline.
+  constexpr std::size_t kBatchBlocks = 64;
+  std::uint8_t counters[kBatchBlocks * 16];
+  std::uint8_t keystream[kBatchBlocks * 16];
+  while (pos < in.size()) {
+    const std::size_t blocks = std::min(
+        kBatchBlocks, (in.size() - pos + 15) / 16);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      inc32(counter);
+      std::memcpy(counters + 16 * b, counter, 16);
+    }
+    aes_.encrypt_blocks(counters, keystream, blocks);
+    const std::size_t take = std::min(blocks * 16, in.size() - pos);
+    for (std::size_t i = 0; i < take; ++i)
+      out[pos + i] = in[pos + i] ^ keystream[i];
+    pos += take;
+  }
+}
+
+Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
+                   Tag& tag) const {
+  Bytes ciphertext;
+  ctr_crypt(iv, plaintext, ciphertext);
+
+  std::uint8_t s[16];
+  ghash(aad, ciphertext, s);
+
+  // Tag = E(K, J0) ^ GHASH
+  std::uint8_t j0[16];
+  std::memcpy(j0, iv.data(), 12);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  std::uint8_t ekj0[16];
+  aes_.encrypt_block(j0, ekj0);
+  for (int i = 0; i < 16; ++i) tag[static_cast<std::size_t>(i)] = s[i] ^ ekj0[i];
+  return ciphertext;
+}
+
+Bytes AesGcm::open(const Iv& iv, BytesView aad, BytesView ciphertext,
+                   const Tag& tag) const {
+  std::uint8_t s[16];
+  ghash(aad, ciphertext, s);
+  std::uint8_t j0[16];
+  std::memcpy(j0, iv.data(), 12);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  std::uint8_t ekj0[16];
+  aes_.encrypt_block(j0, ekj0);
+  std::uint8_t expected[16];
+  for (int i = 0; i < 16; ++i) expected[i] = s[i] ^ ekj0[i];
+  if (!constant_time_equal(BytesView(expected, 16), tag))
+    throw IntegrityError("AES-GCM tag mismatch");
+
+  Bytes plaintext;
+  ctr_crypt(iv, ciphertext, plaintext);
+  return plaintext;
+}
+
+Bytes pae_encrypt_with(const AesGcm& gcm, RandomSource& rng,
+                       BytesView plaintext, BytesView aad) {
+  AesGcm::Iv iv;
+  rng.fill(iv);
+  AesGcm::Tag tag;
+  const Bytes ciphertext = gcm.seal(iv, aad, plaintext, tag);
+  Bytes out;
+  out.reserve(iv.size() + ciphertext.size() + tag.size());
+  append(out, iv);
+  append(out, ciphertext);
+  append(out, tag);
+  return out;
+}
+
+Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed, BytesView aad) {
+  if (sealed.size() < pae_overhead())
+    throw IntegrityError("PAE ciphertext truncated");
+  AesGcm::Iv iv;
+  std::memcpy(iv.data(), sealed.data(), iv.size());
+  AesGcm::Tag tag;
+  std::memcpy(tag.data(), sealed.data() + sealed.size() - tag.size(),
+              tag.size());
+  const BytesView ciphertext =
+      sealed.subspan(iv.size(), sealed.size() - pae_overhead());
+  return gcm.open(iv, aad, ciphertext, tag);
+}
+
+Bytes pae_encrypt(BytesView key, RandomSource& rng, BytesView plaintext,
+                  BytesView aad) {
+  return pae_encrypt_with(AesGcm(key), rng, plaintext, aad);
+}
+
+Bytes pae_decrypt(BytesView key, BytesView sealed, BytesView aad) {
+  return pae_decrypt_with(AesGcm(key), sealed, aad);
+}
+
+}  // namespace seg::crypto

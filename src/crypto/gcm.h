@@ -1,0 +1,73 @@
+// AES-GCM (NIST SP 800-38D) — SeGShare's probabilistic authenticated
+// encryption (PAE, paper §II-B).
+//
+//   PAE_Enc(SK, IV, v) -> c   and   PAE_Dec(SK, c) -> v
+//
+// The sealed format produced by `pae_encrypt` is IV (12 bytes) || ciphertext
+// || tag (16 bytes), i.e. the IV travels with the ciphertext exactly as the
+// paper's file format requires ("a random initialization vector per
+// encryption"). `pae_decrypt` throws IntegrityError on any tamper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+
+namespace seg::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kIvSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+  using Iv = std::array<std::uint8_t, kIvSize>;
+
+  /// Key: 16 bytes (AES-128-GCM, the paper's choice) or 32 (AES-256-GCM,
+  /// used by the TLS record layer's AES256 suite).
+  explicit AesGcm(BytesView key);
+
+  /// Encrypts `plaintext` with additional authenticated data `aad`;
+  /// returns the ciphertext and writes the authentication tag.
+  Bytes seal(const Iv& iv, BytesView aad, BytesView plaintext, Tag& tag) const;
+
+  /// Decrypts and authenticates; throws seg::IntegrityError on tag mismatch.
+  Bytes open(const Iv& iv, BytesView aad, BytesView ciphertext,
+             const Tag& tag) const;
+
+ private:
+  void ghash_tables_init(const std::uint8_t h[16]);
+  void ghash(BytesView aad, BytesView data, std::uint8_t out[16]) const;
+  void ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const;
+
+  Aes aes_;
+  // GHASH key H = E_K(0^128); used directly by the PCLMUL fast path.
+  std::uint8_t h_[16];
+  // Shoup 4-bit tables for the portable GHASH path.
+  std::uint64_t hl_[16];
+  std::uint64_t hh_[16];
+};
+
+/// One-shot PAE: returns IV || ciphertext || tag. IV drawn from `rng`.
+Bytes pae_encrypt(BytesView key, RandomSource& rng, BytesView plaintext,
+                  BytesView aad = {});
+
+/// Inverse of pae_encrypt; throws IntegrityError on tamper/truncation.
+Bytes pae_decrypt(BytesView key, BytesView sealed, BytesView aad = {});
+
+/// PAE with a caller-cached cipher context — bulk paths (TLS records,
+/// Protected-FS chunks) construct the AesGcm once per key instead of per
+/// message.
+Bytes pae_encrypt_with(const AesGcm& gcm, RandomSource& rng,
+                       BytesView plaintext, BytesView aad = {});
+Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed,
+                       BytesView aad = {});
+
+/// Size of pae_encrypt output for a given plaintext size.
+constexpr std::size_t pae_overhead() {
+  return AesGcm::kIvSize + AesGcm::kTagSize;
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,78 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace seg::crypto {
+
+HmacSha256::HmacSha256(BytesView key) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad_key{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad_key[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+  inner_.update(ipad_key);
+  secure_zero(block_key);
+  secure_zero(ipad_key);
+}
+
+void HmacSha256::update(BytesView data) { inner_.update(data); }
+
+HmacSha256::Digest HmacSha256::finish() {
+  const auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+HmacSha256::Digest HmacSha256::mac(BytesView key, BytesView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool HmacSha256::verify(BytesView key, BytesView data, BytesView expected_mac) {
+  const auto computed = mac(key, data);
+  return constant_time_equal(computed, expected_mac);
+}
+
+HmacSha256::Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return HmacSha256::mac(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) throw CryptoError("hkdf_expand: length too big");
+  Bytes out;
+  out.reserve(length);
+  Bytes t;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(t);
+    h.update(info);
+    h.update(BytesView(&counter, 1));
+    const auto block = h.finish();
+    t.assign(block.begin(), block.end());
+    const std::size_t take = std::min(kHashLen, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace seg::crypto

@@ -1,0 +1,43 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//
+// SeGShare uses HMAC with the root key SK_r to derive per-file keys, to
+// compute deduplication-store names (§V-A), and to hide path names (§V-C).
+// HKDF derives the TLS record keys and the simulated SGX sealing keys.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/sha2.h"
+
+namespace seg::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kDigestSize = Sha256::kDigestSize;
+  using Digest = Sha256::Digest;
+
+  explicit HmacSha256(BytesView key);
+  void update(BytesView data);
+  Digest finish();
+
+  static Digest mac(BytesView key, BytesView data);
+
+  /// Constant-time verification of a MAC.
+  static bool verify(BytesView key, BytesView data, BytesView expected_mac);
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_{};
+};
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+HmacSha256::Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes (<= 255*32) from PRK and info.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Full HKDF.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace seg::crypto

@@ -1,0 +1,55 @@
+// SHA-256 and SHA-512 (FIPS 180-4).
+//
+// SHA-256 backs HMAC/HKDF, the Merkle trees of the Protected File System
+// and of SeGShare's rollback-protection extension, and the multiset hashes.
+// SHA-512 is needed by Ed25519. Both offer streaming and one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace seg::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+  void update(BytesView data);
+  Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+  void update(BytesView data);
+  Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint64_t state_[8];
+  std::uint64_t total_len_ = 0;  // bytes; 2^64 bytes is plenty here
+  std::uint8_t buffer_[128];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace seg::crypto

@@ -1,0 +1,86 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/fe25519.h"
+
+namespace seg::crypto {
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  Fe x1, x2, z2, x3, z3;
+  fe_frombytes(x1, u.data());
+  fe_one(x2);
+  fe_zero(z2);
+  fe_copy(x3, x1);
+  fe_one(z3);
+
+  unsigned swap = 0;
+  for (int t = 254; t >= 0; --t) {
+    const unsigned k_t = (e[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a, aa, b, bb, eo, c, d, da, cb, tmp;
+    fe_add(a, x2, z2);
+    fe_sq(aa, a);
+    fe_sub(b, x2, z2);
+    fe_sq(bb, b);
+    fe_sub(eo, aa, bb);
+    fe_add(c, x3, z3);
+    fe_sub(d, x3, z3);
+    fe_mul(da, d, a);
+    fe_mul(cb, c, b);
+
+    fe_add(tmp, da, cb);
+    fe_sq(x3, tmp);
+    fe_sub(tmp, da, cb);
+    fe_sq(tmp, tmp);
+    fe_mul(z3, x1, tmp);
+    fe_mul(x2, aa, bb);
+    fe_mul_small(tmp, eo, 121665);
+    fe_add(tmp, aa, tmp);
+    fe_mul(z2, eo, tmp);
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  Fe zinv, out;
+  fe_invert(zinv, z2);
+  fe_mul(out, x2, zinv);
+  X25519Key result;
+  fe_tobytes(result.data(), out);
+  return result;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair x25519_generate(RandomSource& rng) {
+  X25519KeyPair pair;
+  rng.fill(pair.private_key);
+  pair.public_key = x25519_base(pair.private_key);
+  return pair;
+}
+
+X25519Key x25519_shared(const X25519Key& private_key,
+                        const X25519Key& peer_public) {
+  const X25519Key shared = x25519(private_key, peer_public);
+  std::uint8_t acc = 0;
+  for (auto b : shared) acc |= b;
+  if (acc == 0) throw CryptoError("x25519: low-order peer public key");
+  return shared;
+}
+
+}  // namespace seg::crypto

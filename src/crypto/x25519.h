@@ -1,0 +1,35 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// Used by the TLS-shaped handshake for ECDHE key agreement between the user
+// application and the SeGShare enclave, and for attestation channels
+// between enclaves (replication extension §V-F).
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace seg::crypto {
+
+using X25519Key = std::array<std::uint8_t, 32>;
+
+/// Scalar multiplication: out = scalar * point (u-coordinate).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u);
+
+/// Scalar multiplication with the standard base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+X25519KeyPair x25519_generate(RandomSource& rng);
+
+/// Shared secret = private * peer_public. Throws CryptoError if the result
+/// is the all-zero point (low-order peer key).
+X25519Key x25519_shared(const X25519Key& private_key,
+                        const X25519Key& peer_public);
+
+}  // namespace seg::crypto

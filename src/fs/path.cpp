@@ -1,0 +1,81 @@
+#include "fs/path.h"
+
+#include "common/error.h"
+
+namespace seg::fs {
+
+bool is_dir_path(const std::string& path) {
+  return !path.empty() && path.back() == '/';
+}
+
+bool is_root(const std::string& path) { return path == "/"; }
+
+bool is_valid_path(const std::string& path) {
+  if (path.empty() || path.front() != '/') return false;
+  if (path == "/") return true;
+  std::size_t start = 1;
+  for (;;) {
+    const std::size_t end = path.find('/', start);
+    if (end == std::string::npos) {
+      // Final segment of a content-file path.
+      const std::string seg = path.substr(start);
+      return !seg.empty() && seg != "." && seg != "..";
+    }
+    const std::string seg = path.substr(start, end - start);
+    if (seg.empty() || seg == "." || seg == "..") return false;
+    if (end == path.size() - 1) return true;  // trailing slash: directory
+    start = end + 1;
+  }
+}
+
+std::string parent(const std::string& path) {
+  if (is_root(path)) return "/";
+  // Strip trailing slash for directories, then cut at the last slash.
+  std::string trimmed = path;
+  if (is_dir_path(trimmed)) trimmed.pop_back();
+  const auto pos = trimmed.find_last_of('/');
+  return trimmed.substr(0, pos + 1);
+}
+
+std::string leaf_name(const std::string& path) {
+  if (is_root(path)) return "";
+  std::string trimmed = path;
+  if (is_dir_path(trimmed)) trimmed.pop_back();
+  const auto pos = trimmed.find_last_of('/');
+  return trimmed.substr(pos + 1);
+}
+
+std::string join(const std::string& dir, const std::string& name,
+                 bool as_directory) {
+  if (!is_dir_path(dir)) throw Error("join: base is not a directory path");
+  if (name.empty() || name.find('/') != std::string::npos)
+    throw Error("join: invalid name component");
+  return dir + name + (as_directory ? "/" : "");
+}
+
+std::vector<std::string> segments(const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t start = 1;
+  while (start < path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    if (end > start) out.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool is_ancestor(const std::string& maybe_ancestor, const std::string& path) {
+  if (!is_dir_path(maybe_ancestor)) return false;
+  return path.size() >= maybe_ancestor.size() &&
+         path.compare(0, maybe_ancestor.size(), maybe_ancestor) == 0;
+}
+
+std::string rebase(const std::string& path, const std::string& from,
+                   const std::string& to) {
+  if (!is_ancestor(from, path)) throw Error("rebase: not an ancestor");
+  if (!is_dir_path(to)) throw Error("rebase: target is not a directory path");
+  return to + path.substr(from.size());
+}
+
+}  // namespace seg::fs

@@ -1,0 +1,46 @@
+// Path algebra for the paper's file-system model (§II-C).
+//
+// Directories form a tree rooted at "/". A directory path is the
+// concatenation of directory names delimited *and concluded* by "/"
+// (so "/docs/" is a directory, "/docs/a.txt" a content file). Names may
+// not contain "/".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seg::fs {
+
+/// True iff `path` denotes a directory (ends with '/').
+bool is_dir_path(const std::string& path);
+
+/// True iff `path` is the root directory "/".
+bool is_root(const std::string& path);
+
+/// Validates the full path grammar: must start with '/', no empty name
+/// segments, no "." / ".." segments.
+bool is_valid_path(const std::string& path);
+
+/// Parent directory path ("/a/b/" → "/a/", "/a/f.txt" → "/a/", "/" → "/").
+std::string parent(const std::string& path);
+
+/// Final name component ("/a/b/" → "b", "/a/f.txt" → "f.txt", "/" → "").
+std::string leaf_name(const std::string& path);
+
+/// Joins a directory path and a child name; `dir` must end with '/'.
+std::string join(const std::string& dir, const std::string& name,
+                 bool as_directory = false);
+
+/// Splits a path into its name segments ("/a/b/c" → {a,b,c}).
+std::vector<std::string> segments(const std::string& path);
+
+/// True iff `maybe_ancestor` (a directory path) is a prefix-ancestor of
+/// `path` (or equal to it).
+bool is_ancestor(const std::string& maybe_ancestor, const std::string& path);
+
+/// Rewrites `path` replacing its `from` ancestor prefix with `to`
+/// (both directory paths). Used by move operations.
+std::string rebase(const std::string& path, const std::string& from,
+                   const std::string& to);
+
+}  // namespace seg::fs

@@ -1,0 +1,305 @@
+#include "fs/records.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace seg::fs {
+
+namespace {
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32_be(out, static_cast<std::uint32_t>(s.size()));
+  append(out, to_bytes(s));
+}
+
+std::string get_string(BytesView data, std::size_t& offset) {
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  const Bytes raw = slice(data, offset, len);
+  offset += len;
+  return to_string(raw);
+}
+
+/// Binary search insert keeping a sorted vector unique.
+template <typename T, typename Less = std::less<T>>
+bool sorted_insert(std::vector<T>& v, const T& value, Less less = {}) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value, less);
+  if (it != v.end() && !less(value, *it) && !less(*it, value)) return false;
+  v.insert(it, value);
+  return true;
+}
+
+template <typename T, typename Less = std::less<T>>
+bool sorted_erase(std::vector<T>& v, const T& value, Less less = {}) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value, less);
+  if (it == v.end() || less(value, *it) || less(*it, value)) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool perm_covers(std::uint32_t granted, Perm p) {
+  if (granted & kPermDeny) return false;
+  return (granted & p) == static_cast<std::uint32_t>(p);
+}
+
+// ------------------------------------------------------------------- ACL ---
+
+bool Acl::is_owner(GroupId g) const {
+  return std::binary_search(owners_.begin(), owners_.end(), g);
+}
+
+void Acl::add_owner(GroupId g) { sorted_insert(owners_, g); }
+
+void Acl::remove_owner(GroupId g) { sorted_erase(owners_, g); }
+
+std::optional<std::uint32_t> Acl::permission(GroupId g) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), g,
+      [](const Entry& e, GroupId id) { return e.group < id; });
+  if (it == entries_.end() || it->group != g) return std::nullopt;
+  return it->perm;
+}
+
+void Acl::set_permission(GroupId g, std::uint32_t perm) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), g,
+      [](const Entry& e, GroupId id) { return e.group < id; });
+  if (it != entries_.end() && it->group == g) {
+    if (perm == kPermNone) {
+      entries_.erase(it);
+    } else {
+      it->perm = perm;
+    }
+    return;
+  }
+  if (perm != kPermNone) entries_.insert(it, Entry{g, perm});
+}
+
+Bytes Acl::serialize() const {
+  Bytes out;
+  // 32-bit word packing owner count + inherit flag, per the prototype.
+  put_u32_be(out, (static_cast<std::uint32_t>(owners_.size()) << 1) |
+                      (inherit_ ? 1u : 0u));
+  for (const GroupId g : owners_) put_u32_be(out, g);
+  put_u32_be(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    // One 32-bit word per entry: 29-bit group id + 3 permission bits,
+    // matching the paper's "32 bit for each ... group permission".
+    put_u32_be(out, (e.group << 3) | (e.perm & 0x7));
+  }
+  return out;
+}
+
+Acl Acl::parse(BytesView data) {
+  Acl acl;
+  std::size_t offset = 0;
+  const std::uint32_t head = get_u32_be(data, offset);
+  offset += 4;
+  acl.inherit_ = (head & 1) != 0;
+  const std::uint32_t owner_count = head >> 1;
+  if (static_cast<std::size_t>(owner_count) * 4 > data.size() - offset)
+    throw ProtocolError("acl: owner count exceeds data");
+  acl.owners_.reserve(owner_count);
+  for (std::uint32_t i = 0; i < owner_count; ++i) {
+    acl.owners_.push_back(get_u32_be(data, offset));
+    offset += 4;
+  }
+  const std::uint32_t entry_count = get_u32_be(data, offset);
+  offset += 4;
+  if (static_cast<std::size_t>(entry_count) * 4 > data.size() - offset)
+    throw ProtocolError("acl: entry count exceeds data");
+  acl.entries_.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const std::uint32_t word = get_u32_be(data, offset);
+    offset += 4;
+    acl.entries_.push_back(Entry{word >> 3, word & 0x7});
+  }
+  if (offset != data.size()) throw ProtocolError("acl: trailing data");
+  if (!std::is_sorted(acl.owners_.begin(), acl.owners_.end()) ||
+      !std::is_sorted(acl.entries_.begin(), acl.entries_.end(),
+                      [](const Entry& a, const Entry& b) {
+                        return a.group < b.group;
+                      }))
+    throw ProtocolError("acl: lists not sorted");
+  return acl;
+}
+
+// ------------------------------------------------------------- Directory ---
+
+bool Directory::contains(const std::string& child_path) const {
+  return std::binary_search(children_.begin(), children_.end(), child_path);
+}
+
+void Directory::add(const std::string& child_path) {
+  sorted_insert(children_, child_path);
+}
+
+void Directory::remove(const std::string& child_path) {
+  sorted_erase(children_, child_path);
+}
+
+Bytes Directory::serialize() const {
+  Bytes out;
+  put_u32_be(out, static_cast<std::uint32_t>(children_.size()));
+  for (const auto& child : children_) put_string(out, child);
+  return out;
+}
+
+Directory Directory::parse(BytesView data) {
+  Directory dir;
+  std::size_t offset = 0;
+  const std::uint32_t count = get_u32_be(data, offset);
+  offset += 4;
+  if (static_cast<std::size_t>(count) * 4 > data.size() - offset)
+    throw ProtocolError("directory: count exceeds data");
+  dir.children_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    dir.children_.push_back(get_string(data, offset));
+  if (offset != data.size()) throw ProtocolError("directory: trailing data");
+  if (!std::is_sorted(dir.children_.begin(), dir.children_.end()))
+    throw ProtocolError("directory: children not sorted");
+  return dir;
+}
+
+// ------------------------------------------------------------ MemberList ---
+
+bool MemberList::is_member(GroupId g) const {
+  return std::binary_search(groups_.begin(), groups_.end(), g);
+}
+
+void MemberList::add(GroupId g) { sorted_insert(groups_, g); }
+
+void MemberList::remove(GroupId g) { sorted_erase(groups_, g); }
+
+Bytes MemberList::serialize() const {
+  Bytes out;
+  put_u32_be(out, static_cast<std::uint32_t>(groups_.size()));
+  for (const GroupId g : groups_) put_u32_be(out, g);
+  return out;
+}
+
+MemberList MemberList::parse(BytesView data) {
+  MemberList list;
+  std::size_t offset = 0;
+  const std::uint32_t count = get_u32_be(data, offset);
+  offset += 4;
+  if (static_cast<std::size_t>(count) * 4 > data.size() - offset)
+    throw ProtocolError("member list: count exceeds data");
+  list.groups_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    list.groups_.push_back(get_u32_be(data, offset));
+    offset += 4;
+  }
+  if (offset != data.size()) throw ProtocolError("member list: trailing data");
+  if (!std::is_sorted(list.groups_.begin(), list.groups_.end()))
+    throw ProtocolError("member list: not sorted");
+  return list;
+}
+
+// ------------------------------------------------------------- GroupList ---
+
+std::optional<GroupId> GroupList::find(const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (g.name == name) return g.id;
+  }
+  return std::nullopt;
+}
+
+const GroupList::Group* GroupList::find_by_id(GroupId id) const {
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), id,
+      [](const Group& g, GroupId i) { return g.id < i; });
+  if (it == groups_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+GroupId GroupList::create(const std::string& name) {
+  if (find(name)) throw ProtocolError("group exists: " + name);
+  const GroupId id = next_id_++;
+  groups_.push_back(Group{id, name, {}});
+  return id;  // groups_ stays sorted: ids are assigned monotonically
+}
+
+void GroupList::remove(GroupId id) {
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), id,
+      [](const Group& g, GroupId i) { return g.id < i; });
+  if (it == groups_.end() || it->id != id)
+    throw ProtocolError("group not found");
+  groups_.erase(it);
+}
+
+namespace {
+GroupList::Group* find_mutable(std::vector<GroupList::Group>& groups,
+                               GroupId id) {
+  const auto it = std::lower_bound(
+      groups.begin(), groups.end(), id,
+      [](const GroupList::Group& g, GroupId i) { return g.id < i; });
+  if (it == groups.end() || it->id != id)
+    throw ProtocolError("group not found");
+  return &*it;
+}
+}  // namespace
+
+void GroupList::add_owner(GroupId group, GroupId owner) {
+  sorted_insert(find_mutable(groups_, group)->owner_groups, owner);
+}
+
+void GroupList::remove_owner(GroupId group, GroupId owner) {
+  sorted_erase(find_mutable(groups_, group)->owner_groups, owner);
+}
+
+bool GroupList::is_owner(GroupId group, GroupId maybe_owner) const {
+  const Group* g = find_by_id(group);
+  if (g == nullptr) return false;
+  return std::binary_search(g->owner_groups.begin(), g->owner_groups.end(),
+                            maybe_owner);
+}
+
+Bytes GroupList::serialize() const {
+  Bytes out;
+  put_u32_be(out, next_id_);
+  put_u32_be(out, static_cast<std::uint32_t>(groups_.size()));
+  for (const auto& g : groups_) {
+    put_u32_be(out, g.id);
+    put_string(out, g.name);
+    put_u32_be(out, static_cast<std::uint32_t>(g.owner_groups.size()));
+    for (const GroupId o : g.owner_groups) put_u32_be(out, o);
+  }
+  return out;
+}
+
+GroupList GroupList::parse(BytesView data) {
+  GroupList list;
+  std::size_t offset = 0;
+  list.next_id_ = get_u32_be(data, offset);
+  offset += 4;
+  const std::uint32_t count = get_u32_be(data, offset);
+  offset += 4;
+  if (static_cast<std::size_t>(count) * 12 > data.size() - offset)
+    throw ProtocolError("group list: count exceeds data");
+  list.groups_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Group g;
+    g.id = get_u32_be(data, offset);
+    offset += 4;
+    g.name = get_string(data, offset);
+    const std::uint32_t owner_count = get_u32_be(data, offset);
+    offset += 4;
+    if (static_cast<std::size_t>(owner_count) * 4 > data.size() - offset)
+      throw ProtocolError("group list: owner count exceeds data");
+    g.owner_groups.reserve(owner_count);
+    for (std::uint32_t j = 0; j < owner_count; ++j) {
+      g.owner_groups.push_back(get_u32_be(data, offset));
+      offset += 4;
+    }
+    list.groups_.push_back(std::move(g));
+  }
+  if (offset != data.size()) throw ProtocolError("group list: trailing data");
+  return list;
+}
+
+}  // namespace seg::fs

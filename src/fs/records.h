@@ -1,0 +1,154 @@
+// Serialized record formats for SeGShare's administration files
+// (paper §IV-B "file managers" and Table I relations).
+//
+// Four file types live in the two stores:
+//   * directory files      — the children list of a directory (content store)
+//   * ACL files            — per-file owners + permissions + inherit flag
+//                            (content store, path suffix ".acl")
+//   * the group list file  — all existing groups G and their owner groups
+//                            rGO (group store)
+//   * member list files    — one per user: the user's memberships rG
+//                            (group store)
+//
+// All lists are kept sorted so updates are one decrypt + logarithmic
+// search + one insert + one encrypt — the property behind the paper's
+// constant ~150 ms membership/permission latencies.
+//
+// Group identifiers are 32-bit, matching the prototype's storage layout
+// ("32 bit for the number of file owners and the inheritance flag, and
+// 32 bit for each file owner and group permission") so the storage-
+// overhead experiment (E6) reproduces the paper's accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace seg::fs {
+
+using GroupId = std::uint32_t;
+
+/// Permission bits. pdeny is an explicit entry granting nothing — it
+/// exists so a deny on a file can override an inherited grant (§V-B).
+enum Perm : std::uint32_t {
+  kPermNone = 0,
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermReadWrite = 3,
+  kPermDeny = 4,
+};
+
+/// True iff `granted` covers the requested permission `p`.
+bool perm_covers(std::uint32_t granted, Perm p);
+
+// ------------------------------------------------------------------- ACL ---
+
+/// Per-file access-control list (rP and rFO restricted to one file).
+class Acl {
+ public:
+  bool inherit() const { return inherit_; }
+  void set_inherit(bool inherit) { inherit_ = inherit; }
+
+  /// Owner groups (rFO); sorted.
+  const std::vector<GroupId>& owners() const { return owners_; }
+  bool is_owner(GroupId g) const;
+  void add_owner(GroupId g);
+  void remove_owner(GroupId g);
+
+  /// Permission entries (rP); sorted by group id.
+  struct Entry {
+    GroupId group;
+    std::uint32_t perm;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::optional<std::uint32_t> permission(GroupId g) const;
+  /// Inserts or updates; kPermNone removes the entry.
+  void set_permission(GroupId g, std::uint32_t perm);
+  /// Number of groups with any entry.
+  std::size_t entry_count() const { return entries_.size(); }
+
+  Bytes serialize() const;
+  static Acl parse(BytesView data);
+
+ private:
+  bool inherit_ = false;
+  std::vector<GroupId> owners_;
+  std::vector<Entry> entries_;
+};
+
+// ------------------------------------------------------------- Directory ---
+
+/// Children list of a directory file. Entries are full child paths (the
+/// paper stores the original path inside directory files, which is what
+/// keeps listing possible under filename hiding, §V-C).
+class Directory {
+ public:
+  const std::vector<std::string>& children() const { return children_; }
+  bool contains(const std::string& child_path) const;
+  void add(const std::string& child_path);
+  void remove(const std::string& child_path);
+  std::size_t size() const { return children_.size(); }
+
+  Bytes serialize() const;
+  static Directory parse(BytesView data);
+
+ private:
+  std::vector<std::string> children_;  // sorted
+};
+
+// ------------------------------------------------------------ MemberList ---
+
+/// Per-user membership record: the groups the user belongs to (rG).
+class MemberList {
+ public:
+  const std::vector<GroupId>& groups() const { return groups_; }
+  bool is_member(GroupId g) const;
+  void add(GroupId g);
+  void remove(GroupId g);
+
+  Bytes serialize() const;
+  static MemberList parse(BytesView data);
+
+ private:
+  std::vector<GroupId> groups_;  // sorted
+};
+
+// ------------------------------------------------------------- GroupList ---
+
+/// The group store's single registry of all groups (G) and group
+/// ownerships (rGO: owner group → owned group, stored inverted as the
+/// owned group's owner set, enabling multiple group owners, F7).
+class GroupList {
+ public:
+  struct Group {
+    GroupId id;
+    std::string name;
+    std::vector<GroupId> owner_groups;  // sorted
+  };
+
+  std::optional<GroupId> find(const std::string& name) const;
+  const Group* find_by_id(GroupId id) const;
+  bool exists(GroupId id) const { return find_by_id(id) != nullptr; }
+
+  /// Creates a group; throws ProtocolError if the name is taken.
+  GroupId create(const std::string& name);
+  void remove(GroupId id);
+
+  void add_owner(GroupId group, GroupId owner);
+  void remove_owner(GroupId group, GroupId owner);
+  bool is_owner(GroupId group, GroupId maybe_owner) const;
+
+  const std::vector<Group>& groups() const { return groups_; }
+
+  Bytes serialize() const;
+  static GroupList parse(BytesView data);
+
+ private:
+  std::vector<Group> groups_;  // sorted by id
+  GroupId next_id_ = 1;
+};
+
+}  // namespace seg::fs

@@ -1,0 +1,59 @@
+#include "mset/mset_hash.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+
+namespace seg::mset {
+
+namespace {
+crypto::HmacSha256::Digest prf(BytesView key, BytesView element) {
+  return crypto::HmacSha256::mac(key, element);
+}
+}  // namespace
+
+void MsetXorHash::add(BytesView key, BytesView element) {
+  const auto h = prf(key, element);
+  for (std::size_t i = 0; i < kDigestSize; ++i) acc_[i] ^= h[i];
+  ++count_;
+}
+
+void MsetXorHash::remove(BytesView key, BytesView element) {
+  if (count_ == 0) throw Error("mset: remove from empty multiset");
+  const auto h = prf(key, element);
+  for (std::size_t i = 0; i < kDigestSize; ++i) acc_[i] ^= h[i];
+  --count_;
+}
+
+void MsetXorHash::combine(const MsetXorHash& other) {
+  for (std::size_t i = 0; i < kDigestSize; ++i) acc_[i] ^= other.acc_[i];
+  count_ += other.count_;
+}
+
+bool MsetXorHash::operator==(const MsetXorHash& other) const {
+  return count_ == other.count_ &&
+         constant_time_equal(acc_, other.acc_);
+}
+
+Bytes MsetXorHash::serialize() const {
+  Bytes out;
+  out.reserve(kDigestSize + 8);
+  append(out, acc_);
+  put_u64_be(out, count_);
+  return out;
+}
+
+MsetXorHash MsetXorHash::deserialize(BytesView data) {
+  if (data.size() != kDigestSize + 8)
+    throw ProtocolError("mset: bad serialized size");
+  MsetXorHash h;
+  std::copy(data.begin(), data.begin() + kDigestSize, h.acc_.begin());
+  h.count_ = get_u64_be(data, kDigestSize);
+  return h;
+}
+
+MsetXorHash::Accumulator MsetXorHash::digest() const {
+  return crypto::Sha256::hash(serialize());
+}
+
+}  // namespace seg::mset

@@ -1,0 +1,61 @@
+// Incremental multiset hashes — MSet-XOR-Hash (Clarke et al., ASIACRYPT'03).
+//
+// SeGShare's per-file rollback-protection extension (§V-D) replaces plain
+// Merkle hashing with multiset hashes so that a parent directory's hash can
+// be updated incrementally when a child changes: subtract the child's old
+// hash, add the new one, never touching siblings.
+//
+// The construction keeps (xor-accumulator, cardinality) where each element
+// is mapped through a keyed PRF (HMAC-SHA256 under a key held only inside
+// the enclave). Security rests on the PRF: without the key an attacker
+// cannot craft collisions; the cardinality defends against the classic
+// XOR cancellation of duplicated elements.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace seg::mset {
+
+class MsetXorHash {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Accumulator = std::array<std::uint8_t, kDigestSize>;
+
+  MsetXorHash() = default;
+
+  /// Adds one element (multiset insert).
+  void add(BytesView key, BytesView element);
+
+  /// Removes one element (multiset erase). The caller must guarantee the
+  /// element is present; removing an absent element silently corrupts the
+  /// accumulator — exactly like real incremental hashes.
+  void remove(BytesView key, BytesView element);
+
+  /// Folds another multiset hash into this one (set union with
+  /// multiplicity addition).
+  void combine(const MsetXorHash& other);
+
+  /// Equality of the represented multisets (assuming same PRF key).
+  bool operator==(const MsetXorHash& other) const;
+  bool operator!=(const MsetXorHash& other) const { return !(*this == other); }
+
+  std::uint64_t cardinality() const { return count_; }
+  const Accumulator& accumulator() const { return acc_; }
+
+  /// 40-byte canonical serialization: accumulator || count.
+  Bytes serialize() const;
+  static MsetXorHash deserialize(BytesView data);
+
+  /// A collision-resistant digest of the state (for embedding in parent
+  /// nodes / files).
+  Accumulator digest() const;
+
+ private:
+  Accumulator acc_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace seg::mset

@@ -1,0 +1,63 @@
+#include "net/channel.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace seg::net {
+
+void DuplexChannel::End::send(BytesView message) {
+  auto& channel = channel_;
+  const int direction = is_a_ ? 1 : 2;
+  if (channel.last_direction_ != 0 && channel.last_direction_ != direction)
+    ++channel.stats_.alternations;
+  channel.last_direction_ = direction;
+  if (is_a_) {
+    channel.stats_.bytes_a_to_b += message.size();
+    ++channel.stats_.messages_a_to_b;
+    channel.to_b_.emplace_back(message.begin(), message.end());
+  } else {
+    channel.stats_.bytes_b_to_a += message.size();
+    ++channel.stats_.messages_b_to_a;
+    channel.to_a_.emplace_back(message.begin(), message.end());
+  }
+}
+
+std::optional<Bytes> DuplexChannel::End::try_recv() {
+  auto& queue = is_a_ ? channel_.to_a_ : channel_.to_b_;
+  if (queue.empty()) return std::nullopt;
+  Bytes message = std::move(queue.front());
+  queue.pop_front();
+  return message;
+}
+
+Bytes DuplexChannel::End::recv() {
+  auto message = try_recv();
+  if (!message) throw ProtocolError("channel: recv on empty queue");
+  return std::move(*message);
+}
+
+bool DuplexChannel::End::pending() const {
+  return !(is_a_ ? channel_.to_a_ : channel_.to_b_).empty();
+}
+
+double LatencyModel::wire_ms(const ChannelStats& stats) const {
+  const double up_ms = static_cast<double>(stats.bytes_a_to_b) * 8.0 /
+                       (bandwidth_up_mbps * 1000.0);
+  const double down_ms = static_cast<double>(stats.bytes_b_to_a) * 8.0 /
+                         (bandwidth_down_mbps * 1000.0);
+  // Full duplex: the directions overlap; serial component is the larger.
+  return std::max(up_ms, down_ms);
+}
+
+double LatencyModel::estimate_ms(const ChannelStats& stats, double compute_ms,
+                                 bool pipelined) const {
+  const double rtt_total =
+      rtt_ms * static_cast<double>(std::max<std::uint64_t>(1, stats.round_trips()));
+  const double wire = wire_ms(stats);
+  if (pipelined)
+    return rtt_total + std::max(wire, compute_ms * endpoint_share);
+  return rtt_total + wire + compute_ms;
+}
+
+}  // namespace seg::net

@@ -1,0 +1,103 @@
+// Simulated network substrate.
+//
+// The paper's evaluation runs a client in Azure central-US against an
+// SGX server in east-US; file-transfer latency there is dominated by
+// RTT + size/bandwidth. We reproduce the setup with an in-process duplex
+// message channel that *meters* traffic (bytes per direction, message
+// count, round-trip alternations) plus a latency model that converts the
+// meter readings and the measured compute time into end-to-end latency.
+// The streaming design of the prototype (§VI) pipelines network and
+// compute, so the pipelined estimate is RTT·rounds + max(wire, compute)
+// rather than their sum.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace seg::net {
+
+struct ChannelStats {
+  std::uint64_t bytes_a_to_b = 0;
+  std::uint64_t bytes_b_to_a = 0;
+  std::uint64_t messages_a_to_b = 0;
+  std::uint64_t messages_b_to_a = 0;
+  /// Direction alternations; two alternations ≈ one round trip.
+  std::uint64_t alternations = 0;
+
+  std::uint64_t round_trips() const { return (alternations + 1) / 2; }
+  void reset() { *this = ChannelStats{}; }
+};
+
+/// Bidirectional in-memory message pipe between two parties "a" and "b".
+/// Single-threaded by design: the simulation interleaves client and server
+/// code deterministically.
+class DuplexChannel {
+ public:
+  class End {
+   public:
+    void send(BytesView message);
+    /// Pops the next message for this end, or nullopt when idle.
+    std::optional<Bytes> try_recv();
+    /// Pops the next message; throws ProtocolError if none is pending.
+    Bytes recv();
+    bool pending() const;
+
+   private:
+    friend class DuplexChannel;
+    End(DuplexChannel& channel, bool is_a) : channel_(channel), is_a_(is_a) {}
+    DuplexChannel& channel_;
+    bool is_a_;
+  };
+
+  DuplexChannel() : a_(*this, true), b_(*this, false) {}
+
+  DuplexChannel(const DuplexChannel&) = delete;
+  DuplexChannel& operator=(const DuplexChannel&) = delete;
+
+  End& a() { return a_; }
+  End& b() { return b_; }
+
+  const ChannelStats& stats() const { return stats_; }
+  ChannelStats& stats() { return stats_; }
+
+ private:
+  friend class End;
+  End a_;
+  End b_;
+  std::deque<Bytes> to_a_;
+  std::deque<Bytes> to_b_;
+  ChannelStats stats_;
+  int last_direction_ = 0;  // 0 none, 1 a→b, 2 b→a
+};
+
+/// WAN model used to turn meter readings into milliseconds.
+struct LatencyModel {
+  double rtt_ms = 30.0;
+  double bandwidth_up_mbps = 680.0;    // client → server
+  double bandwidth_down_mbps = 750.0;  // server → client
+  /// Fraction of the *measured* (single-machine) compute time attributable
+  /// to the slower endpoint. In a real deployment client and server are
+  /// separate machines whose compute overlaps; the in-process simulation
+  /// serializes them, so pipelined estimates scale compute down by this
+  /// share. 1.0 = no overlap correction.
+  double endpoint_share = 1.0;
+
+  /// Pure wire time for the metered traffic.
+  double wire_ms(const ChannelStats& stats) const;
+
+  /// End-to-end latency estimate. `compute_ms` is the real, measured CPU
+  /// time spent by both parties. With `pipelined` (SeGShare streams
+  /// fixed-size chunks, §VI) compute overlaps the transfer.
+  double estimate_ms(const ChannelStats& stats, double compute_ms,
+                     bool pipelined = true) const;
+
+  /// The calibration used in EXPERIMENTS.md: chosen so that the nginx-like
+  /// plaintext baseline lands near the paper's 200 MB numbers.
+  static LatencyModel paper_wan() { return LatencyModel{}; }
+};
+
+}  // namespace seg::net

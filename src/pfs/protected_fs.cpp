@@ -1,0 +1,367 @@
+#include "pfs/protected_fs.h"
+
+#include <cstring>
+#include <set>
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+
+namespace seg::pfs {
+
+namespace {
+
+constexpr std::size_t kTagSize = 16;
+
+Bytes chunk_aad(const std::string& name, std::uint64_t index) {
+  Bytes aad = to_bytes("pfs-chunk:" + name + ":");
+  put_u64_be(aad, index);
+  return aad;
+}
+
+Bytes node_aad(const std::string& name, std::size_t level,
+               std::uint64_t index) {
+  Bytes aad = to_bytes("pfs-node:" + name + ":");
+  put_u32_be(aad, static_cast<std::uint32_t>(level));
+  put_u64_be(aad, index);
+  return aad;
+}
+
+Bytes meta_aad(const std::string& name) { return to_bytes("pfs-meta:" + name); }
+
+std::array<std::uint8_t, kTagSize> blob_tag(BytesView blob) {
+  if (blob.size() < kTagSize) throw IntegrityError("pfs: blob too short");
+  std::array<std::uint8_t, kTagSize> tag;
+  std::memcpy(tag.data(), blob.data() + blob.size() - kTagSize, kTagSize);
+  return tag;
+}
+
+struct Meta {
+  std::uint64_t size = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint32_t levels = 0;
+  std::array<std::uint8_t, kTagSize> root_tag{};
+
+  Bytes serialize() const {
+    Bytes out;
+    put_u64_be(out, size);
+    put_u64_be(out, chunk_count);
+    put_u32_be(out, levels);
+    append(out, root_tag);
+    return out;
+  }
+
+  static Meta parse(BytesView data) {
+    if (data.size() != 8 + 8 + 4 + kTagSize)
+      throw IntegrityError("pfs: bad metadata size");
+    Meta m;
+    m.size = get_u64_be(data, 0);
+    m.chunk_count = get_u64_be(data, 8);
+    m.levels = get_u32_be(data, 16);
+    std::memcpy(m.root_tag.data(), data.data() + 20, kTagSize);
+    return m;
+  }
+};
+
+/// Enumerates the exact blob names a file with the given geometry owns.
+std::vector<std::string> blobs_for(const std::string& name,
+                                   std::uint64_t chunk_count,
+                                   std::uint32_t levels) {
+  std::vector<std::string> blobs;
+  blobs.push_back(name + ".m");
+  for (std::uint64_t i = 0; i < chunk_count; ++i)
+    blobs.push_back(name + ".c" + std::to_string(i));
+  std::uint64_t width = chunk_count;
+  for (std::uint32_t level = 1; level <= levels; ++level) {
+    width = (width + kNodeFanout - 1) / kNodeFanout;
+    for (std::uint64_t i = 0; i < width; ++i)
+      blobs.push_back(name + ".t" + std::to_string(level) + "." +
+                      std::to_string(i));
+  }
+  return blobs;
+}
+
+}  // namespace
+
+ProtectedFs::ProtectedFs(store::UntrustedStore& store, BytesView key,
+                         RandomSource& rng, sgx::SgxPlatform* platform,
+                         bool switchless_io)
+    : store_(store),
+      master_key_(key.begin(), key.end()),
+      rng_(rng),
+      platform_(platform),
+      switchless_io_(switchless_io) {
+  if (master_key_.size() != 16 && master_key_.size() != 32)
+    throw CryptoError("pfs: master key must be 16 or 32 bytes");
+}
+
+std::string ProtectedFs::meta_blob(const std::string& name) {
+  return name + ".m";
+}
+
+std::string ProtectedFs::chunk_blob(const std::string& name,
+                                    std::uint64_t index) {
+  return name + ".c" + std::to_string(index);
+}
+
+std::string ProtectedFs::node_blob(const std::string& name, std::size_t level,
+                                   std::uint64_t index) {
+  return name + ".t" + std::to_string(level) + "." + std::to_string(index);
+}
+
+Bytes ProtectedFs::file_key(const std::string& name) const {
+  return crypto::hkdf(/*salt=*/{}, master_key_, to_bytes("pfs-file:" + name),
+                      master_key_.size());
+}
+
+void ProtectedFs::charge_io() const {
+  if (platform_ != nullptr) platform_->charge_ocall(switchless_io_);
+}
+
+void ProtectedFs::store_put(const std::string& blob, BytesView data) {
+  charge_io();
+  store_.put(blob, data);
+}
+
+Bytes ProtectedFs::store_get(const std::string& blob) const {
+  charge_io();
+  auto data = store_.get(blob);
+  if (!data) throw StorageError("pfs: missing blob " + blob);
+  return std::move(*data);
+}
+
+// ------------------------------------------------------------------ Writer ---
+
+ProtectedFs::Writer::Writer(ProtectedFs& fs, std::string name)
+    : fs_(fs), name_(std::move(name)), gcm_(fs.file_key(name_)) {
+  buffer_.reserve(kChunkSize);
+  level_tags_.emplace_back();  // level 0: chunk tags
+  // Capture the previous geometry so close() can garbage-collect blobs a
+  // smaller replacement no longer covers.
+  if (fs_.exists(name_)) {
+    try {
+      const Bytes key = fs_.file_key(name_);
+      const Meta old = Meta::parse(crypto::pae_decrypt(
+          key, fs_.store_get(meta_blob(name_)), meta_aad(name_)));
+      old_chunk_count_ = old.chunk_count;
+      old_levels_ = old.levels;
+    } catch (const Error&) {
+      // Old metadata unreadable; the overwrite will leave any stale blobs
+      // to remove_file's prefix-scan fallback.
+    }
+  }
+}
+
+ProtectedFs::Writer::~Writer() {
+  if (!closed_) {
+    // Abandoned writer: release the exclusivity slot but leave no file.
+    fs_.open_writers_.erase(name_);
+  }
+}
+
+void ProtectedFs::Writer::append(BytesView data) {
+  if (closed_) throw ProtocolError("pfs: append after close");
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t take =
+        std::min(kChunkSize - buffer_.size(), data.size() - pos);
+    buffer_.insert(buffer_.end(), data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+    if (buffer_.size() == kChunkSize) flush_chunk();
+  }
+}
+
+void ProtectedFs::Writer::flush_chunk() {
+  const Bytes sealed = crypto::pae_encrypt_with(
+      gcm_, fs_.rng_, buffer_, chunk_aad(name_, chunk_index_));
+  fs_.store_put(chunk_blob(name_, chunk_index_), sealed);
+  level_tags_[0].push_back(blob_tag(sealed));
+  total_size_ += buffer_.size();
+  buffer_.clear();
+  ++chunk_index_;
+}
+
+void ProtectedFs::Writer::close() {
+  if (closed_) return;
+  if (!buffer_.empty()) flush_chunk();
+
+  // Build the tag tree bottom-up.
+  Meta meta;
+  meta.size = total_size_;
+  meta.chunk_count = chunk_index_;
+  std::size_t level = 1;
+  while (level_tags_[level - 1].size() > 1) {
+    level_tags_.emplace_back();  // may reallocate: take references after
+    const auto& below = level_tags_[level - 1];
+    auto& current = level_tags_[level];
+    for (std::size_t node = 0; node * kNodeFanout < below.size(); ++node) {
+      Bytes content;
+      const std::size_t begin = node * kNodeFanout;
+      const std::size_t end = std::min(begin + kNodeFanout, below.size());
+      content.reserve((end - begin) * kTagSize);
+      for (std::size_t i = begin; i < end; ++i) seg::append(content, below[i]);
+      const Bytes sealed = crypto::pae_encrypt_with(
+          gcm_, fs_.rng_, content, node_aad(name_, level, node));
+      fs_.store_put(node_blob(name_, level, node), sealed);
+      current.push_back(blob_tag(sealed));
+    }
+    ++level;
+  }
+  meta.levels = static_cast<std::uint32_t>(level - 1);
+  if (!level_tags_.back().empty()) meta.root_tag = level_tags_.back()[0];
+
+  const Bytes sealed_meta =
+      crypto::pae_encrypt_with(gcm_, fs_.rng_, meta.serialize(), meta_aad(name_));
+  fs_.store_put(meta_blob(name_), sealed_meta);
+
+  // Garbage-collect blobs of a previous, larger version.
+  if (old_chunk_count_ > 0 || old_levels_ > 0) {
+    std::set<std::string> live;
+    for (const auto& blob : blobs_for(name_, meta.chunk_count, meta.levels))
+      live.insert(blob);
+    for (const auto& blob : blobs_for(name_, old_chunk_count_, old_levels_)) {
+      if (!live.contains(blob)) {
+        fs_.charge_io();
+        fs_.store_.remove(blob);
+      }
+    }
+  }
+
+  closed_ = true;
+  fs_.open_writers_.erase(name_);
+}
+
+// ------------------------------------------------------------------ Reader ---
+
+ProtectedFs::Reader::Reader(const ProtectedFs& fs, std::string name)
+    : fs_(fs), name_(std::move(name)), gcm_(fs.file_key(name_)) {
+  const Bytes sealed_meta = fs_.store_get(meta_blob(name_));
+  const Meta meta =
+      Meta::parse(crypto::pae_decrypt_with(gcm_, sealed_meta, meta_aad(name_)));
+  size_ = meta.size;
+  chunk_count_ = meta.chunk_count;
+  if (chunk_count_ == 0) return;
+
+  // Walk the tree top-down, verifying each node's blob tag against the tag
+  // recorded in its parent (root tag lives in the metadata).
+  Bytes expected;  // tags expected for the nodes of the current level
+  expected.assign(meta.root_tag.begin(), meta.root_tag.end());
+  for (std::size_t level = meta.levels; level >= 1; --level) {
+    Bytes below;
+    const std::size_t node_count = expected.size() / kTagSize;
+    for (std::size_t node = 0; node < node_count; ++node) {
+      const Bytes sealed = fs_.store_get(node_blob(name_, level, node));
+      const auto tag = blob_tag(sealed);
+      if (!constant_time_equal(
+              tag, BytesView(expected.data() + node * kTagSize, kTagSize)))
+        throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
+      append(below, crypto::pae_decrypt_with(gcm_, sealed,
+                                             node_aad(name_, level, node)));
+    }
+    expected = std::move(below);
+  }
+  if (expected.size() != chunk_count_ * kTagSize)
+    throw IntegrityError("pfs: tree inconsistent with chunk count");
+  levels_.push_back(std::move(expected));
+}
+
+ProtectedFs::Reader::~Reader() = default;
+
+Bytes ProtectedFs::Reader::read_chunk(std::uint64_t index) const {
+  if (index >= chunk_count_) throw StorageError("pfs: chunk out of range");
+  const Bytes sealed = fs_.store_get(chunk_blob(name_, index));
+  const auto tag = blob_tag(sealed);
+  const BytesView expected(levels_.back().data() + index * kTagSize, kTagSize);
+  if (!constant_time_equal(tag, expected))
+    throw IntegrityError("pfs: chunk tag mismatch (tamper/rollback)");
+  return crypto::pae_decrypt_with(gcm_, sealed, chunk_aad(name_, index));
+}
+
+// -------------------------------------------------------------- ProtectedFs ---
+
+std::unique_ptr<ProtectedFs::Writer> ProtectedFs::open_writer(
+    const std::string& name) {
+  if (open_writers_.contains(name))
+    throw ProtocolError("pfs: writer already open for " + name);
+  open_writers_.insert(name);
+  return std::unique_ptr<Writer>(new Writer(*this, name));
+}
+
+std::unique_ptr<ProtectedFs::Reader> ProtectedFs::open_reader(
+    const std::string& name) const {
+  return std::unique_ptr<Reader>(new Reader(*this, name));
+}
+
+void ProtectedFs::write_file(const std::string& name, BytesView content) {
+  auto writer = open_writer(name);
+  writer->append(content);
+  writer->close();
+}
+
+Bytes ProtectedFs::read_file(const std::string& name) const {
+  auto reader = open_reader(name);
+  Bytes out;
+  out.reserve(reader->size());
+  for (std::uint64_t i = 0; i < reader->chunk_count(); ++i)
+    append(out, reader->read_chunk(i));
+  if (out.size() != reader->size())
+    throw IntegrityError("pfs: size mismatch after read");
+  return out;
+}
+
+bool ProtectedFs::exists(const std::string& name) const {
+  return store_.exists(meta_blob(name));
+}
+
+std::uint64_t ProtectedFs::file_size(const std::string& name) const {
+  const Bytes key = file_key(name);
+  const Bytes sealed_meta = store_get(meta_blob(name));
+  return Meta::parse(crypto::pae_decrypt(key, sealed_meta, meta_aad(name)))
+      .size;
+}
+
+void ProtectedFs::remove_file(const std::string& name) {
+  try {
+    const Bytes key = file_key(name);
+    const Meta meta = Meta::parse(
+        crypto::pae_decrypt(key, store_get(meta_blob(name)), meta_aad(name)));
+    for (const auto& blob : blobs_for(name, meta.chunk_count, meta.levels)) {
+      charge_io();
+      store_.remove(blob);
+    }
+    return;
+  } catch (const Error&) {
+    // Metadata unreadable (missing or tampered): fall back to a prefix scan
+    // so a corrupted file can still be deleted.
+  }
+  for (const auto& blob : store_.list()) {
+    const bool ours = blob == name + ".m" ||
+                      blob.starts_with(name + ".c") ||
+                      blob.starts_with(name + ".t");
+    if (ours) {
+      charge_io();
+      store_.remove(blob);
+    }
+  }
+}
+
+void ProtectedFs::rename_file(const std::string& from, const std::string& to) {
+  // Names are cryptographically bound into every blob (AAD), so renaming
+  // re-encrypts — same behaviour class as the SDK library's key binding.
+  write_file(to, read_file(from));
+  remove_file(from);
+}
+
+std::uint64_t ProtectedFs::stored_bytes(const std::string& name) const {
+  const Bytes key = file_key(name);
+  const Meta meta = Meta::parse(
+      crypto::pae_decrypt(key, store_get(meta_blob(name)), meta_aad(name)));
+  std::uint64_t total = 0;
+  for (const auto& blob : blobs_for(name, meta.chunk_count, meta.levels)) {
+    if (const auto data = store_.get(blob)) total += data->size();
+  }
+  return total;
+}
+
+}  // namespace seg::pfs

@@ -1,0 +1,144 @@
+// Re-implementation of the Intel SGX Protected File System Library
+// (paper §II-A).
+//
+// Semantics mirrored from the SDK library:
+//  * data is split into 4 KiB chunks,
+//  * each chunk is AES-GCM encrypted with a per-file key,
+//  * integrity is a Merkle-tree variant: parent nodes hold the GCM tags of
+//    their children, are themselves encrypted, and chain up to a root tag
+//    kept in an encrypted metadata node,
+//  * chunk positions and file names are bound via AAD, so chunks cannot be
+//    transplanted between files or offsets,
+//  * at most one open write handle per file, any number of readers.
+//
+// What it deliberately does NOT protect — faithful to the real library —
+// is a consistent rollback of *all* blobs of a file to an older version;
+// that is exactly the gap SeGShare's §V-D extension closes one level up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/gcm.h"
+#include "sgx/platform.h"
+#include "store/untrusted_store.h"
+
+namespace seg::pfs {
+
+constexpr std::size_t kChunkSize = 4096;
+/// Child tags per tree node: a 4 KiB node holds 256 16-byte GCM tags.
+constexpr std::size_t kNodeFanout = kChunkSize / 16;
+
+class ProtectedFs {
+ public:
+  /// `key` is the file-system master key (16 or 32 bytes): either caller
+  /// provided or derived from the enclave sealing key, as in the SDK.
+  /// If `platform` is set, every untrusted-store access is charged as an
+  /// ocall (switchless when `switchless_io` is true).
+  ProtectedFs(store::UntrustedStore& store, BytesView key, RandomSource& rng,
+              sgx::SgxPlatform* platform = nullptr, bool switchless_io = true);
+
+  // --- whole-file API ------------------------------------------------------
+
+  void write_file(const std::string& name, BytesView content);
+  /// Throws StorageError if missing, IntegrityError on tamper.
+  Bytes read_file(const std::string& name) const;
+  bool exists(const std::string& name) const;
+  void remove_file(const std::string& name);
+  void rename_file(const std::string& from, const std::string& to);
+  /// Plaintext size; verifies the metadata node.
+  std::uint64_t file_size(const std::string& name) const;
+  /// Ciphertext bytes on untrusted storage attributable to this file.
+  std::uint64_t stored_bytes(const std::string& name) const;
+
+  // --- streaming API -------------------------------------------------------
+
+  /// Streaming writer: append in arbitrary increments, then close().
+  /// Mirrors the constant-buffer streaming of the prototype (§VI): only
+  /// one chunk is held in enclave memory at a time.
+  class Writer {
+   public:
+    ~Writer();
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
+    void append(BytesView data);
+    /// Flushes the tree + metadata; the file is invisible before close.
+    void close();
+
+   private:
+    friend class ProtectedFs;
+    Writer(ProtectedFs& fs, std::string name);
+
+    void flush_chunk();
+
+    ProtectedFs& fs_;
+    std::string name_;
+    crypto::AesGcm gcm_;  // per-file cipher context, built once
+    Bytes buffer_;
+    std::vector<std::vector<std::array<std::uint8_t, 16>>> level_tags_;
+    std::uint64_t total_size_ = 0;
+    std::uint64_t chunk_index_ = 0;
+    std::uint64_t old_chunk_count_ = 0;  // geometry being replaced (GC)
+    std::uint32_t old_levels_ = 0;
+    bool closed_ = false;
+  };
+
+  class Reader {
+   public:
+    ~Reader();
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    std::uint64_t size() const { return size_; }
+    /// Reads the chunk at `index` (verifying it against the tree);
+    /// the last chunk may be short.
+    Bytes read_chunk(std::uint64_t index) const;
+    std::uint64_t chunk_count() const { return chunk_count_; }
+
+   private:
+    friend class ProtectedFs;
+    Reader(const ProtectedFs& fs, std::string name);
+
+    const ProtectedFs& fs_;
+    std::string name_;
+    crypto::AesGcm gcm_;  // per-file cipher context, built once
+    std::uint64_t size_ = 0;
+    std::uint64_t chunk_count_ = 0;
+    // Decrypted tree levels, bottom (level 1, over chunks) first.
+    std::vector<Bytes> levels_;
+  };
+
+  /// Throws ProtocolError if a writer is already open for `name`.
+  std::unique_ptr<Writer> open_writer(const std::string& name);
+  std::unique_ptr<Reader> open_reader(const std::string& name) const;
+
+ private:
+  friend class Writer;
+  friend class Reader;
+
+  Bytes file_key(const std::string& name) const;
+  void store_put(const std::string& blob, BytesView data);
+  Bytes store_get(const std::string& blob) const;
+  void charge_io() const;
+
+  static std::string meta_blob(const std::string& name);
+  static std::string chunk_blob(const std::string& name, std::uint64_t index);
+  static std::string node_blob(const std::string& name, std::size_t level,
+                               std::uint64_t index);
+
+  store::UntrustedStore& store_;
+  Bytes master_key_;
+  RandomSource& rng_;
+  sgx::SgxPlatform* platform_;
+  bool switchless_io_;
+  mutable std::set<std::string> open_writers_;
+};
+
+}  // namespace seg::pfs

@@ -1,0 +1,140 @@
+#include "proto/messages.h"
+
+#include "common/error.h"
+
+namespace seg::proto {
+
+namespace {
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32_be(out, static_cast<std::uint32_t>(s.size()));
+  append(out, to_bytes(s));
+}
+
+std::string get_string(BytesView data, std::size_t& offset) {
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  const Bytes raw = slice(data, offset, len);
+  offset += len;
+  return to_string(raw);
+}
+
+}  // namespace
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kPutFile: return "PUT";
+    case Verb::kGetFile: return "GET";
+    case Verb::kMkdir: return "MKCOL";
+    case Verb::kList: return "PROPFIND";
+    case Verb::kRemove: return "DELETE";
+    case Verb::kMove: return "MOVE";
+    case Verb::kSetPermission: return "SETPERM";
+    case Verb::kSetInherit: return "SETINHERIT";
+    case Verb::kAddUserToGroup: return "ADDMEMBER";
+    case Verb::kRemoveUserFromGroup: return "RMMEMBER";
+    case Verb::kAddFileOwner: return "ADDOWNER";
+    case Verb::kAddGroupOwner: return "ADDGROUPOWNER";
+    case Verb::kRemoveGroupOwner: return "RMGROUPOWNER";
+    case Verb::kDeleteGroup: return "RMGROUP";
+    case Verb::kStat: return "STAT";
+    case Verb::kPutByHash: return "PUTBYHASH";
+  }
+  return "UNKNOWN";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kForbidden: return "FORBIDDEN";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kConflict: return "CONFLICT";
+    case Status::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+Bytes Request::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(verb));
+  put_string(out, path);
+  put_string(out, target);
+  put_string(out, group);
+  put_u32_be(out, perm);
+  out.push_back(flag ? 1 : 0);
+  put_u64_be(out, body_size);
+  return out;
+}
+
+Request Request::parse(BytesView data) {
+  if (data.empty()) throw ProtocolError("request: empty");
+  Request req;
+  std::size_t offset = 0;
+  req.verb = static_cast<Verb>(data[offset++]);
+  if (req.verb < Verb::kPutFile || req.verb > Verb::kPutByHash)
+    throw ProtocolError("request: unknown verb");
+  req.path = get_string(data, offset);
+  req.target = get_string(data, offset);
+  req.group = get_string(data, offset);
+  req.perm = get_u32_be(data, offset);
+  offset += 4;
+  if (offset >= data.size()) throw ProtocolError("request: truncated");
+  req.flag = data[offset++] != 0;
+  req.body_size = get_u64_be(data, offset);
+  offset += 8;
+  if (offset != data.size()) throw ProtocolError("request: trailing data");
+  return req;
+}
+
+Bytes Response::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(status));
+  put_string(out, message);
+  put_u64_be(out, body_size);
+  put_u32_be(out, static_cast<std::uint32_t>(listing.size()));
+  for (const auto& entry : listing) put_string(out, entry);
+  return out;
+}
+
+Response Response::parse(BytesView data) {
+  if (data.empty()) throw ProtocolError("response: empty");
+  Response resp;
+  std::size_t offset = 0;
+  const auto status = data[offset++];
+  if (status > static_cast<std::uint8_t>(Status::kError))
+    throw ProtocolError("response: unknown status");
+  resp.status = static_cast<Status>(status);
+  resp.message = get_string(data, offset);
+  resp.body_size = get_u64_be(data, offset);
+  offset += 8;
+  const std::uint32_t count = get_u32_be(data, offset);
+  offset += 4;
+  if (static_cast<std::size_t>(count) * 4 > data.size() - offset)
+    throw ProtocolError("response: listing count exceeds data");
+  resp.listing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    resp.listing.push_back(get_string(data, offset));
+  if (offset != data.size()) throw ProtocolError("response: trailing data");
+  return resp;
+}
+
+Bytes frame(FrameType type, BytesView payload) {
+  Bytes out;
+  out.reserve(payload.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(type));
+  append(out, payload);
+  return out;
+}
+
+std::pair<FrameType, Bytes> unframe(BytesView message) {
+  if (message.empty()) throw ProtocolError("frame: empty message");
+  const auto type = message[0];
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kEnd))
+    throw ProtocolError("frame: unknown type");
+  return {static_cast<FrameType>(type),
+          Bytes(message.begin() + 1, message.end())};
+}
+
+}  // namespace seg::proto

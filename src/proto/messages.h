@@ -1,0 +1,100 @@
+// Wire protocol between the user application and the SeGShare enclave.
+//
+// WebDAV-flavoured verb set (§VI: the prototype follows WebDAV — PUT/GET/
+// MKCOL/PROPFIND/DELETE/MOVE — extended with SeGShare's permission and
+// group-management requests). Every message travels over the secure
+// channel; large bodies are streamed as separate data frames so the
+// enclave only ever buffers one small piece (§VI streaming).
+//
+// Frame grammar per request:
+//   REQUEST (header) · DATA* · END        for verbs with a body (PUT)
+//   REQUEST (header)                      for everything else
+// and per response:
+//   RESPONSE (header) · DATA* · END       for GET
+//   RESPONSE (header)                     otherwise
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace seg::proto {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kData = 3,
+  kEnd = 4,
+};
+
+enum class Verb : std::uint8_t {
+  kPutFile = 1,           // create/update content file (streams body)
+  kGetFile = 2,           // fetch content file (streams body back)
+  kMkdir = 3,             // create directory
+  kList = 4,              // directory listing (PROPFIND)
+  kRemove = 5,            // remove file or directory
+  kMove = 6,              // move/rename file or directory
+  kSetPermission = 7,     // set p for group g on file (set_p)
+  kSetInherit = 8,        // add/remove file to/from rI (§V-B)
+  kAddUserToGroup = 9,    // add_u
+  kRemoveUserFromGroup = 10,  // rmv_u
+  kAddFileOwner = 11,     // extend rFO
+  kAddGroupOwner = 12,    // extend rGO
+  kRemoveGroupOwner = 13,
+  kDeleteGroup = 14,
+  kStat = 15,             // existence/size/type of a path
+  kPutByHash = 16,        // client-side dedup probe (§V-A alternative):
+                          // commit the file if content with this hash is
+                          // already deduplicated, else ask for an upload
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kForbidden = 2,
+  kBadRequest = 3,
+  kConflict = 4,
+  kError = 5,
+};
+
+const char* verb_name(Verb verb);
+const char* status_name(Status status);
+
+struct Request {
+  Verb verb = Verb::kStat;
+  std::string path;      // primary path
+  std::string target;    // move destination / user id for group ops
+  std::string group;     // group name for permission & membership ops
+  std::uint32_t perm = 0;
+  bool flag = false;     // inherit on/off
+  std::uint64_t body_size = 0;  // announced size for streamed bodies
+
+  Bytes serialize() const;
+  static Request parse(BytesView data);
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string message;
+  std::uint64_t body_size = 0;
+  std::vector<std::string> listing;
+
+  bool ok() const { return status == Status::kOk; }
+
+  Bytes serialize() const;
+  static Response parse(BytesView data);
+};
+
+/// Wraps a payload in a one-byte frame-type header.
+Bytes frame(FrameType type, BytesView payload = {});
+
+/// Splits a framed message into (type, payload view copy).
+std::pair<FrameType, Bytes> unframe(BytesView message);
+
+/// Size of a streamed data frame's payload. Chosen below the TLS record
+/// budget so one DATA frame maps to a handful of records.
+constexpr std::size_t kStreamChunk = 64 * 1024;
+
+}  // namespace seg::proto

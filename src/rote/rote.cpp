@@ -1,0 +1,193 @@
+#include "rote/rote.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+
+namespace seg::rote {
+
+namespace {
+
+constexpr const char* kRequestMagic = "rote-prov-req:";
+constexpr const char* kResponseMagic = "rote-prov-resp:";
+
+Bytes quote_bytes(const sgx::Quote& quote) {
+  Bytes out;
+  append(out, quote.measurement);
+  put_u32_be(out, static_cast<std::uint32_t>(quote.report_data.size()));
+  append(out, quote.report_data);
+  append(out, quote.signature);
+  return out;
+}
+
+sgx::Quote quote_parse(BytesView data, std::size_t& offset) {
+  sgx::Quote quote;
+  const Bytes m = slice(data, offset, 32);
+  std::copy(m.begin(), m.end(), quote.measurement.begin());
+  offset += 32;
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  quote.report_data = slice(data, offset, len);
+  offset += len;
+  const Bytes sig = slice(data, offset, crypto::kEd25519SignatureSize);
+  std::copy(sig.begin(), sig.end(), quote.signature.begin());
+  offset += crypto::kEd25519SignatureSize;
+  return quote;
+}
+
+}  // namespace
+
+Bytes replica_image() { return to_bytes("rote-counter-replica-v1"); }
+
+CounterReplica::CounterReplica(sgx::SgxPlatform& platform, RandomSource& rng)
+    : sgx::Enclave(platform, replica_image()), rng_(rng) {}
+
+Bytes CounterReplica::provisioning_request() {
+  enter();
+  ephemeral_ = crypto::x25519_generate(rng_);
+  const sgx::Quote quote = generate_quote(ephemeral_->public_key);
+  Bytes out = to_bytes(kRequestMagic);
+  append(out, ephemeral_->public_key);
+  append(out, quote_bytes(quote));
+  return out;
+}
+
+void CounterReplica::install_service_key(BytesView response) {
+  enter();
+  if (!ephemeral_) throw ProtocolError("rote: no provisioning outstanding");
+  const Bytes magic = to_bytes(kResponseMagic);
+  if (response.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), response.begin()))
+    throw ProtocolError("rote: bad provisioning response");
+  std::size_t offset = magic.size();
+  crypto::X25519Key owner_pub;
+  const Bytes pub = slice(response, offset, 32);
+  std::copy(pub.begin(), pub.end(), owner_pub.begin());
+  offset += 32;
+  const std::uint32_t ct_len = get_u32_be(response, offset);
+  offset += 4;
+  const Bytes ciphertext = slice(response, offset, ct_len);
+
+  const auto shared =
+      crypto::x25519_shared(ephemeral_->private_key, owner_pub);
+  const Bytes kek = crypto::hkdf({}, shared, to_bytes("rote-provision"), 16);
+  service_key_ = crypto::pae_decrypt(kek, ciphertext);
+  ephemeral_.reset();
+}
+
+Bytes CounterReplica::Ack::authenticated_payload() const {
+  Bytes out = to_bytes("rote-ack:");
+  put_u64_be(out, id);
+  put_u64_be(out, value);
+  return out;
+}
+
+CounterReplica::Ack CounterReplica::make_ack(CounterId id,
+                                             std::uint64_t value) {
+  Ack ack;
+  ack.id = id;
+  ack.value = value;
+  ack.mac = crypto::HmacSha256::mac(service_key_, ack.authenticated_payload());
+  return ack;
+}
+
+CounterReplica::Ack CounterReplica::handle_increment(CounterId id,
+                                                     std::uint64_t value) {
+  enter();
+  if (service_key_.empty()) throw ProtocolError("rote: not provisioned");
+  auto& stored = counters_[id];
+  stored = std::max(stored, value);
+  return make_ack(id, stored);
+}
+
+CounterReplica::Ack CounterReplica::handle_read(CounterId id) {
+  enter();
+  if (service_key_.empty()) throw ProtocolError("rote: not provisioned");
+  const auto it = counters_.find(id);
+  return make_ack(id, it == counters_.end() ? 0 : it->second);
+}
+
+Bytes provision_replica(BytesView request,
+                        const crypto::Ed25519PublicKey& replica_platform_key,
+                        BytesView service_key, RandomSource& rng) {
+  const Bytes magic = to_bytes(kRequestMagic);
+  if (request.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), request.begin()))
+    throw ProtocolError("rote: bad provisioning request");
+  std::size_t offset = magic.size();
+  crypto::X25519Key replica_pub;
+  const Bytes pub = slice(request, offset, 32);
+  std::copy(pub.begin(), pub.end(), replica_pub.begin());
+  offset += 32;
+  const sgx::Quote quote = quote_parse(request, offset);
+
+  if (!sgx::SgxPlatform::verify_quote(replica_platform_key, quote))
+    throw AuthError("rote: invalid replica quote");
+  if (quote.measurement != sgx::measure(replica_image()))
+    throw AuthError("rote: unexpected replica measurement");
+  if (!constant_time_equal(quote.report_data, replica_pub))
+    throw AuthError("rote: quote does not bind key");
+
+  const auto owner = crypto::x25519_generate(rng);
+  const auto shared = crypto::x25519_shared(owner.private_key, replica_pub);
+  const Bytes kek = crypto::hkdf({}, shared, to_bytes("rote-provision"), 16);
+  const Bytes ciphertext = crypto::pae_encrypt(kek, rng, service_key);
+
+  Bytes out = to_bytes(kResponseMagic);
+  append(out, owner.public_key);
+  put_u32_be(out, static_cast<std::uint32_t>(ciphertext.size()));
+  append(out, ciphertext);
+  return out;
+}
+
+DistributedCounter::DistributedCounter(std::vector<CounterReplica*> replicas,
+                                       BytesView service_key)
+    : replicas_(std::move(replicas)),
+      service_key_(service_key.begin(), service_key.end()) {
+  if (replicas_.empty()) throw ProtocolError("rote: empty quorum");
+}
+
+bool DistributedCounter::verify(const CounterReplica::Ack& ack) const {
+  return crypto::HmacSha256::verify(service_key_, ack.authenticated_payload(),
+                                    ack.mac);
+}
+
+CounterId DistributedCounter::create() { return next_id_++; }
+
+std::uint64_t DistributedCounter::read(CounterId id) const {
+  // Collect authenticated values; a value is stable once a majority
+  // stores at least it, so the stable reading is the quorum-th largest.
+  std::vector<std::uint64_t> values;
+  for (CounterReplica* replica : replicas_) {
+    try {
+      const auto ack = replica->handle_read(id);
+      if (ack.id == id && verify(ack)) values.push_back(ack.value);
+    } catch (const Error&) {
+      // unreachable/compromised replica: skip
+    }
+  }
+  if (values.size() < quorum())
+    throw RollbackError("rote: no counter quorum reachable");
+  std::sort(values.begin(), values.end(), std::greater<>());
+  return values[quorum() - 1];
+}
+
+std::uint64_t DistributedCounter::increment(CounterId id) {
+  const std::uint64_t proposal = read(id) + 1;
+  std::size_t acks = 0;
+  for (CounterReplica* replica : replicas_) {
+    try {
+      const auto ack = replica->handle_increment(id, proposal);
+      if (ack.id == id && ack.value >= proposal && verify(ack)) ++acks;
+    } catch (const Error&) {
+    }
+  }
+  if (acks < quorum())
+    throw RollbackError("rote: increment did not reach a quorum");
+  return proposal;
+}
+
+}  // namespace seg::rote

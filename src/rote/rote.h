@@ -1,0 +1,136 @@
+// ROTE-style distributed monotonic counters (paper §V-E).
+//
+// The paper notes that SGX's built-in monotonic counters "have issues
+// (increments are slow and the counter wears out fast); until a better
+// hardware-based monotonic counter is available, one can use ROTE [63]".
+// This module implements that suggestion: counter state is replicated
+// across a quorum of dedicated *counter enclaves* on independent
+// platforms. An increment is stable once a majority of replicas
+// acknowledged it, so rolling back the counter requires compromising or
+// resetting a majority of independent machines — instead of just the one
+// disk under the SeGShare enclave.
+//
+// Trust bootstrap mirrors §V-F replication: the service owner attests
+// every replica (same measured image ⇒ same code) and provisions a shared
+// MAC key over an ECDH channel; all subsequent acknowledgements are
+// HMAC-authenticated so the (untrusted) network between enclaves cannot
+// forge them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "crypto/x25519.h"
+#include "sgx/enclave.h"
+
+namespace seg::rote {
+
+using CounterId = std::uint64_t;
+
+/// Builds the measured image of a counter replica (fixed code identity).
+Bytes replica_image();
+
+/// One counter enclave. State lives in enclave memory only — a platform
+/// restart deliberately wipes it, which is exactly the situation the
+/// quorum protocol tolerates (minority loss).
+class CounterReplica : public sgx::Enclave {
+ public:
+  CounterReplica(sgx::SgxPlatform& platform, RandomSource& rng);
+
+  // --- provisioning (service owner side) -----------------------------------
+
+  /// Attestation request: ephemeral key + quote binding it.
+  Bytes provisioning_request();
+  /// Installs the MAC key encrypted under the ECDH secret.
+  void install_service_key(BytesView response);
+  bool provisioned() const { return !service_key_.empty(); }
+
+  // --- counter protocol ------------------------------------------------------
+
+  struct Ack {
+    CounterId id = 0;
+    std::uint64_t value = 0;
+    crypto::HmacSha256::Digest mac{};
+
+    Bytes authenticated_payload() const;
+  };
+
+  /// Advances the replica's copy to max(local, value) and returns a
+  /// MAC-authenticated acknowledgement of the stored value.
+  Ack handle_increment(CounterId id, std::uint64_t value);
+
+  /// Reports the stored value (0 if unknown), MAC-authenticated.
+  Ack handle_read(CounterId id);
+
+  /// Simulated crash/restart: enclave memory is lost.
+  void wipe() { counters_.clear(); }
+
+ private:
+  Ack make_ack(CounterId id, std::uint64_t value);
+
+  RandomSource& rng_;
+  std::optional<crypto::X25519KeyPair> ephemeral_;
+  Bytes service_key_;
+  std::map<CounterId, std::uint64_t> counters_;
+};
+
+/// Service-owner side of provisioning: verifies the replica's quote (its
+/// platform key + the replica measurement) and wraps the MAC key.
+/// Returns the response blob for CounterReplica::install_service_key.
+Bytes provision_replica(BytesView request,
+                        const crypto::Ed25519PublicKey& replica_platform_key,
+                        BytesView service_key, RandomSource& rng);
+
+/// Client used by the SeGShare enclave: drives the quorum.
+class DistributedCounter {
+ public:
+  /// `replicas` should live on independent platforms; the client needs
+  /// the same service MAC key to verify acknowledgements.
+  DistributedCounter(std::vector<CounterReplica*> replicas,
+                     BytesView service_key);
+
+  std::size_t quorum() const { return replicas_.size() / 2 + 1; }
+
+  /// Creates a fresh counter id (client-chosen; replicas are lazy).
+  CounterId create();
+
+  /// Reads the highest value acknowledged by a majority. Throws
+  /// RollbackError if no quorum of valid acknowledgements is reached
+  /// (majority of replicas lost/compromised — fail closed).
+  std::uint64_t read(CounterId id) const;
+
+  /// Increments: proposes read()+1 to all replicas; stable once a
+  /// majority acknowledged. Returns the new value.
+  std::uint64_t increment(CounterId id);
+
+ private:
+  bool verify(const CounterReplica::Ack& ack) const;
+
+  std::vector<CounterReplica*> replicas_;
+  Bytes service_key_;
+  CounterId next_id_ = 1;
+};
+
+/// sgx::CounterProvider adapter so SeGShare's §V-E guard can run on the
+/// distributed quorum instead of local platform counters.
+class RoteCounters final : public sgx::CounterProvider {
+ public:
+  explicit RoteCounters(DistributedCounter& inner) : inner_(inner) {}
+  std::uint64_t create() override { return inner_.create(); }
+  std::uint64_t read(std::uint64_t id) const override {
+    return inner_.read(id);
+  }
+  std::uint64_t increment(std::uint64_t id) override {
+    return inner_.increment(id);
+  }
+
+ private:
+  DistributedCounter& inner_;
+};
+
+}  // namespace seg::rote

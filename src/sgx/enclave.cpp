@@ -1,0 +1,42 @@
+#include "sgx/enclave.h"
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+
+namespace seg::sgx {
+
+Enclave::Enclave(SgxPlatform& platform, BytesView initial_image)
+    : platform_(platform), measurement_(measure(initial_image)) {}
+
+Enclave::~Enclave() = default;
+
+Quote Enclave::generate_quote(BytesView report_data) const {
+  return platform_.quote(measurement_, report_data);
+}
+
+Bytes Enclave::seal(RandomSource& rng, BytesView plaintext,
+                    BytesView label) const {
+  const Bytes key = platform_.derive_sealing_key(measurement_, label);
+  // The measurement is bound as AAD: a blob sealed by a different enclave
+  // fails authentication rather than decrypting to garbage.
+  return crypto::pae_encrypt(key, rng, plaintext, measurement_);
+}
+
+Bytes Enclave::unseal(BytesView sealed, BytesView label) const {
+  const Bytes key = platform_.derive_sealing_key(measurement_, label);
+  return crypto::pae_decrypt(key, sealed, measurement_);
+}
+
+void Enclave::destroy() { destroyed_ = true; }
+
+void Enclave::enter(bool switchless) const {
+  if (destroyed_) throw EnclaveError("ecall into destroyed enclave");
+  platform_.charge_ecall(switchless);
+}
+
+void Enclave::exit_call(bool switchless) const {
+  if (destroyed_) throw EnclaveError("ocall from destroyed enclave");
+  platform_.charge_ocall(switchless);
+}
+
+}  // namespace seg::sgx

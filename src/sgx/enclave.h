@@ -1,0 +1,66 @@
+// Simulated enclave lifecycle, sealing, and local attestation.
+//
+// The trust boundary of the paper is reproduced as a class boundary:
+// everything owned by an Enclave subclass is "inside"; its only path to
+// persistent state is data it already PAE-encrypted or sealed. Tests
+// enforce the boundary behaviourally (tamper/rollback detection), not via
+// language tricks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sgx/platform.h"
+
+namespace seg::sgx {
+
+class Enclave {
+ public:
+  /// `initial_image` is the code+data the host loads into the enclave;
+  /// it determines the measurement. Anything hard-coded into the enclave
+  /// (e.g. SeGShare's CA public key, §IV-A) must be part of this image so
+  /// that attestation binds it.
+  Enclave(SgxPlatform& platform, BytesView initial_image);
+  virtual ~Enclave();
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  const Measurement& measurement() const { return measurement_; }
+  SgxPlatform& platform() { return platform_; }
+
+  /// Produces a quote over this enclave's measurement with caller-chosen
+  /// report data (usually a public key to bind a secure channel).
+  Quote generate_quote(BytesView report_data) const;
+
+  /// Seals data so only this enclave identity on this platform can unseal
+  /// it (§II-A data sealing). Output format: label || PAE(seal_key, data).
+  Bytes seal(RandomSource& rng, BytesView plaintext,
+             BytesView label = {}) const;
+
+  /// Inverse of seal(); throws IntegrityError if the blob was tampered
+  /// with, EnclaveError if it was sealed by a different identity/platform.
+  Bytes unseal(BytesView sealed, BytesView label = {}) const;
+
+  /// Marks the enclave destroyed; subsequent entries throw. Models the
+  /// statelessness of enclaves: secrets die with the instance unless
+  /// sealed (§II-A).
+  void destroy();
+  bool destroyed() const { return destroyed_; }
+
+ protected:
+  /// Guards every logical ecall: charges transition cost and rejects
+  /// entry into a destroyed enclave. Subclasses call this at the top of
+  /// each externally-invokable operation.
+  void enter(bool switchless = false) const;
+  /// Charges an ocall (the enclave asking the untrusted side to do I/O).
+  void exit_call(bool switchless = false) const;
+
+ private:
+  SgxPlatform& platform_;
+  Measurement measurement_;
+  bool destroyed_ = false;
+};
+
+}  // namespace seg::sgx

@@ -1,0 +1,132 @@
+#include "sgx/platform.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+
+namespace seg::sgx {
+
+Measurement measure(BytesView initial_image) {
+  return crypto::Sha256::hash(initial_image);
+}
+
+Bytes Quote::signed_payload() const {
+  Bytes payload;
+  payload.reserve(measurement.size() + report_data.size() + 16);
+  append(payload, to_bytes("sgx-quote-v1"));
+  append(payload, measurement);
+  put_u32_be(payload, static_cast<std::uint32_t>(report_data.size()));
+  append(payload, report_data);
+  return payload;
+}
+
+SgxPlatform::SgxPlatform(RandomSource& rng, CostModel model)
+    : model_(model), attestation_key_(crypto::ed25519_generate(rng)) {
+  rng.fill(master_secret_);
+}
+
+Quote SgxPlatform::quote(const Measurement& measurement,
+                         BytesView report_data) const {
+  Quote q;
+  q.measurement = measurement;
+  q.report_data.assign(report_data.begin(), report_data.end());
+  q.signature = crypto::ed25519_sign(attestation_key_.seed,
+                                     attestation_key_.public_key,
+                                     q.signed_payload());
+  return q;
+}
+
+bool SgxPlatform::verify_quote(const crypto::Ed25519PublicKey& platform_key,
+                               const Quote& quote) {
+  return crypto::ed25519_verify(platform_key, quote.signed_payload(),
+                                quote.signature);
+}
+
+Bytes SgxPlatform::derive_sealing_key(const Measurement& measurement,
+                                      BytesView label) const {
+  const Bytes info = concat(to_bytes("sgx-seal"), measurement, label);
+  return crypto::hkdf(/*salt=*/{}, master_secret_, info, 16);
+}
+
+std::uint64_t SgxPlatform::create_monotonic_counter() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_counter_id_++;
+  counters_[id] = Counter{};
+  return id;
+}
+
+std::uint64_t SgxPlatform::read_monotonic_counter(std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(id);
+  if (it == counters_.end()) throw EnclaveError("unknown monotonic counter");
+  return it->second.value;
+}
+
+std::uint64_t SgxPlatform::increment_monotonic_counter(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(id);
+  if (it == counters_.end()) throw EnclaveError("unknown monotonic counter");
+  if (it->second.increments >= kCounterWearLimit)
+    throw EnclaveError("monotonic counter worn out");
+  ++it->second.increments;
+  ++stats_.counter_increments;
+  stats_.charged_ns += model_.counter_increment_ns;
+  return ++it->second.value;
+}
+
+namespace {
+std::string protected_key(const Measurement& m, const std::string& key) {
+  return to_hex(m) + "/" + key;
+}
+}  // namespace
+
+void SgxPlatform::protected_put(const Measurement& measurement,
+                                const std::string& key, BytesView value) {
+  std::lock_guard lock(mutex_);
+  protected_memory_[protected_key(measurement, key)] =
+      Bytes(value.begin(), value.end());
+}
+
+std::optional<Bytes> SgxPlatform::protected_get(const Measurement& measurement,
+                                                const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = protected_memory_.find(protected_key(measurement, key));
+  if (it == protected_memory_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SgxPlatform::charge_ecall(bool switchless) {
+  std::lock_guard lock(mutex_);
+  if (switchless) {
+    ++stats_.switchless_calls;
+    stats_.charged_ns += model_.switchless_call_ns;
+  } else {
+    ++stats_.ecalls;
+    stats_.charged_ns += model_.ecall_ns;
+  }
+}
+
+void SgxPlatform::charge_ocall(bool switchless) {
+  std::lock_guard lock(mutex_);
+  if (switchless) {
+    ++stats_.switchless_calls;
+    stats_.charged_ns += model_.switchless_call_ns;
+  } else {
+    ++stats_.ocalls;
+    stats_.charged_ns += model_.ocall_ns;
+  }
+}
+
+void SgxPlatform::charge_epc_touch(std::uint64_t bytes_resident,
+                                   std::uint64_t bytes_touched) {
+  std::lock_guard lock(mutex_);
+  if (bytes_resident > model_.epc_size_bytes) {
+    // Touching memory beyond the PRM forces page-ins; charge proportional
+    // to the touched range, 4 KiB at a time.
+    const std::uint64_t pages = (bytes_touched + 4095) / 4096;
+    stats_.epc_pages_in += pages;
+    stats_.charged_ns += pages * model_.epc_page_in_ns;
+  }
+}
+
+}  // namespace seg::sgx

@@ -1,0 +1,57 @@
+#include "sgx/switchless.h"
+
+namespace seg::sgx {
+
+SwitchlessQueue::SwitchlessQueue(SgxPlatform& platform, std::size_t workers)
+    : platform_(platform) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SwitchlessQueue::~SwitchlessQueue() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> SwitchlessQueue::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  platform_.charge_ecall(/*switchless=*/true);
+  cv_.notify_one();
+  return future;
+}
+
+void SwitchlessQueue::call(std::function<void()> task) {
+  submit(std::move(task)).get();
+}
+
+std::uint64_t SwitchlessQueue::tasks_executed() const {
+  std::lock_guard lock(mutex_);
+  return executed_;
+}
+
+void SwitchlessQueue::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executed_;
+    }
+    task();
+  }
+}
+
+}  // namespace seg::sgx

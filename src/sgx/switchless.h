@@ -1,0 +1,55 @@
+// Switchless calls (paper §II-A, §VI).
+//
+// SGX's switchless mode replaces synchronous enclave transitions with
+// tasks written to untrusted shared buffers that worker threads drain
+// asynchronously. This simulation provides the same structure: a bounded
+// task queue plus worker threads, with per-call accounting delegated to
+// the platform cost model so the ablation bench (E9) can compare
+// switchless on/off.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sgx/platform.h"
+
+namespace seg::sgx {
+
+class SwitchlessQueue {
+ public:
+  /// Spawns `workers` threads that play the role of the enclave worker
+  /// threads draining the untrusted task buffer.
+  SwitchlessQueue(SgxPlatform& platform, std::size_t workers = 2);
+  ~SwitchlessQueue();
+
+  SwitchlessQueue(const SwitchlessQueue&) = delete;
+  SwitchlessQueue& operator=(const SwitchlessQueue&) = delete;
+
+  /// Submits a task; returns a future for its completion. The call is
+  /// charged at switchless cost instead of full transition cost.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Convenience: submit and wait.
+  void call(std::function<void()> task);
+
+  std::uint64_t tasks_executed() const;
+
+ private:
+  void worker_loop();
+
+  SgxPlatform& platform_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace seg::sgx

@@ -1,0 +1,210 @@
+#include "store/untrusted_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace seg::store {
+
+// ----------------------------------------------------------- MemoryStore ---
+
+void MemoryStore::put(const std::string& name, BytesView data) {
+  blobs_[name] = Bytes(data.begin(), data.end());
+}
+
+std::optional<Bytes> MemoryStore::get(const std::string& name) const {
+  const auto it = blobs_.find(name);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryStore::exists(const std::string& name) const {
+  return blobs_.contains(name);
+}
+
+void MemoryStore::remove(const std::string& name) { blobs_.erase(name); }
+
+void MemoryStore::rename(const std::string& from, const std::string& to) {
+  const auto it = blobs_.find(from);
+  if (it == blobs_.end()) throw StorageError("rename: missing blob " + from);
+  blobs_[to] = std::move(it->second);
+  blobs_.erase(from);
+}
+
+std::vector<std::string> MemoryStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(blobs_.size());
+  for (const auto& [name, blob] : blobs_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t MemoryStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+// ------------------------------------------------------------- DiskStore ---
+
+DiskStore::DiskStore(std::string directory) : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::string DiskStore::encode(const std::string& name) {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHexDigits[byte >> 4]);
+      out.push_back(kHexDigits[byte & 0x0f]);
+    }
+  }
+  return out;
+}
+
+std::string DiskStore::decode(const std::string& file) {
+  std::string out;
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    if (file[i] == '%' && i + 2 < file.size()) {
+      out.push_back(static_cast<char>(
+          std::stoi(file.substr(i + 1, 2), nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(file[i]);
+    }
+  }
+  return out;
+}
+
+std::string DiskStore::path_for(const std::string& name) const {
+  return directory_ + "/" + encode(name);
+}
+
+void DiskStore::put(const std::string& name, BytesView data) {
+  std::ofstream out(path_for(name), std::ios::binary | std::ios::trunc);
+  if (!out) throw StorageError("cannot open for write: " + name);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw StorageError("short write: " + name);
+}
+
+std::optional<Bytes> DiskStore::get(const std::string& name) const {
+  std::ifstream in(path_for(name), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw StorageError("short read: " + name);
+  return data;
+}
+
+bool DiskStore::exists(const std::string& name) const {
+  return std::filesystem::exists(path_for(name));
+}
+
+void DiskStore::remove(const std::string& name) {
+  std::filesystem::remove(path_for(name));
+}
+
+void DiskStore::rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(path_for(from), path_for(to), ec);
+  if (ec) throw StorageError("rename failed: " + from + " -> " + to);
+}
+
+std::vector<std::string> DiskStore::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.is_regular_file())
+      names.push_back(decode(entry.path().filename().string()));
+  }
+  return names;
+}
+
+std::uint64_t DiskStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// -------------------------------------------------------- AdversaryStore ---
+
+void AdversaryStore::put(const std::string& name, BytesView data) {
+  inner_->put(name, data);
+}
+
+std::optional<Bytes> AdversaryStore::get(const std::string& name) const {
+  return inner_->get(name);
+}
+
+bool AdversaryStore::exists(const std::string& name) const {
+  return inner_->exists(name);
+}
+
+void AdversaryStore::remove(const std::string& name) { inner_->remove(name); }
+
+void AdversaryStore::rename(const std::string& from, const std::string& to) {
+  inner_->rename(from, to);
+}
+
+std::vector<std::string> AdversaryStore::list() const { return inner_->list(); }
+
+std::uint64_t AdversaryStore::total_bytes() const {
+  return inner_->total_bytes();
+}
+
+bool AdversaryStore::tamper_flip_bit(const std::string& name,
+                                     std::size_t bit_index) {
+  auto blob = inner_->get(name);
+  if (!blob || blob->empty()) return false;
+  const std::size_t byte_index = (bit_index / 8) % blob->size();
+  (*blob)[byte_index] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+  inner_->put(name, *blob);
+  return true;
+}
+
+void AdversaryStore::tamper_replace(const std::string& name, BytesView data) {
+  inner_->put(name, data);
+}
+
+void AdversaryStore::snapshot_blob(const std::string& name) {
+  blob_snapshots_[name] = inner_->get(name);
+}
+
+bool AdversaryStore::rollback_blob(const std::string& name) {
+  const auto it = blob_snapshots_.find(name);
+  if (it == blob_snapshots_.end()) return false;
+  if (it->second.has_value()) {
+    inner_->put(name, *it->second);
+  } else {
+    inner_->remove(name);
+  }
+  return true;
+}
+
+void AdversaryStore::snapshot_all() {
+  full_snapshot_.clear();
+  for (const auto& name : inner_->list()) {
+    if (auto blob = inner_->get(name)) full_snapshot_[name] = std::move(*blob);
+  }
+  has_full_snapshot_ = true;
+}
+
+void AdversaryStore::rollback_all() {
+  if (!has_full_snapshot_) throw StorageError("no full snapshot taken");
+  for (const auto& name : inner_->list()) inner_->remove(name);
+  for (const auto& [name, blob] : full_snapshot_) inner_->put(name, blob);
+}
+
+}  // namespace seg::store

@@ -1,0 +1,128 @@
+// Untrusted storage backends.
+//
+// Everything the SeGShare enclave persists lives in an UntrustedStore: the
+// content store, group store and deduplication store (§IV-B, §V-A) are
+// directories of opaque, PAE-encrypted blobs addressed by name. Under the
+// paper's attacker model the adversary fully controls this storage, so the
+// test suite wraps stores in AdversaryStore to tamper with and roll back
+// state and asserts that the enclave detects it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace seg::store {
+
+/// Flat key→blob storage. Names are opaque strings (the enclave decides
+/// the naming scheme; with the filename-hiding extension they are HMAC
+/// hex strings).
+class UntrustedStore {
+ public:
+  virtual ~UntrustedStore() = default;
+
+  virtual void put(const std::string& name, BytesView data) = 0;
+  virtual std::optional<Bytes> get(const std::string& name) const = 0;
+  virtual bool exists(const std::string& name) const = 0;
+  virtual void remove(const std::string& name) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual std::vector<std::string> list() const = 0;
+
+  /// Total bytes currently stored (for the storage-overhead experiment E6).
+  virtual std::uint64_t total_bytes() const = 0;
+};
+
+/// In-memory store; the default for tests, benches and examples.
+class MemoryStore final : public UntrustedStore {
+ public:
+  void put(const std::string& name, BytesView data) override;
+  std::optional<Bytes> get(const std::string& name) const override;
+  bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list() const override;
+  std::uint64_t total_bytes() const override;
+
+  /// Deep copy, used by AdversaryStore snapshots and by the backup
+  /// extension (§V-G: "the cloud provider only has to copy the files").
+  std::map<std::string, Bytes> snapshot() const { return blobs_; }
+  void restore(std::map<std::string, Bytes> blobs) { blobs_ = std::move(blobs); }
+
+ private:
+  std::map<std::string, Bytes> blobs_;
+};
+
+/// Store backed by a directory on disk. Blob names are percent-encoded
+/// into file names.
+class DiskStore final : public UntrustedStore {
+ public:
+  explicit DiskStore(std::string directory);
+
+  void put(const std::string& name, BytesView data) override;
+  std::optional<Bytes> get(const std::string& name) const override;
+  bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list() const override;
+  std::uint64_t total_bytes() const override;
+
+ private:
+  std::string path_for(const std::string& name) const;
+  static std::string encode(const std::string& name);
+  static std::string decode(const std::string& file);
+
+  std::string directory_;
+};
+
+/// Malicious wrapper: behaves like the wrapped store but lets tests and
+/// benchmarks mount the attacks from the paper's §III-B attacker model.
+class AdversaryStore final : public UntrustedStore {
+ public:
+  explicit AdversaryStore(std::unique_ptr<UntrustedStore> inner)
+      : inner_(std::move(inner)) {}
+
+  void put(const std::string& name, BytesView data) override;
+  std::optional<Bytes> get(const std::string& name) const override;
+  bool exists(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list() const override;
+  std::uint64_t total_bytes() const override;
+
+  // --- attacker operations -------------------------------------------------
+
+  /// Flips a bit in a stored blob. Returns false if the blob is missing.
+  bool tamper_flip_bit(const std::string& name, std::size_t bit_index);
+
+  /// Replaces a blob wholesale.
+  void tamper_replace(const std::string& name, BytesView data);
+
+  /// Records the current state of `name` for a later rollback.
+  void snapshot_blob(const std::string& name);
+
+  /// Restores `name` to its snapshotted content (individual-file rollback,
+  /// §V-D). Returns false if no snapshot exists.
+  bool rollback_blob(const std::string& name);
+
+  /// Records the whole store.
+  void snapshot_all();
+
+  /// Restores the whole store (whole-file-system rollback, §V-E).
+  void rollback_all();
+
+  UntrustedStore& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<UntrustedStore> inner_;
+  std::map<std::string, std::optional<Bytes>> blob_snapshots_;
+  std::map<std::string, Bytes> full_snapshot_;
+  bool has_full_snapshot_ = false;
+};
+
+}  // namespace seg::store

@@ -1,0 +1,150 @@
+#include "tls/certificate.h"
+
+#include "common/error.h"
+
+namespace seg::tls {
+
+namespace {
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32_be(out, static_cast<std::uint32_t>(s.size()));
+  append(out, to_bytes(s));
+}
+
+std::string get_string(BytesView data, std::size_t& offset) {
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  const Bytes raw = slice(data, offset, len);
+  offset += len;
+  return to_string(raw);
+}
+
+template <std::size_t N>
+void put_array(Bytes& out, const std::array<std::uint8_t, N>& a) {
+  append(out, a);
+}
+
+template <std::size_t N>
+std::array<std::uint8_t, N> get_array(BytesView data, std::size_t& offset) {
+  const Bytes raw = slice(data, offset, N);
+  offset += N;
+  std::array<std::uint8_t, N> out;
+  std::copy(raw.begin(), raw.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+Bytes Certificate::to_be_signed() const {
+  Bytes out = to_bytes("cert-v1:");
+  put_string(out, subject);
+  put_array(out, public_key);
+  put_string(out, issuer);
+  put_u64_be(out, serial);
+  out.push_back(is_server ? 1 : 0);
+  return out;
+}
+
+Bytes Certificate::serialize() const {
+  Bytes out = to_be_signed();
+  append(out, signature);
+  return out;
+}
+
+Certificate Certificate::parse(BytesView data) {
+  const Bytes magic = to_bytes("cert-v1:");
+  if (data.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), data.begin()))
+    throw ProtocolError("certificate: bad magic");
+  std::size_t offset = magic.size();
+  Certificate cert;
+  cert.subject = get_string(data, offset);
+  cert.public_key = get_array<crypto::kEd25519PublicKeySize>(data, offset);
+  cert.issuer = get_string(data, offset);
+  cert.serial = get_u64_be(data, offset);
+  offset += 8;
+  if (offset >= data.size()) throw ProtocolError("certificate: truncated");
+  cert.is_server = data[offset++] != 0;
+  cert.signature = get_array<crypto::kEd25519SignatureSize>(data, offset);
+  if (offset != data.size()) throw ProtocolError("certificate: trailing data");
+  return cert;
+}
+
+bool Certificate::verify(const crypto::Ed25519PublicKey& ca_public_key) const {
+  return crypto::ed25519_verify(ca_public_key, to_be_signed(), signature);
+}
+
+Bytes CertificateSigningRequest::to_be_signed() const {
+  Bytes out = to_bytes("csr-v1:");
+  put_string(out, subject);
+  put_array(out, public_key);
+  return out;
+}
+
+Bytes CertificateSigningRequest::serialize() const {
+  Bytes out = to_be_signed();
+  append(out, proof);
+  return out;
+}
+
+CertificateSigningRequest CertificateSigningRequest::parse(BytesView data) {
+  const Bytes magic = to_bytes("csr-v1:");
+  if (data.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), data.begin()))
+    throw ProtocolError("csr: bad magic");
+  std::size_t offset = magic.size();
+  CertificateSigningRequest csr;
+  csr.subject = get_string(data, offset);
+  csr.public_key = get_array<crypto::kEd25519PublicKeySize>(data, offset);
+  csr.proof = get_array<crypto::kEd25519SignatureSize>(data, offset);
+  if (offset != data.size()) throw ProtocolError("csr: trailing data");
+  return csr;
+}
+
+bool CertificateSigningRequest::verify() const {
+  return crypto::ed25519_verify(public_key, to_be_signed(), proof);
+}
+
+CertificateSigningRequest make_csr(const std::string& subject,
+                                   const crypto::Ed25519KeyPair& key_pair) {
+  CertificateSigningRequest csr;
+  csr.subject = subject;
+  csr.public_key = key_pair.public_key;
+  csr.proof =
+      crypto::ed25519_sign(key_pair.seed, key_pair.public_key, csr.to_be_signed());
+  return csr;
+}
+
+CertificateAuthority::CertificateAuthority(RandomSource& rng, std::string name)
+    : name_(std::move(name)), key_pair_(crypto::ed25519_generate(rng)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const crypto::Ed25519PublicKey& key,
+                                        bool is_server) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.public_key = key;
+  cert.issuer = name_;
+  cert.serial = next_serial_++;
+  cert.is_server = is_server;
+  cert.signature = crypto::ed25519_sign(key_pair_.seed, key_pair_.public_key,
+                                        cert.to_be_signed());
+  return cert;
+}
+
+Certificate CertificateAuthority::issue_user_certificate(
+    const std::string& subject, const crypto::Ed25519PublicKey& key) {
+  return issue(subject, key, /*is_server=*/false);
+}
+
+Certificate CertificateAuthority::issue_server_certificate(
+    const CertificateSigningRequest& csr) {
+  if (!csr.verify()) throw AuthError("csr: proof of possession failed");
+  return issue(csr.subject, csr.public_key, /*is_server=*/true);
+}
+
+crypto::Ed25519Signature CertificateAuthority::sign(BytesView message) const {
+  return crypto::ed25519_sign(key_pair_.seed, key_pair_.public_key, message);
+}
+
+}  // namespace seg::tls

@@ -1,0 +1,86 @@
+// Certificates and the certificate authority (paper §III-A, §IV-A).
+//
+// The FSO's authentication service is modelled as a CA issuing Ed25519
+// certificates. Users hold client certificates carrying identity
+// information; the SeGShare enclave obtains a server certificate via the
+// CSR flow of §IV-A (the CA attests the enclave first). Certificates are
+// the paper's "authentication tokens": authorization never looks at
+// anything but the subject identity, which is what gives SeGShare its
+// separation of authentication and authorization (F8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+
+namespace seg::tls {
+
+struct Certificate {
+  std::string subject;        // identity information (user id / server name)
+  crypto::Ed25519PublicKey public_key{};
+  std::string issuer;
+  std::uint64_t serial = 0;
+  bool is_server = false;
+  crypto::Ed25519Signature signature{};
+
+  /// Canonical byte encoding of the signed portion.
+  Bytes to_be_signed() const;
+
+  Bytes serialize() const;
+  static Certificate parse(BytesView data);
+
+  /// Verifies the CA signature. Returns false rather than throwing.
+  bool verify(const crypto::Ed25519PublicKey& ca_public_key) const;
+};
+
+/// A certificate signing request: subject + public key, self-signed to
+/// prove possession of the private key.
+struct CertificateSigningRequest {
+  std::string subject;
+  crypto::Ed25519PublicKey public_key{};
+  crypto::Ed25519Signature proof{};
+
+  Bytes to_be_signed() const;
+  Bytes serialize() const;
+  static CertificateSigningRequest parse(BytesView data);
+  bool verify() const;
+};
+
+CertificateSigningRequest make_csr(const std::string& subject,
+                                   const crypto::Ed25519KeyPair& key_pair);
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(RandomSource& rng, std::string name = "SeGShare-CA");
+
+  const crypto::Ed25519PublicKey& public_key() const {
+    return key_pair_.public_key;
+  }
+  const std::string& name() const { return name_; }
+
+  /// Issues a client certificate for a user the CA has validated.
+  Certificate issue_user_certificate(const std::string& subject,
+                                     const crypto::Ed25519PublicKey& key);
+
+  /// Issues a server certificate from a CSR (the §IV-A flow: the caller is
+  /// responsible for having attested the enclave first). Throws AuthError
+  /// if the CSR's proof-of-possession fails.
+  Certificate issue_server_certificate(const CertificateSigningRequest& csr);
+
+  /// Signs an arbitrary CA statement (e.g. the reset message of the
+  /// backup-restore extension §V-G).
+  crypto::Ed25519Signature sign(BytesView message) const;
+
+ private:
+  Certificate issue(const std::string& subject,
+                    const crypto::Ed25519PublicKey& key, bool is_server);
+
+  std::string name_;
+  crypto::Ed25519KeyPair key_pair_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace seg::tls

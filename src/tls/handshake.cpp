@@ -1,0 +1,263 @@
+#include "tls/handshake.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace seg::tls {
+
+namespace {
+
+constexpr std::size_t kRandomSize = 32;
+
+void put_blob(Bytes& out, BytesView blob) {
+  put_u32_be(out, static_cast<std::uint32_t>(blob.size()));
+  append(out, blob);
+}
+
+Bytes get_blob(BytesView data, std::size_t& offset) {
+  const std::uint32_t len = get_u32_be(data, offset);
+  offset += 4;
+  Bytes blob = slice(data, offset, len);
+  offset += len;
+  return blob;
+}
+
+crypto::HmacSha256::Digest finished_mac(BytesView master, const char* label,
+                                        BytesView transcript) {
+  crypto::HmacSha256 mac(master);
+  mac.update(to_bytes(label));
+  mac.update(crypto::Sha256::hash(transcript));
+  return mac.finish();
+}
+
+crypto::Ed25519Signature sign_transcript(const crypto::Ed25519Seed& seed,
+                                         const crypto::Ed25519PublicKey& pk,
+                                         const char* label,
+                                         BytesView transcript) {
+  const Bytes msg = concat(to_bytes(label), crypto::Sha256::hash(transcript));
+  return crypto::ed25519_sign(seed, pk, msg);
+}
+
+bool verify_transcript_signature(const crypto::Ed25519PublicKey& pk,
+                                 const char* label, BytesView transcript,
+                                 const crypto::Ed25519Signature& sig) {
+  const Bytes msg = concat(to_bytes(label), crypto::Sha256::hash(transcript));
+  return crypto::ed25519_verify(pk, msg, sig);
+}
+
+}  // namespace
+
+SessionKeys derive_session_keys(BytesView shared_secret,
+                                BytesView client_random,
+                                BytesView server_random) {
+  const Bytes salt = concat(client_random, server_random);
+  const auto prk = crypto::hkdf_extract(salt, shared_secret);
+  const Bytes material =
+      crypto::hkdf_expand(prk, to_bytes("segshare key expansion"), 88);
+  SessionKeys keys;
+  keys.client_write_key.assign(material.begin(), material.begin() + 32);
+  keys.server_write_key.assign(material.begin() + 32, material.begin() + 64);
+  std::copy(material.begin() + 64, material.begin() + 76,
+            keys.client_iv_salt.begin());
+  std::copy(material.begin() + 76, material.begin() + 88,
+            keys.server_iv_salt.begin());
+  return keys;
+}
+
+// -------------------------------------------------------- ClientHandshake ---
+
+ClientHandshake::ClientHandshake(RandomSource& rng,
+                                 const crypto::Ed25519PublicKey& ca_public_key,
+                                 Certificate certificate,
+                                 crypto::Ed25519Seed signing_seed)
+    : rng_(rng),
+      ca_public_key_(ca_public_key),
+      certificate_(std::move(certificate)),
+      signing_seed_(signing_seed),
+      ephemeral_(crypto::x25519_generate(rng)) {}
+
+Bytes ClientHandshake::start() {
+  if (state_ != 0) throw ProtocolError("handshake: start() called twice");
+  state_ = 1;
+  Bytes hello = to_bytes("ch1:");
+  Bytes random = rng_.bytes(kRandomSize);
+  put_blob(hello, random);
+  put_blob(hello, ephemeral_.public_key);
+  put_blob(hello, certificate_.serialize());
+  append(transcript_, hello);
+  return hello;
+}
+
+Bytes ClientHandshake::on_server_hello(BytesView server_hello) {
+  if (state_ != 1) throw ProtocolError("handshake: unexpected server hello");
+  state_ = 2;
+  append(transcript_, server_hello);
+
+  const Bytes magic = to_bytes("sh1:");
+  if (server_hello.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), server_hello.begin()))
+    throw ProtocolError("handshake: bad server hello");
+  std::size_t offset = magic.size();
+  const Bytes server_random = get_blob(server_hello, offset);
+  const Bytes server_eph = get_blob(server_hello, offset);
+  const Bytes cert_bytes = get_blob(server_hello, offset);
+  const Bytes sig_bytes = get_blob(server_hello, offset);
+  if (server_random.size() != kRandomSize || server_eph.size() != 32 ||
+      sig_bytes.size() != crypto::kEd25519SignatureSize)
+    throw ProtocolError("handshake: malformed server hello fields");
+
+  const Certificate server_cert = Certificate::parse(cert_bytes);
+  if (!server_cert.verify(ca_public_key_))
+    throw AuthError("server certificate not signed by trusted CA");
+  if (!server_cert.is_server)
+    throw AuthError("peer presented a client certificate as server");
+
+  // The signature covers the transcript up to (and including) the server
+  // hello minus the signature itself; reconstruct that view.
+  const Bytes signed_view(transcript_.begin(),
+                          transcript_.end() - static_cast<std::ptrdiff_t>(
+                                                  4 + sig_bytes.size()));
+  crypto::Ed25519Signature sig;
+  std::copy(sig_bytes.begin(), sig_bytes.end(), sig.begin());
+  if (!verify_transcript_signature(server_cert.public_key, "server-sig",
+                                   signed_view, sig))
+    throw AuthError("server transcript signature invalid");
+
+  // Derive keys.
+  crypto::X25519Key server_pub;
+  std::copy(server_eph.begin(), server_eph.end(), server_pub.begin());
+  const auto shared = crypto::x25519_shared(ephemeral_.private_key, server_pub);
+
+  // Client random sits at the front of the transcript (after magic).
+  std::size_t tr_offset = 4;
+  const Bytes client_random = get_blob(transcript_, tr_offset);
+  const SessionKeys keys =
+      derive_session_keys(shared, client_random, server_random);
+  master_secret_ = concat(keys.client_write_key, keys.server_write_key);
+
+  // Build ClientFinished.
+  Bytes finished = to_bytes("cf1:");
+  const auto client_sig = sign_transcript(signing_seed_, certificate_.public_key,
+                                          "client-sig", transcript_);
+  put_blob(finished, client_sig);
+  put_blob(finished, finished_mac(master_secret_, "client finished", transcript_));
+  append(transcript_, finished);
+
+  result_ = HandshakeResult{keys, server_cert};
+  return finished;
+}
+
+void ClientHandshake::on_server_finished(BytesView server_finished) {
+  if (state_ != 2) throw ProtocolError("handshake: unexpected server finished");
+  const Bytes magic = to_bytes("sf1:");
+  if (server_finished.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), server_finished.begin()))
+    throw ProtocolError("handshake: bad server finished");
+  std::size_t offset = magic.size();
+  const Bytes mac = get_blob(server_finished, offset);
+  const auto expected =
+      finished_mac(master_secret_, "server finished", transcript_);
+  if (!constant_time_equal(mac, expected))
+    throw AuthError("server finished MAC mismatch");
+  state_ = 3;
+}
+
+const HandshakeResult& ClientHandshake::result() const {
+  if (state_ != 3 || !result_)
+    throw ProtocolError("handshake: not established");
+  return *result_;
+}
+
+// -------------------------------------------------------- ServerHandshake ---
+
+ServerHandshake::ServerHandshake(RandomSource& rng,
+                                 const crypto::Ed25519PublicKey& ca_public_key,
+                                 Certificate certificate,
+                                 crypto::Ed25519Seed signing_seed)
+    : rng_(rng),
+      ca_public_key_(ca_public_key),
+      certificate_(std::move(certificate)),
+      signing_seed_(signing_seed),
+      ephemeral_(crypto::x25519_generate(rng)) {}
+
+Bytes ServerHandshake::on_client_hello(BytesView client_hello) {
+  if (state_ != 0) throw ProtocolError("handshake: unexpected client hello");
+  state_ = 1;
+  append(transcript_, client_hello);
+
+  const Bytes magic = to_bytes("ch1:");
+  if (client_hello.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), client_hello.begin()))
+    throw ProtocolError("handshake: bad client hello");
+  std::size_t offset = magic.size();
+  const Bytes client_random = get_blob(client_hello, offset);
+  const Bytes client_eph = get_blob(client_hello, offset);
+  const Bytes cert_bytes = get_blob(client_hello, offset);
+  if (client_random.size() != kRandomSize || client_eph.size() != 32)
+    throw ProtocolError("handshake: malformed client hello fields");
+
+  client_certificate_ = Certificate::parse(cert_bytes);
+  if (!client_certificate_.verify(ca_public_key_))
+    throw AuthError("client certificate not signed by trusted CA");
+  if (client_certificate_.is_server)
+    throw AuthError("peer presented a server certificate as client");
+
+  // Assemble ServerHello; sign the transcript up to the signature.
+  Bytes hello = to_bytes("sh1:");
+  const Bytes server_random = rng_.bytes(kRandomSize);
+  put_blob(hello, server_random);
+  put_blob(hello, ephemeral_.public_key);
+  put_blob(hello, certificate_.serialize());
+  const Bytes signed_view = concat(transcript_, hello);
+  const auto sig = sign_transcript(signing_seed_, certificate_.public_key,
+                                   "server-sig", signed_view);
+  put_blob(hello, sig);
+  append(transcript_, hello);
+
+  crypto::X25519Key client_pub;
+  std::copy(client_eph.begin(), client_eph.end(), client_pub.begin());
+  const auto shared = crypto::x25519_shared(ephemeral_.private_key, client_pub);
+  const SessionKeys keys =
+      derive_session_keys(shared, client_random, server_random);
+  master_secret_ = concat(keys.client_write_key, keys.server_write_key);
+  result_ = HandshakeResult{keys, client_certificate_};
+  return hello;
+}
+
+Bytes ServerHandshake::on_client_finished(BytesView client_finished) {
+  if (state_ != 1) throw ProtocolError("handshake: unexpected client finished");
+  const Bytes magic = to_bytes("cf1:");
+  if (client_finished.size() < magic.size() ||
+      !std::equal(magic.begin(), magic.end(), client_finished.begin()))
+    throw ProtocolError("handshake: bad client finished");
+  std::size_t offset = magic.size();
+  const Bytes sig_bytes = get_blob(client_finished, offset);
+  const Bytes mac = get_blob(client_finished, offset);
+  if (sig_bytes.size() != crypto::kEd25519SignatureSize)
+    throw ProtocolError("handshake: malformed client signature");
+
+  crypto::Ed25519Signature sig;
+  std::copy(sig_bytes.begin(), sig_bytes.end(), sig.begin());
+  if (!verify_transcript_signature(client_certificate_.public_key,
+                                   "client-sig", transcript_, sig))
+    throw AuthError("client transcript signature invalid");
+
+  const auto expected_mac =
+      finished_mac(master_secret_, "client finished", transcript_);
+  if (!constant_time_equal(mac, expected_mac))
+    throw AuthError("client finished MAC mismatch");
+  append(transcript_, client_finished);
+
+  Bytes finished = to_bytes("sf1:");
+  put_blob(finished, finished_mac(master_secret_, "server finished", transcript_));
+  state_ = 2;
+  return finished;
+}
+
+const HandshakeResult& ServerHandshake::result() const {
+  if (state_ != 2 || !result_)
+    throw ProtocolError("handshake: not established");
+  return *result_;
+}
+
+}  // namespace seg::tls

@@ -1,0 +1,97 @@
+// Mutually-authenticated, TLS-1.2-shaped handshake (paper §IV-A/B, §VI).
+//
+// Message flow (two round trips before application data, like TLS 1.2):
+//
+//   C → S  ClientHello      { client_random, X25519 ephemeral, client cert }
+//   S → C  ServerHello      { server_random, X25519 ephemeral, server cert,
+//                             signature over the transcript }
+//   C → S  ClientFinished   { signature over the transcript, finished MAC }
+//   S → C  ServerFinished   { finished MAC }
+//
+// Both sides verify the peer certificate against the CA public key (the
+// enclave's copy is hard-coded into its measured image). Session keys are
+// HKDF-derived from the X25519 shared secret and both randoms. The
+// identity used for all authorization decisions afterwards is exactly the
+// subject of the validated client certificate (F8).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/x25519.h"
+#include "tls/certificate.h"
+#include "tls/record.h"
+
+namespace seg::tls {
+
+struct HandshakeResult {
+  SessionKeys keys;
+  Certificate peer_certificate;
+};
+
+class ClientHandshake {
+ public:
+  /// `signing_seed` is the private key matching `certificate`.
+  ClientHandshake(RandomSource& rng,
+                  const crypto::Ed25519PublicKey& ca_public_key,
+                  Certificate certificate, crypto::Ed25519Seed signing_seed);
+
+  /// Produces the ClientHello.
+  Bytes start();
+  /// Consumes the ServerHello, produces the ClientFinished. Throws
+  /// AuthError if the server certificate or signature is invalid.
+  Bytes on_server_hello(BytesView server_hello);
+  /// Consumes the ServerFinished; afterwards result() is available.
+  void on_server_finished(BytesView server_finished);
+
+  const HandshakeResult& result() const;
+  bool established() const { return result_.has_value(); }
+
+ private:
+  RandomSource& rng_;
+  crypto::Ed25519PublicKey ca_public_key_;
+  Certificate certificate_;
+  crypto::Ed25519Seed signing_seed_;
+  crypto::X25519KeyPair ephemeral_;
+  Bytes transcript_;
+  Bytes master_secret_;
+  std::optional<HandshakeResult> result_;
+  int state_ = 0;
+};
+
+class ServerHandshake {
+ public:
+  ServerHandshake(RandomSource& rng,
+                  const crypto::Ed25519PublicKey& ca_public_key,
+                  Certificate certificate, crypto::Ed25519Seed signing_seed);
+
+  /// Consumes the ClientHello, produces the ServerHello. Throws AuthError
+  /// if the client certificate is invalid.
+  Bytes on_client_hello(BytesView client_hello);
+  /// Consumes the ClientFinished, produces the ServerFinished.
+  Bytes on_client_finished(BytesView client_finished);
+
+  const HandshakeResult& result() const;
+  bool established() const { return result_.has_value(); }
+
+ private:
+  RandomSource& rng_;
+  crypto::Ed25519PublicKey ca_public_key_;
+  Certificate certificate_;
+  crypto::Ed25519Seed signing_seed_;
+  crypto::X25519KeyPair ephemeral_;
+  Bytes transcript_;
+  Bytes master_secret_;
+  Certificate client_certificate_;
+  std::optional<HandshakeResult> result_;
+  int state_ = 0;
+};
+
+/// Derives the session keys from the ECDHE shared secret and both randoms.
+SessionKeys derive_session_keys(BytesView shared_secret,
+                                BytesView client_random,
+                                BytesView server_random);
+
+}  // namespace seg::tls

@@ -1,0 +1,69 @@
+#include "tls/record.h"
+
+#include "common/error.h"
+#include "crypto/gcm.h"
+
+namespace seg::tls {
+
+namespace {
+crypto::AesGcm::Iv nonce_for(const std::array<std::uint8_t, 12>& salt,
+                             std::uint64_t seq) {
+  crypto::AesGcm::Iv iv;
+  std::copy(salt.begin(), salt.end(), iv.begin());
+  for (int i = 0; i < 8; ++i)
+    iv[4 + static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  return iv;
+}
+
+Bytes record_aad(std::uint64_t seq, std::size_t len) {
+  Bytes aad = to_bytes("tls-record");
+  put_u64_be(aad, seq);
+  put_u32_be(aad, static_cast<std::uint32_t>(len));
+  return aad;
+}
+}  // namespace
+
+namespace {
+const Bytes& checked_key(const Bytes& key) {
+  if (key.size() != 32) throw CryptoError("record layer needs 32-byte keys");
+  return key;
+}
+}  // namespace
+
+RecordLayer::RecordLayer(const SessionKeys& keys, bool is_client)
+    : write_gcm_(checked_key(is_client ? keys.client_write_key
+                                       : keys.server_write_key)),
+      read_gcm_(checked_key(is_client ? keys.server_write_key
+                                      : keys.client_write_key)),
+      write_salt_(is_client ? keys.client_iv_salt : keys.server_iv_salt),
+      read_salt_(is_client ? keys.server_iv_salt : keys.client_iv_salt) {}
+
+Bytes RecordLayer::protect(BytesView plaintext) {
+  if (plaintext.size() > kMaxRecordPayload)
+    throw ProtocolError("record payload too large");
+  crypto::AesGcm::Tag tag;
+  const auto iv = nonce_for(write_salt_, send_seq_);
+  Bytes record = write_gcm_.seal(iv, record_aad(send_seq_, plaintext.size()),
+                                 plaintext, tag);
+  append(record, tag);
+  ++send_seq_;
+  return record;
+}
+
+Bytes RecordLayer::unprotect(BytesView record) {
+  if (record.size() < crypto::AesGcm::kTagSize)
+    throw IntegrityError("record truncated");
+  const std::size_t payload_len = record.size() - crypto::AesGcm::kTagSize;
+  crypto::AesGcm::Tag tag;
+  std::copy(record.end() - static_cast<std::ptrdiff_t>(tag.size()),
+            record.end(), tag.begin());
+  const auto iv = nonce_for(read_salt_, recv_seq_);
+  const Bytes plaintext =
+      read_gcm_.open(iv, record_aad(recv_seq_, payload_len),
+                     record.first(payload_len), tag);
+  ++recv_seq_;
+  return plaintext;
+}
+
+}  // namespace seg::tls

@@ -1,0 +1,39 @@
+#include "tls/secure_channel.h"
+
+#include "common/error.h"
+
+namespace seg::tls {
+
+namespace {
+constexpr std::size_t kFragmentPayload = kMaxRecordPayload - 1;
+constexpr std::uint8_t kFinal = 0;
+constexpr std::uint8_t kMore = 1;
+}  // namespace
+
+void SecureChannel::send_message(BytesView message) {
+  std::size_t pos = 0;
+  do {
+    const std::size_t take =
+        std::min(kFragmentPayload, message.size() - pos);
+    Bytes fragment;
+    fragment.reserve(take + 1);
+    fragment.push_back(pos + take < message.size() ? kMore : kFinal);
+    append(fragment, message.subspan(pos, take));
+    end_.send(record_layer_.protect(fragment));
+    pos += take;
+  } while (pos < message.size());
+}
+
+Bytes SecureChannel::recv_message() {
+  Bytes message;
+  for (;;) {
+    const Bytes fragment = record_layer_.unprotect(end_.recv());
+    if (fragment.empty()) throw ProtocolError("secure channel: empty fragment");
+    append(message, BytesView(fragment).subspan(1));
+    if (fragment[0] == kFinal) return message;
+    if (fragment[0] != kMore)
+      throw ProtocolError("secure channel: bad continuation flag");
+  }
+}
+
+}  // namespace seg::tls

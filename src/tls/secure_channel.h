@@ -1,0 +1,39 @@
+// Secure channel: record layer bound to one end of a duplex channel.
+//
+// Application messages of arbitrary size are fragmented into <=16 KiB TLS
+// records with a one-byte continuation flag — the streaming transport of
+// §VI: the receiving enclave processes one record-sized piece at a time
+// and never needs a buffer proportional to the file size.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "net/channel.h"
+#include "tls/record.h"
+
+namespace seg::tls {
+
+class SecureChannel {
+ public:
+  SecureChannel(net::DuplexChannel::End& end, const SessionKeys& keys,
+                bool is_client)
+      : end_(end), record_layer_(keys, is_client) {}
+
+  /// Fragments, protects, and sends one application message.
+  void send_message(BytesView message);
+
+  /// Receives and reassembles one application message; throws
+  /// ProtocolError if the peer has nothing pending.
+  Bytes recv_message();
+
+  bool pending() const { return end_.pending(); }
+
+  RecordLayer& records() { return record_layer_; }
+
+ private:
+  net::DuplexChannel::End& end_;
+  RecordLayer record_layer_;
+};
+
+}  // namespace seg::tls

@@ -1,0 +1,85 @@
+#include "webdav/dav_client.h"
+
+#include "common/error.h"
+
+namespace seg::webdav {
+
+HttpResponse DavClient::execute(const HttpRequest& request) {
+  proto::Request internal;
+  try {
+    internal = to_internal(request);
+  } catch (const ProtocolError& e) {
+    HttpResponse bad;
+    bad.status = 400;
+    bad.reason = "Bad Request";
+    bad.set_header("X-SeGShare-Message", e.what());
+    return bad;
+  }
+
+  proto::Response response;
+  Bytes body;
+  switch (internal.verb) {
+    case proto::Verb::kPutFile:
+      response = inner_.put_file(internal.path, request.body);
+      break;
+    case proto::Verb::kGetFile: {
+      auto [resp, data] = inner_.get_file(internal.path);
+      response = resp;
+      body = std::move(data);
+      break;
+    }
+    case proto::Verb::kMkdir:
+      response = inner_.mkdir(internal.path);
+      break;
+    case proto::Verb::kList:
+      response = inner_.list(internal.path);
+      break;
+    case proto::Verb::kRemove:
+      response = inner_.remove(internal.path);
+      break;
+    case proto::Verb::kMove:
+      response = inner_.move(internal.path, internal.target);
+      break;
+    case proto::Verb::kStat:
+      response = inner_.stat(internal.path);
+      break;
+    case proto::Verb::kSetPermission:
+      response =
+          inner_.set_permission(internal.path, internal.group, internal.perm);
+      break;
+    case proto::Verb::kSetInherit:
+      response = inner_.set_inherit(internal.path, internal.flag);
+      break;
+    case proto::Verb::kAddFileOwner:
+      response = inner_.add_file_owner(internal.path, internal.group);
+      break;
+    case proto::Verb::kAddUserToGroup:
+      response = inner_.add_user_to_group(internal.target, internal.group);
+      break;
+    case proto::Verb::kRemoveUserFromGroup:
+      response =
+          inner_.remove_user_from_group(internal.target, internal.group);
+      break;
+    case proto::Verb::kAddGroupOwner:
+      response = inner_.add_group_owner(internal.group, internal.target);
+      break;
+    case proto::Verb::kRemoveGroupOwner:
+      response = inner_.remove_group_owner(internal.group, internal.target);
+      break;
+    case proto::Verb::kDeleteGroup:
+      response = inner_.delete_group(internal.group);
+      break;
+    case proto::Verb::kPutByHash:
+      // Not expressible in plain WebDAV; dedicated clients use the native
+      // client API instead.
+      response.status = proto::Status::kBadRequest;
+      break;
+  }
+  return to_http(response, internal, body);
+}
+
+Bytes DavClient::execute(BytesView http_request) {
+  return render(execute(parse_request(http_request)));
+}
+
+}  // namespace seg::webdav

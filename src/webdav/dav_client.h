@@ -1,0 +1,29 @@
+// A WebDAV-speaking adapter over the SeGShare user client.
+//
+// Plays the role of a stock WebDAV client (davfs2, WebDrive, ...): it
+// emits textual HTTP/WebDAV messages, which the adapter translates onto
+// the secure channel. Demonstrates §VI's compatibility claim end to end:
+// the same deployment is reachable through pure WebDAV semantics.
+#pragma once
+
+#include "client/user_client.h"
+#include "webdav/gateway.h"
+
+namespace seg::webdav {
+
+class DavClient {
+ public:
+  explicit DavClient(client::UserClient& inner) : inner_(inner) {}
+
+  /// Executes one textual HTTP request against the SeGShare deployment
+  /// and returns the rendered HTTP response.
+  Bytes execute(BytesView http_request);
+
+  /// Typed convenience: parses, executes, returns the parsed response.
+  HttpResponse execute(const HttpRequest& request);
+
+ private:
+  client::UserClient& inner_;
+};
+
+}  // namespace seg::webdav

@@ -1,0 +1,269 @@
+#include "webdav/gateway.h"
+
+#include "common/error.h"
+
+namespace seg::webdav {
+
+namespace {
+
+std::string require_header(const HttpRequest& request, const char* name) {
+  const auto value = request.header(name);
+  if (!value) throw ProtocolError(std::string("webdav: missing header ") + name);
+  return *value;
+}
+
+}  // namespace
+
+int http_status(proto::Status status) {
+  switch (status) {
+    case proto::Status::kOk: return 200;
+    case proto::Status::kNotFound: return 404;
+    case proto::Status::kForbidden: return 403;
+    case proto::Status::kBadRequest: return 400;
+    case proto::Status::kConflict: return 409;
+    case proto::Status::kError: return 500;
+  }
+  return 500;
+}
+
+proto::Status proto_status(int http_status_code) {
+  switch (http_status_code) {
+    case 200:
+    case 201:
+    case 204:
+    case 207: return proto::Status::kOk;
+    case 404: return proto::Status::kNotFound;
+    case 403: return proto::Status::kForbidden;
+    case 400: return proto::Status::kBadRequest;
+    case 409: return proto::Status::kConflict;
+    default: return proto::Status::kError;
+  }
+}
+
+proto::Request to_internal(const HttpRequest& request) {
+  proto::Request internal;
+  internal.path = url_decode_path(request.target);
+
+  if (request.method == "PUT") {
+    internal.verb = proto::Verb::kPutFile;
+    internal.body_size = request.body.size();
+  } else if (request.method == "GET") {
+    internal.verb = proto::Verb::kGetFile;
+  } else if (request.method == "MKCOL") {
+    internal.verb = proto::Verb::kMkdir;
+  } else if (request.method == "PROPFIND") {
+    internal.verb = proto::Verb::kList;
+  } else if (request.method == "DELETE") {
+    internal.verb = proto::Verb::kRemove;
+  } else if (request.method == "HEAD") {
+    internal.verb = proto::Verb::kStat;
+  } else if (request.method == "MOVE") {
+    internal.verb = proto::Verb::kMove;
+    internal.target = url_decode_path(require_header(request, "destination"));
+  } else if (request.method == "ACL") {
+    const std::string action = require_header(request, "x-segshare-action");
+    if (action == "set-permission") {
+      internal.verb = proto::Verb::kSetPermission;
+      internal.group = require_header(request, "x-segshare-group");
+      internal.perm = static_cast<std::uint32_t>(
+          std::stoul(require_header(request, "x-segshare-permission")));
+    } else if (action == "set-inherit") {
+      internal.verb = proto::Verb::kSetInherit;
+      internal.flag = require_header(request, "x-segshare-inherit") == "1";
+    } else if (action == "add-owner") {
+      internal.verb = proto::Verb::kAddFileOwner;
+      internal.group = require_header(request, "x-segshare-group");
+    } else {
+      throw ProtocolError("webdav: unknown ACL action " + action);
+    }
+  } else if (request.method == "GROUP") {
+    internal.path.clear();
+    internal.group = url_decode_path(request.target);
+    if (!internal.group.empty() && internal.group.front() == '/')
+      internal.group.erase(0, 1);
+    const std::string action = require_header(request, "x-segshare-action");
+    if (action == "add-member") {
+      internal.verb = proto::Verb::kAddUserToGroup;
+      internal.target = require_header(request, "x-segshare-user");
+    } else if (action == "remove-member") {
+      internal.verb = proto::Verb::kRemoveUserFromGroup;
+      internal.target = require_header(request, "x-segshare-user");
+    } else if (action == "add-owner") {
+      internal.verb = proto::Verb::kAddGroupOwner;
+      internal.target = require_header(request, "x-segshare-group");
+    } else if (action == "remove-owner") {
+      internal.verb = proto::Verb::kRemoveGroupOwner;
+      internal.target = require_header(request, "x-segshare-group");
+    } else if (action == "delete") {
+      internal.verb = proto::Verb::kDeleteGroup;
+    } else {
+      throw ProtocolError("webdav: unknown GROUP action " + action);
+    }
+  } else {
+    throw ProtocolError("webdav: unsupported method " + request.method);
+  }
+  return internal;
+}
+
+HttpRequest to_http(const proto::Request& request, BytesView body) {
+  HttpRequest http;
+  http.target = url_encode_path(request.path);
+  switch (request.verb) {
+    case proto::Verb::kPutFile:
+      http.method = "PUT";
+      http.body.assign(body.begin(), body.end());
+      break;
+    case proto::Verb::kGetFile:
+      http.method = "GET";
+      break;
+    case proto::Verb::kMkdir:
+      http.method = "MKCOL";
+      break;
+    case proto::Verb::kList:
+      http.method = "PROPFIND";
+      http.set_header("Depth", "1");
+      break;
+    case proto::Verb::kRemove:
+      http.method = "DELETE";
+      break;
+    case proto::Verb::kStat:
+      http.method = "HEAD";
+      break;
+    case proto::Verb::kMove:
+      http.method = "MOVE";
+      http.set_header("Destination", url_encode_path(request.target));
+      break;
+    case proto::Verb::kSetPermission:
+      http.method = "ACL";
+      http.set_header("X-SeGShare-Action", "set-permission");
+      http.set_header("X-SeGShare-Group", request.group);
+      http.set_header("X-SeGShare-Permission", std::to_string(request.perm));
+      break;
+    case proto::Verb::kSetInherit:
+      http.method = "ACL";
+      http.set_header("X-SeGShare-Action", "set-inherit");
+      http.set_header("X-SeGShare-Inherit", request.flag ? "1" : "0");
+      break;
+    case proto::Verb::kAddFileOwner:
+      http.method = "ACL";
+      http.set_header("X-SeGShare-Action", "add-owner");
+      http.set_header("X-SeGShare-Group", request.group);
+      break;
+    case proto::Verb::kPutByHash:
+      throw ProtocolError("webdav: PUTBYHASH has no WebDAV mapping");
+    case proto::Verb::kAddUserToGroup:
+    case proto::Verb::kRemoveUserFromGroup:
+    case proto::Verb::kAddGroupOwner:
+    case proto::Verb::kRemoveGroupOwner:
+    case proto::Verb::kDeleteGroup: {
+      http.method = "GROUP";
+      http.target = "/" + url_encode_path(request.group);
+      const char* action =
+          request.verb == proto::Verb::kAddUserToGroup       ? "add-member"
+          : request.verb == proto::Verb::kRemoveUserFromGroup ? "remove-member"
+          : request.verb == proto::Verb::kAddGroupOwner        ? "add-owner"
+          : request.verb == proto::Verb::kRemoveGroupOwner     ? "remove-owner"
+                                                               : "delete";
+      http.set_header("X-SeGShare-Action", action);
+      if (request.verb == proto::Verb::kAddUserToGroup ||
+          request.verb == proto::Verb::kRemoveUserFromGroup) {
+        http.set_header("X-SeGShare-User", request.target);
+      } else if (request.verb != proto::Verb::kDeleteGroup) {
+        http.set_header("X-SeGShare-Group", request.target);
+      }
+      break;
+    }
+  }
+  return http;
+}
+
+HttpResponse to_http(const proto::Response& response,
+                     const proto::Request& request, BytesView body) {
+  HttpResponse http;
+  http.status = http_status(response.status);
+  http.reason = proto::status_name(response.status);
+  if (!response.message.empty())
+    http.set_header("X-SeGShare-Message", response.message);
+  if (!response.ok()) return http;
+
+  switch (request.verb) {
+    case proto::Verb::kList:
+      http.status = 207;
+      http.reason = "Multi-Status";
+      http.body = to_bytes(render_multistatus(request.path, response.listing));
+      http.set_header("Content-Type", "application/xml; charset=utf-8");
+      break;
+    case proto::Verb::kGetFile:
+      http.body.assign(body.begin(), body.end());
+      break;
+    case proto::Verb::kStat:
+      http.set_header("X-SeGShare-Type", response.message);
+      http.set_header("X-SeGShare-Size", std::to_string(response.body_size));
+      break;
+    case proto::Verb::kPutFile:
+    case proto::Verb::kMkdir:
+      http.status = 201;
+      http.reason = "Created";
+      break;
+    default:
+      http.status = 204;
+      http.reason = "No Content";
+      break;
+  }
+  return http;
+}
+
+std::pair<proto::Response, Bytes> from_http(const HttpResponse& response) {
+  proto::Response internal;
+  internal.status = proto_status(response.status);
+  if (const auto message = response.header("x-segshare-message"))
+    internal.message = *message;
+  if (response.status == 207) {
+    internal.listing =
+        parse_multistatus(to_string(response.body));
+    return {internal, {}};
+  }
+  if (const auto size = response.header("x-segshare-size"))
+    internal.body_size = std::stoull(*size);
+  return {internal, response.body};
+}
+
+std::string render_multistatus(const std::string& dir_path,
+                               const std::vector<std::string>& children) {
+  std::string xml =
+      "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n"
+      "<D:multistatus xmlns:D=\"DAV:\">\n";
+  auto add = [&xml](const std::string& href, bool collection) {
+    xml += "  <D:response>\n    <D:href>" +
+           xml_escape(url_encode_path(href)) + "</D:href>\n"
+           "    <D:propstat><D:prop><D:resourcetype>" +
+           std::string(collection ? "<D:collection/>" : "") +
+           "</D:resourcetype></D:prop>"
+           "<D:status>HTTP/1.1 200 OK</D:status></D:propstat>\n"
+           "  </D:response>\n";
+  };
+  add(dir_path, true);
+  for (const auto& child : children)
+    add(child, !child.empty() && child.back() == '/');
+  xml += "</D:multistatus>\n";
+  return xml;
+}
+
+std::vector<std::string> parse_multistatus(const std::string& xml) {
+  std::vector<std::string> hrefs;
+  std::size_t pos = 0;
+  const std::string open = "<D:href>";
+  const std::string close = "</D:href>";
+  bool first = true;  // first href is the collection itself
+  while ((pos = xml.find(open, pos)) != std::string::npos) {
+    pos += open.size();
+    const auto end = xml.find(close, pos);
+    if (end == std::string::npos) break;
+    if (!first) hrefs.push_back(url_decode_path(xml.substr(pos, end - pos)));
+    first = false;
+    pos = end + close.size();
+  }
+  return hrefs;
+}
+
+}  // namespace seg::webdav

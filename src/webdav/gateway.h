@@ -1,0 +1,59 @@
+// WebDAV facade for SeGShare (§VI).
+//
+// Maps textual WebDAV/HTTP messages onto the internal wire protocol so
+// stock WebDAV tooling can drive a SeGShare deployment:
+//
+//   HTTP method          internal verb          notes
+//   ------------------   --------------------   ------------------------------
+//   PUT <path>           kPutFile               body = file content
+//   GET <path>           kGetFile               body = file content
+//   MKCOL <dir>          kMkdir
+//   PROPFIND <dir>       kList                  207 multistatus XML response
+//   DELETE <path>        kRemove
+//   MOVE <path>          kMove                  Destination header
+//   HEAD <path>          kStat                  size in Content-Length
+//   ACL <path>           kSetPermission /       X-SeGShare-Group /
+//                        kSetInherit /          X-SeGShare-Permission /
+//                        kAddFileOwner          X-SeGShare-Action headers
+//   GROUP <group>        membership/ownership   X-SeGShare-* headers
+//
+// The SeGShare permission and group operations have no standard WebDAV
+// verbs (RFC 3744 ACL XML would be overkill here), so they ride on an ACL
+// extension method with X-SeGShare-* headers — exactly the kind of
+// vendor extension DAV clients ignore and dedicated clients use.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "proto/messages.h"
+#include "webdav/http.h"
+
+namespace seg::webdav {
+
+/// Translates one HTTP request to an internal request. Throws
+/// ProtocolError for unsupported methods or missing required headers.
+proto::Request to_internal(const HttpRequest& request);
+
+/// Renders an internal response (+ body for GET, listing for PROPFIND)
+/// as an HTTP response.
+HttpResponse to_http(const proto::Response& response,
+                     const proto::Request& request, BytesView body = {});
+
+/// Builds the HTTP request for an internal one (client direction).
+HttpRequest to_http(const proto::Request& request, BytesView body = {});
+
+/// Extracts status + body from an HTTP response (client direction).
+std::pair<proto::Response, Bytes> from_http(const HttpResponse& response);
+
+/// proto::Status → HTTP status code mapping.
+int http_status(proto::Status status);
+proto::Status proto_status(int http_status_code);
+
+/// PROPFIND 207 multistatus XML for a directory listing.
+std::string render_multistatus(const std::string& dir_path,
+                               const std::vector<std::string>& children);
+/// Parses the hrefs back out of a multistatus body.
+std::vector<std::string> parse_multistatus(const std::string& xml);
+
+}  // namespace seg::webdav

@@ -1,0 +1,185 @@
+#include "webdav/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+
+namespace seg::webdav {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+void render_headers(Bytes& out, const Headers& headers, std::size_t body_size) {
+  for (const auto& [name, value] : headers) {
+    if (name == "content-length") continue;  // always recomputed
+    append(out, to_bytes(name + ": " + value + "\r\n"));
+  }
+  append(out, to_bytes("content-length: " + std::to_string(body_size) +
+                       "\r\n\r\n"));
+}
+
+struct ParsedHead {
+  std::string start_line;
+  Headers headers;
+  std::size_t body_offset = 0;
+};
+
+ParsedHead parse_head(BytesView wire) {
+  const std::string text(wire.begin(), wire.end());
+  const auto head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos)
+    throw ProtocolError("http: missing header terminator");
+  ParsedHead head;
+  head.body_offset = head_end + 4;
+
+  std::size_t pos = text.find("\r\n");
+  head.start_line = text.substr(0, pos);
+  pos += 2;
+  while (pos < head_end) {
+    std::size_t line_end = text.find("\r\n", pos);
+    if (line_end == std::string::npos || line_end > head_end)
+      line_end = head_end;
+    const std::string line = text.substr(pos, line_end - pos);
+    const auto colon = line.find(':');
+    if (colon == std::string::npos)
+      throw ProtocolError("http: malformed header line");
+    std::string name = lower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    head.headers[name] = value;
+    pos = line_end + 2;
+  }
+  return head;
+}
+
+Bytes extract_body(BytesView wire, const ParsedHead& head) {
+  std::size_t expected = 0;
+  const auto it = head.headers.find("content-length");
+  if (it != head.headers.end()) expected = std::stoull(it->second);
+  if (wire.size() - head.body_offset < expected)
+    throw ProtocolError("http: truncated body");
+  return slice(wire, head.body_offset, expected);
+}
+
+}  // namespace
+
+void HttpRequest::set_header(const std::string& name, const std::string& value) {
+  headers[lower(name)] = value;
+}
+
+std::optional<std::string> HttpRequest::header(const std::string& name) const {
+  const auto it = headers.find(lower(name));
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+void HttpResponse::set_header(const std::string& name,
+                              const std::string& value) {
+  headers[lower(name)] = value;
+}
+
+std::optional<std::string> HttpResponse::header(const std::string& name) const {
+  const auto it = headers.find(lower(name));
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes render(const HttpRequest& request) {
+  Bytes out = to_bytes(request.method + " " + request.target + " HTTP/1.1\r\n");
+  render_headers(out, request.headers, request.body.size());
+  append(out, request.body);
+  return out;
+}
+
+Bytes render(const HttpResponse& response) {
+  Bytes out = to_bytes("HTTP/1.1 " + std::to_string(response.status) + " " +
+                       response.reason + "\r\n");
+  render_headers(out, response.headers, response.body.size());
+  append(out, response.body);
+  return out;
+}
+
+HttpRequest parse_request(BytesView wire) {
+  const ParsedHead head = parse_head(wire);
+  HttpRequest request;
+  const auto first_space = head.start_line.find(' ');
+  const auto second_space = head.start_line.find(' ', first_space + 1);
+  if (first_space == std::string::npos || second_space == std::string::npos)
+    throw ProtocolError("http: malformed request line");
+  request.method = head.start_line.substr(0, first_space);
+  request.target =
+      head.start_line.substr(first_space + 1, second_space - first_space - 1);
+  if (head.start_line.substr(second_space + 1) != "HTTP/1.1")
+    throw ProtocolError("http: unsupported version");
+  request.headers = head.headers;
+  request.body = extract_body(wire, head);
+  return request;
+}
+
+HttpResponse parse_response(BytesView wire) {
+  const ParsedHead head = parse_head(wire);
+  HttpResponse response;
+  if (head.start_line.rfind("HTTP/1.1 ", 0) != 0)
+    throw ProtocolError("http: malformed status line");
+  const std::string rest = head.start_line.substr(9);
+  const auto space = rest.find(' ');
+  response.status = std::stoi(rest.substr(0, space));
+  response.reason = space == std::string::npos ? "" : rest.substr(space + 1);
+  response.headers = head.headers;
+  response.body = extract_body(wire, head);
+  return response;
+}
+
+std::string url_encode_path(const std::string& path) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  for (const char c : path) {
+    const auto byte = static_cast<unsigned char>(c);
+    const bool safe = std::isalnum(byte) || c == '/' || c == '-' ||
+                      c == '_' || c == '.' || c == '~';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0x0f]);
+    }
+  }
+  return out;
+}
+
+std::string url_decode_path(const std::string& encoded) {
+  std::string out;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] == '%' && i + 2 < encoded.size()) {
+      out.push_back(static_cast<char>(
+          std::stoi(encoded.substr(i + 1, 2), nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(encoded[i]);
+    }
+  }
+  return out;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace seg::webdav

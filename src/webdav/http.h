@@ -1,0 +1,58 @@
+// Minimal HTTP/1.1 message codec — the substrate for the WebDAV facade.
+//
+// The paper's prototype follows the WebDAV standard so that stock clients
+// (davfs2, Windows/macOS WebDAV, Cx File Explorer, ...) can talk to
+// SeGShare (§VI). This module provides the textual HTTP layer: request
+// and response serialization/parsing with the subset of features WebDAV
+// needs (methods incl. extension methods, headers, Content-Length
+// bodies).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace seg::webdav {
+
+/// Header names are case-insensitive; stored lower-cased.
+using Headers = std::map<std::string, std::string>;
+
+struct HttpRequest {
+  std::string method;   // "PUT", "PROPFIND", "MKCOL", ...
+  std::string target;   // URL path, percent-encoded
+  Headers headers;
+  Bytes body;
+
+  void set_header(const std::string& name, const std::string& value);
+  std::optional<std::string> header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Bytes body;
+
+  void set_header(const std::string& name, const std::string& value);
+  std::optional<std::string> header(const std::string& name) const;
+};
+
+/// Serializes with CRLF line endings and a Content-Length header.
+Bytes render(const HttpRequest& request);
+Bytes render(const HttpResponse& response);
+
+/// Parses a complete message; throws ProtocolError on malformed input or
+/// truncated bodies.
+HttpRequest parse_request(BytesView wire);
+HttpResponse parse_response(BytesView wire);
+
+/// RFC 3986 percent-encoding for URL path segments (preserves '/').
+std::string url_encode_path(const std::string& path);
+std::string url_decode_path(const std::string& encoded);
+
+/// Minimal XML escaping for PROPFIND multistatus bodies.
+std::string xml_escape(const std::string& text);
+
+}  // namespace seg::webdav

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "baseline/he_share.h"
+#include "baseline/plain_dav.h"
+#include "client/user_client.h"
+#include "common/error.h"
+
+namespace seg::baseline {
+namespace {
+
+// --------------------------------------------------------------- plain DAV ---
+
+struct DavFixture {
+  TestRng rng{42};
+  tls::CertificateAuthority ca{rng};
+  store::MemoryStore storage;
+  PlainDavServer server{rng, ca, storage, ServerProfile::nginx_like()};
+  net::DuplexChannel channel;
+  client::UserClient alice{rng, ca.public_key(),
+                           client::enroll_user(rng, ca, "alice")};
+
+  DavFixture() {
+    server.accept(channel);
+    alice.connect(channel.a(), [this] { server.pump(); });
+  }
+};
+
+TEST(PlainDav, PutGetRoundtrip) {
+  DavFixture f;
+  const Bytes content = f.rng.bytes(500'000);
+  EXPECT_TRUE(f.alice.put_file("/f", content).ok());
+  EXPECT_EQ(f.alice.get_file("/f").second, content);
+}
+
+TEST(PlainDav, StoresPlaintext) {
+  // The whole point of the baseline: data at rest is NOT protected.
+  DavFixture f;
+  const Bytes secret = to_bytes("VISIBLE-TO-CLOUD");
+  ASSERT_TRUE(f.alice.put_file("/f", secret).ok());
+  EXPECT_EQ(*f.storage.get("/f"), secret);
+}
+
+TEST(PlainDav, MissingFileIsNotFound) {
+  DavFixture f;
+  EXPECT_EQ(f.alice.get_file("/nope").first.status, proto::Status::kNotFound);
+}
+
+TEST(PlainDav, ChargesStorageCost) {
+  DavFixture f;
+  f.server.reset_storage_ms();
+  ASSERT_TRUE(f.alice.put_file("/f", Bytes(1 << 20, 7)).ok());
+  EXPECT_GT(f.server.storage_ms(), 0.0);
+}
+
+TEST(PlainDav, ProfilesDiffer) {
+  const auto nginx = ServerProfile::nginx_like();
+  const auto apache = ServerProfile::apache_like();
+  EXPECT_TRUE(nginx.pipelined);
+  EXPECT_FALSE(apache.pipelined);
+  EXPECT_GT(apache.storage_ms_per_mib, nginx.storage_ms_per_mib);
+}
+
+// ---------------------------------------------------------------- HE share ---
+
+TEST(HeShare, UploadDownload) {
+  TestRng rng(1);
+  HeShare he(rng);
+  he.add_member("alice");
+  he.add_member("bob");
+  const Bytes content = rng.bytes(10'000);
+  he.upload("/f", content, {"alice", "bob"});
+  EXPECT_EQ(he.download("/f", "alice"), content);
+  EXPECT_EQ(he.download("/f", "bob"), content);
+}
+
+TEST(HeShare, NonMemberCannotDownload) {
+  TestRng rng(2);
+  HeShare he(rng);
+  he.add_member("alice");
+  he.add_member("eve");
+  he.upload("/f", to_bytes("secret"), {"alice"});
+  EXPECT_THROW(he.download("/f", "eve"), AuthError);
+  EXPECT_THROW(he.download("/f", "nobody"), AuthError);
+  EXPECT_THROW(he.download("/missing", "alice"), StorageError);
+}
+
+TEST(HeShare, RevocationReencryptsEveryAffectedFile) {
+  TestRng rng(3);
+  HeShare he(rng);
+  he.add_member("alice");
+  he.add_member("bob");
+  const Bytes content = rng.bytes(50'000);
+  he.upload("/f1", content, {"alice", "bob"});
+  he.upload("/f2", content, {"alice", "bob"});
+  he.upload("/other", content, {"alice"});
+  he.reset_stats();
+
+  const std::uint64_t rewritten = he.revoke_member("bob");
+  // Both shared files re-encrypted; the unshared one untouched.
+  EXPECT_GE(rewritten, 2 * 50'000u);
+  EXPECT_LT(rewritten, 3 * 50'000u + 1000);
+  EXPECT_THROW(he.download("/f1", "bob"), AuthError);
+  EXPECT_EQ(he.download("/f1", "alice"), content);  // fresh wrap works
+  EXPECT_EQ(he.stats().keys_wrapped, 2u);           // alice × 2 files
+}
+
+TEST(HeShare, LazyRevocationIsCheapButLeavesOldKey) {
+  TestRng rng(4);
+  HeShare he(rng);
+  he.add_member("alice");
+  he.add_member("bob");
+  he.upload("/f", to_bytes("data"), {"alice", "bob"});
+  he.reset_stats();
+  he.revoke_member_lazily("bob");
+  EXPECT_EQ(he.stats().bytes_reencrypted, 0u);  // the security gap S4 closes
+  EXPECT_THROW(he.download("/f", "bob"), AuthError);
+}
+
+}  // namespace
+}  // namespace seg::baseline

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace seg {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), Error);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), Error);
+}
+
+TEST(Bytes, StringRoundtrip) {
+  EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {};
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+TEST(Bytes, BigEndianRoundtrip) {
+  Bytes out;
+  put_u16_be(out, 0x1234);
+  put_u32_be(out, 0xdeadbeef);
+  put_u64_be(out, 0x0123456789abcdefULL);
+  EXPECT_EQ(out.size(), 14u);
+  EXPECT_EQ(get_u16_be(out, 0), 0x1234);
+  EXPECT_EQ(get_u32_be(out, 2), 0xdeadbeefu);
+  EXPECT_EQ(get_u64_be(out, 6), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, OutOfRangeReadThrows) {
+  const Bytes b = {1, 2, 3};
+  EXPECT_THROW(get_u32_be(b, 0), Error);
+  EXPECT_THROW(get_u16_be(b, 2), Error);
+  EXPECT_THROW(slice(b, 2, 2), Error);
+  EXPECT_EQ(slice(b, 1, 2), (Bytes{2, 3}));
+}
+
+TEST(Bytes, SecureZero) {
+  Bytes b = {1, 2, 3};
+  secure_zero(b);
+  EXPECT_EQ(b, (Bytes{0, 0, 0}));
+}
+
+TEST(TestRng, Deterministic) {
+  TestRng a(42), b(42), c(43);
+  const Bytes ba = a.bytes(32);
+  const Bytes bb = b.bytes(32);
+  const Bytes bc = c.bytes(32);
+  EXPECT_EQ(ba, bb);
+  EXPECT_NE(ba, bc);
+}
+
+TEST(TestRng, UniformInRange) {
+  TestRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+  // uniform(1) is always 0.
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(50);  // must not go backwards
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(200);
+  EXPECT_EQ(clock.now(), 200u);
+}
+
+TEST(SimClock, MillisConversion) {
+  EXPECT_EQ(SimClock::from_millis(1.5), 1'500'000u);
+  EXPECT_DOUBLE_EQ(SimClock::to_millis(2'500'000), 2.5);
+}
+
+TEST(Errors, HierarchyAndMessages) {
+  try {
+    throw RollbackError("stale root");
+  } catch (const IntegrityError& e) {
+    EXPECT_NE(std::string(e.what()).find("rollback"), std::string::npos);
+  }
+  EXPECT_THROW(throw CryptoError("x"), Error);
+  EXPECT_THROW(throw AuthError("x"), Error);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,482 @@
+// End-to-end tests of the SeGShare system: Algo 1 request semantics,
+// the Table I access-control model, and the F/P/S objectives that are
+// observable through the public API.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fs/records.h"
+#include "segshare_test_util.h"
+
+namespace seg {
+namespace {
+
+using testutil::Rig;
+
+TEST(Setup, CertificateProvisioningAttestsEnclave) {
+  Rig rig;
+  EXPECT_TRUE(rig.enclave().ready());
+  EXPECT_TRUE(rig.enclave().server_certificate().is_server);
+  EXPECT_TRUE(rig.enclave().server_certificate().verify(rig.ca().public_key()));
+}
+
+TEST(Setup, ForeignCaCannotProvision) {
+  // An enclave is measured with its hard-coded CA key; a different CA's
+  // expected measurement will not match.
+  TestRng rng(7);
+  tls::CertificateAuthority good_ca(rng), evil_ca(rng, "Evil-CA");
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore content, group, dedup;
+  core::SegShareEnclave enclave(platform, rng, good_ca.public_key(),
+                                core::Stores{content, group, dedup});
+  EXPECT_THROW(core::SegShareServer::provision_certificate(enclave, evil_ca,
+                                                           platform),
+               AuthError);
+}
+
+TEST(Setup, ClientVerifiesServerCertificate) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_TRUE(alice.connected());
+  EXPECT_EQ(alice.server_certificate().subject, "segshare-server");
+}
+
+TEST(Setup, ClientWithForeignCertificateRejected) {
+  Rig rig;
+  TestRng rng(9);
+  tls::CertificateAuthority other_ca(rng, "Other-CA");
+  auto channel = std::make_unique<net::DuplexChannel>();
+  client::UserClient mallory(rig.rng(), rig.ca().public_key(),
+                             client::enroll_user(rng, other_ca, "mallory"));
+  rig.server().accept(*channel);
+  EXPECT_THROW(
+      mallory.connect(channel->a(), [&] { rig.server().pump(); }),
+      AuthError);
+}
+
+// ------------------------------------------------------- file operations ---
+
+TEST(Files, PutGetRoundtrip) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  const Bytes content = rig.rng().bytes(100'000);
+  EXPECT_TRUE(alice.put_file("/data.bin", content).ok());
+  const auto [resp, fetched] = alice.get_file("/data.bin");
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(fetched, content);
+}
+
+TEST(Files, EmptyAndLargeFiles) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_TRUE(alice.put_file("/empty", {}).ok());
+  EXPECT_TRUE(alice.get_file("/empty").second.empty());
+  const Bytes big = rig.rng().bytes(3 * 1024 * 1024);
+  EXPECT_TRUE(alice.put_file("/big", big).ok());
+  EXPECT_EQ(alice.get_file("/big").second, big);
+}
+
+TEST(Files, GetMissingFileIsNotFound) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_EQ(alice.get_file("/ghost").first.status, proto::Status::kNotFound);
+}
+
+TEST(Files, UpdateByOwner) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("v1")).ok());
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("version two")).ok());
+  EXPECT_EQ(alice.get_file("/f").second, to_bytes("version two"));
+}
+
+TEST(Files, InvalidPathsRejected) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_EQ(alice.put_file("relative", to_bytes("x")).status,
+            proto::Status::kBadRequest);
+  EXPECT_EQ(alice.put_file("/a/../b", to_bytes("x")).status,
+            proto::Status::kBadRequest);
+  EXPECT_EQ(alice.put_file("/dir/", to_bytes("x")).status,
+            proto::Status::kBadRequest);
+}
+
+TEST(Files, PutIntoMissingParentIsNotFound) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_EQ(alice.put_file("/no/such/dir/f", to_bytes("x")).status,
+            proto::Status::kNotFound);
+}
+
+TEST(Files, PlaintextNeverTouchesUntrustedStores) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  const Bytes secret = to_bytes("MAGIC-SECRET-MARKER-31337");
+  ASSERT_TRUE(alice.put_file("/s.txt", secret).ok());
+  for (auto* store :
+       {&rig.content_store(), &rig.group_store(), &rig.dedup_store()}) {
+    for (const auto& name : store->list()) {
+      const auto blob = *store->get(name);
+      EXPECT_EQ(std::search(blob.begin(), blob.end(), secret.begin(),
+                            secret.end()),
+                blob.end())
+          << "plaintext found in blob " << name;
+    }
+  }
+}
+
+TEST(Files, HiddenNamesLeakNoPaths) {
+  Rig rig;  // hide_names defaults to true
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/secret-project/").ok());
+  ASSERT_TRUE(alice.put_file("/secret-project/plan.txt", to_bytes("x")).ok());
+  for (const auto& name : rig.content_store().list()) {
+    EXPECT_EQ(name.find("secret-project"), std::string::npos);
+    EXPECT_EQ(name.find("plan.txt"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ directories ---
+
+TEST(Directories, MkdirListRemove) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/docs/").ok());
+  ASSERT_TRUE(alice.put_file("/docs/a.txt", to_bytes("a")).ok());
+  ASSERT_TRUE(alice.put_file("/docs/b.txt", to_bytes("b")).ok());
+  const auto listing = alice.list("/docs/");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.listing,
+            (std::vector<std::string>{"/docs/a.txt", "/docs/b.txt"}));
+
+  ASSERT_TRUE(alice.remove("/docs/a.txt").ok());
+  EXPECT_EQ(alice.list("/docs/").listing,
+            (std::vector<std::string>{"/docs/b.txt"}));
+}
+
+TEST(Directories, NestedTree) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/a/").ok());
+  ASSERT_TRUE(alice.mkdir("/a/b/").ok());
+  ASSERT_TRUE(alice.mkdir("/a/b/c/").ok());
+  ASSERT_TRUE(alice.put_file("/a/b/c/deep.txt", to_bytes("deep")).ok());
+  EXPECT_EQ(alice.get_file("/a/b/c/deep.txt").second, to_bytes("deep"));
+  const auto root = alice.list("/");
+  EXPECT_NE(std::find(root.listing.begin(), root.listing.end(), "/a/"),
+            root.listing.end());
+}
+
+TEST(Directories, MkdirConflictAndMissingParent) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/d/").ok());
+  EXPECT_EQ(alice.mkdir("/d/").status, proto::Status::kConflict);
+  EXPECT_EQ(alice.mkdir("/x/y/").status, proto::Status::kNotFound);
+}
+
+TEST(Directories, RecursiveRemove) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/tree/").ok());
+  ASSERT_TRUE(alice.mkdir("/tree/sub/").ok());
+  ASSERT_TRUE(alice.put_file("/tree/sub/f", to_bytes("f")).ok());
+  ASSERT_TRUE(alice.remove("/tree/").ok());
+  EXPECT_EQ(alice.list("/tree/").status, proto::Status::kNotFound);
+  EXPECT_EQ(alice.get_file("/tree/sub/f").first.status,
+            proto::Status::kNotFound);
+}
+
+TEST(Directories, MoveFileAndDirectory) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/src/").ok());
+  ASSERT_TRUE(alice.mkdir("/dst/").ok());
+  ASSERT_TRUE(alice.put_file("/src/f", to_bytes("payload")).ok());
+  ASSERT_TRUE(alice.move("/src/f", "/dst/f2").ok());
+  EXPECT_EQ(alice.get_file("/src/f").first.status, proto::Status::kNotFound);
+  EXPECT_EQ(alice.get_file("/dst/f2").second, to_bytes("payload"));
+
+  ASSERT_TRUE(alice.mkdir("/src/inner/").ok());
+  ASSERT_TRUE(alice.put_file("/src/inner/g", to_bytes("g")).ok());
+  ASSERT_TRUE(alice.move("/src/", "/dst/moved/").ok());
+  EXPECT_EQ(alice.get_file("/dst/moved/inner/g").second, to_bytes("g"));
+  EXPECT_EQ(alice.list("/src/").status, proto::Status::kNotFound);
+}
+
+TEST(Directories, MoveIntoOwnSubtreeRejected) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/a/").ok());
+  ASSERT_TRUE(alice.mkdir("/a/b/").ok());
+  EXPECT_EQ(alice.move("/a/", "/a/b/c/").status, proto::Status::kBadRequest);
+}
+
+// --------------------------------------------------------- access control ---
+
+TEST(AccessControl, UnsharedFileIsPrivate) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/private", to_bytes("alice only")).ok());
+  EXPECT_EQ(bob.get_file("/private").first.status, proto::Status::kForbidden);
+  EXPECT_EQ(bob.put_file("/private", to_bytes("overwrite")).status,
+            proto::Status::kForbidden);
+  EXPECT_EQ(bob.remove("/private").status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, ShareWithIndividualUserViaDefaultGroup) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/shared", to_bytes("hello bob")).ok());
+  ASSERT_TRUE(alice.set_permission("/shared", "user:bob", fs::kPermRead).ok());
+  EXPECT_EQ(bob.get_file("/shared").second, to_bytes("hello bob"));
+  // Read-only: writes stay forbidden.
+  EXPECT_EQ(bob.put_file("/shared", to_bytes("x")).status,
+            proto::Status::kForbidden);
+}
+
+TEST(AccessControl, ShareWithUserWhoNeverConnected) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("early")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:carol", fs::kPermRead).ok());
+  auto& carol = rig.connect("carol");
+  EXPECT_EQ(carol.get_file("/f").second, to_bytes("early"));
+}
+
+TEST(AccessControl, GroupSharing) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  auto& carol = rig.connect("carol");
+  // Alice creates "team" by adding bob (Algo 1 add_u creates the group).
+  ASSERT_TRUE(alice.add_user_to_group("bob", "team").ok());
+  ASSERT_TRUE(alice.put_file("/teamfile", to_bytes("team data")).ok());
+  ASSERT_TRUE(
+      alice.set_permission("/teamfile", "team", fs::kPermReadWrite).ok());
+  EXPECT_EQ(bob.get_file("/teamfile").second, to_bytes("team data"));
+  EXPECT_TRUE(bob.put_file("/teamfile", to_bytes("bob was here")).ok());
+  // Carol is not in the group.
+  EXPECT_EQ(carol.get_file("/teamfile").first.status,
+            proto::Status::kForbidden);
+}
+
+TEST(AccessControl, ImmediateMembershipRevocation) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.add_user_to_group("bob", "proj").ok());
+  ASSERT_TRUE(alice.put_file("/p", to_bytes("proj data")).ok());
+  ASSERT_TRUE(alice.set_permission("/p", "proj", fs::kPermRead).ok());
+  EXPECT_TRUE(bob.get_file("/p").first.ok());
+
+  // S4: revocation is enforced on the very next request.
+  ASSERT_TRUE(alice.remove_user_from_group("bob", "proj").ok());
+  EXPECT_EQ(bob.get_file("/p").first.status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, ImmediatePermissionRevocation) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("data")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermRead).ok());
+  EXPECT_TRUE(bob.get_file("/f").first.ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermNone).ok());
+  EXPECT_EQ(bob.get_file("/f").first.status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, RevocationDoesNotReencryptContent) {
+  // P3: the encrypted content file is byte-identical before and after a
+  // permission revocation.
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("stable bytes")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermRead).ok());
+  const auto before = rig.content_store().inner().list();
+  std::map<std::string, Bytes> snapshot;
+  for (const auto& name : before) snapshot[name] = *rig.content_store().get(name);
+
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermDeny).ok());
+
+  // Everything except the (one) ACL object must be untouched.
+  std::size_t changed = 0;
+  for (const auto& [name, blob] : snapshot) {
+    const auto now = rig.content_store().get(name);
+    if (!now || *now != blob) ++changed;
+  }
+  // The ACL lives in its own Protected-FS file: metadata + 1 chunk.
+  EXPECT_LE(changed, 2u);
+  EXPECT_GE(changed, 1u);
+}
+
+TEST(AccessControl, DenyOverridesInheritedGrant) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.mkdir("/proj/").ok());
+  ASSERT_TRUE(alice.set_permission("/proj/", "user:bob", fs::kPermRead).ok());
+  ASSERT_TRUE(alice.put_file("/proj/open", to_bytes("open")).ok());
+  ASSERT_TRUE(alice.put_file("/proj/closed", to_bytes("closed")).ok());
+  ASSERT_TRUE(alice.set_inherit("/proj/open", true).ok());
+  ASSERT_TRUE(alice.set_inherit("/proj/closed", true).ok());
+  ASSERT_TRUE(
+      alice.set_permission("/proj/closed", "user:bob", fs::kPermDeny).ok());
+
+  EXPECT_EQ(bob.get_file("/proj/open").second, to_bytes("open"));
+  EXPECT_EQ(bob.get_file("/proj/closed").first.status,
+            proto::Status::kForbidden);
+}
+
+TEST(AccessControl, InheritanceRequiresFlag) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.mkdir("/proj/").ok());
+  ASSERT_TRUE(alice.set_permission("/proj/", "user:bob", fs::kPermRead).ok());
+  ASSERT_TRUE(alice.put_file("/proj/f", to_bytes("f")).ok());
+  // No inherit flag: the directory grant does not apply to the file.
+  EXPECT_EQ(bob.get_file("/proj/f").first.status, proto::Status::kForbidden);
+  ASSERT_TRUE(alice.set_inherit("/proj/f", true).ok());
+  EXPECT_TRUE(bob.get_file("/proj/f").first.ok());
+}
+
+TEST(AccessControl, OnlyOwnersSetPermissions) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermReadWrite).ok());
+  // Bob can read and write but is no owner: permission changes denied (F3).
+  EXPECT_EQ(bob.set_permission("/f", "user:bob", fs::kPermRead).status,
+            proto::Status::kForbidden);
+  EXPECT_EQ(bob.set_inherit("/f", true).status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, MultipleFileOwners) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.add_file_owner("/f", "user:bob").ok());
+  // F7: bob can now manage permissions too.
+  EXPECT_TRUE(bob.set_permission("/f", "user:carol", fs::kPermRead).ok());
+}
+
+TEST(AccessControl, GroupOwnershipManagement) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  auto& carol = rig.connect("carol");
+  ASSERT_TRUE(alice.add_user_to_group("bob", "g").ok());
+  // Bob is a member but not an owner: cannot add members.
+  EXPECT_EQ(bob.add_user_to_group("carol", "g").status,
+            proto::Status::kForbidden);
+  // Alice extends group ownership to bob's default group (rGO).
+  ASSERT_TRUE(alice.add_group_owner("g", "user:bob").ok());
+  EXPECT_TRUE(bob.add_user_to_group("carol", "g").ok());
+  // And revokes it again.
+  ASSERT_TRUE(alice.remove_group_owner("g", "user:bob").ok());
+  EXPECT_EQ(bob.remove_user_from_group("carol", "g").status,
+            proto::Status::kForbidden);
+  (void)carol;
+}
+
+TEST(AccessControl, DeleteGroupRemovesAllMemberships) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.add_user_to_group("bob", "g").ok());
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "g", fs::kPermRead).ok());
+  EXPECT_TRUE(bob.get_file("/f").first.ok());
+  ASSERT_TRUE(alice.delete_group("g").ok());
+  EXPECT_EQ(bob.get_file("/f").first.status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, DefaultGroupsAreProtected) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_EQ(alice.add_user_to_group("alice", "user:bob").status,
+            proto::Status::kBadRequest);
+  EXPECT_EQ(alice.delete_group("user:alice").status,
+            proto::Status::kBadRequest);
+  EXPECT_EQ(alice.remove_user_from_group("bob", "user:bob").status,
+            proto::Status::kBadRequest);
+}
+
+TEST(AccessControl, UnionOfPermissionsAcrossGroups) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.add_user_to_group("bob", "readers").ok());
+  ASSERT_TRUE(alice.add_user_to_group("bob", "writers").ok());
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "readers", fs::kPermRead).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "writers", fs::kPermWrite).ok());
+  // Bob gets the union: read via readers, write via writers.
+  EXPECT_TRUE(bob.get_file("/f").first.ok());
+  EXPECT_TRUE(bob.put_file("/f", to_bytes("y")).ok());
+}
+
+TEST(AccessControl, SeparateReadAndWrite) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/wo", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.set_permission("/wo", "user:bob", fs::kPermWrite).ok());
+  // F4: write-only — bob can update but not read.
+  EXPECT_TRUE(bob.put_file("/wo", to_bytes("dropped off")).ok());
+  EXPECT_EQ(bob.get_file("/wo").first.status, proto::Status::kForbidden);
+}
+
+TEST(AccessControl, Stat) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/f", Bytes(1234, 1)).ok());
+  const auto stat = alice.stat("/f");
+  EXPECT_TRUE(stat.ok());
+  EXPECT_EQ(stat.body_size, 1234u);
+  EXPECT_EQ(stat.message, "file");
+  EXPECT_EQ(bob.stat("/f").status, proto::Status::kForbidden);
+  EXPECT_EQ(alice.stat("/nope").status, proto::Status::kNotFound);
+}
+
+// --------------------------------------------------------------- restart ---
+
+TEST(Persistence, EnclaveRestartKeepsData) {
+  // F-objective behind sealing: the enclave is stateless; a new instance
+  // with the same measurement unseals SK_r and continues.
+  TestRng rng(0xabc);
+  tls::CertificateAuthority ca(rng);
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore content, group, dedup;
+  core::Stores stores{content, group, dedup};
+
+  {
+    core::SegShareEnclave enclave(platform, rng, ca.public_key(), stores);
+    core::SegShareServer::provision_certificate(enclave, ca, platform);
+    core::SegShareServer server(enclave);
+    net::DuplexChannel channel;
+    client::UserClient alice(rng, ca.public_key(),
+                             client::enroll_user(rng, ca, "alice"));
+    server.accept(channel);
+    alice.connect(channel.a(), [&] { server.pump(); });
+    ASSERT_TRUE(alice.put_file("/persisted", to_bytes("still here")).ok());
+    enclave.destroy();
+  }
+
+  core::SegShareEnclave enclave2(platform, rng, ca.public_key(), stores);
+  core::SegShareServer server2(enclave2);
+  net::DuplexChannel channel2;
+  client::UserClient alice2(rng, ca.public_key(),
+                            client::enroll_user(rng, ca, "alice"));
+  server2.accept(channel2);
+  alice2.connect(channel2.a(), [&] { server2.pump(); });
+  EXPECT_EQ(alice2.get_file("/persisted").second, to_bytes("still here"));
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,528 @@
+// Known-answer and property tests for the from-scratch crypto substrate.
+// Vectors come from FIPS 180-4 / RFC 4231 / RFC 5869 / FIPS 197 /
+// NIST GCM spec / RFC 7748 / RFC 8032 / RFC 8439.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+
+namespace seg::crypto {
+namespace {
+
+template <std::size_t N>
+std::string hex(const std::array<std::uint8_t, N>& a) {
+  return to_hex(BytesView(a.data(), a.size()));
+}
+
+// ---------------------------------------------------------------- SHA-2 ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex(Sha256::hash(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  TestRng rng(1);
+  const Bytes data = rng.bytes(100'000);
+  Sha256 h;
+  std::size_t pos = 0;
+  std::size_t step = 1;
+  while (pos < data.size()) {
+    const std::size_t take = std::min(step, data.size() - pos);
+    h.update(BytesView(data.data() + pos, take));
+    pos += take;
+    step = step * 3 + 1;
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(data));
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes a(1'000'000, 'a');
+  EXPECT_EQ(hex(Sha256::hash(a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex(Sha512::hash(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  TestRng rng(2);
+  const Bytes data = rng.bytes(50'000);
+  Sha512 h;
+  for (std::size_t pos = 0; pos < data.size(); pos += 977) {
+    const std::size_t take = std::min<std::size_t>(977, data.size() - pos);
+    h.update(BytesView(data.data() + pos, take));
+  }
+  EXPECT_EQ(h.finish(), Sha512::hash(data));
+}
+
+// ----------------------------------------------------------- HMAC/HKDF ---
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(HmacSha256::mac(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      hex(HmacSha256::mac(to_bytes("Jefe"),
+                          to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex(HmacSha256::mac(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyConstantTime) {
+  const Bytes key = to_bytes("k");
+  const Bytes data = to_bytes("d");
+  const auto mac = HmacSha256::mac(key, data);
+  EXPECT_TRUE(HmacSha256::verify(key, data, mac));
+  auto bad = mac;
+  bad[0] ^= 1;
+  EXPECT_FALSE(HmacSha256::verify(key, data, bad));
+  EXPECT_FALSE(HmacSha256::verify(key, data, BytesView(mac.data(), 31)));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ZeroLengthSaltAndInfo) {
+  // RFC 5869 case 3.
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthLimit) {
+  const Bytes prk(32, 1);
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), CryptoError);
+}
+
+// ------------------------------------------------------------------ AES ---
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_EQ(to_hex(BytesView(out, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_EQ(to_hex(BytesView(out, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), CryptoError);
+  EXPECT_THROW(Aes(Bytes(24, 0)), CryptoError);  // AES-192 unsupported
+  EXPECT_THROW(Aes(Bytes(0, 0)), CryptoError);
+}
+
+// ------------------------------------------------------------------ GCM ---
+
+TEST(Gcm, NistCase1EmptyPlaintext) {
+  AesGcm gcm(Bytes(16, 0));
+  AesGcm::Iv iv{};
+  AesGcm::Tag tag;
+  const Bytes ct = gcm.seal(iv, {}, {}, tag);
+  EXPECT_TRUE(ct.empty());
+  EXPECT_EQ(hex(tag), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Gcm, NistCase2SingleZeroBlock) {
+  AesGcm gcm(Bytes(16, 0));
+  AesGcm::Iv iv{};
+  AesGcm::Tag tag;
+  const Bytes pt(16, 0);
+  const Bytes ct = gcm.seal(iv, {}, pt, tag);
+  EXPECT_EQ(to_hex(ct), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(hex(tag), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, NistCase3FourBlocks) {
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  AesGcm gcm(key);
+  AesGcm::Iv iv;
+  const Bytes ivb = from_hex("cafebabefacedbaddecaf888");
+  std::copy(ivb.begin(), ivb.end(), iv.begin());
+  AesGcm::Tag tag;
+  const Bytes ct = gcm.seal(iv, {}, pt, tag);
+  EXPECT_EQ(to_hex(ct),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(hex(tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Gcm, NistCase4WithAad) {
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  AesGcm gcm(key);
+  AesGcm::Iv iv;
+  const Bytes ivb = from_hex("cafebabefacedbaddecaf888");
+  std::copy(ivb.begin(), ivb.end(), iv.begin());
+  AesGcm::Tag tag;
+  const Bytes ct = gcm.seal(iv, aad, pt, tag);
+  EXPECT_EQ(to_hex(ct),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091");
+  EXPECT_EQ(hex(tag), "5bc94fbc3221a5db94fae95ae7121a47");
+  EXPECT_EQ(gcm.open(iv, aad, ct, tag), pt);
+}
+
+TEST(Gcm, OpenRejectsTamperedCiphertext) {
+  AesGcm gcm(Bytes(16, 7));
+  AesGcm::Iv iv{};
+  AesGcm::Tag tag;
+  Bytes ct = gcm.seal(iv, {}, to_bytes("attack at dawn"), tag);
+  ct[3] ^= 1;
+  EXPECT_THROW(gcm.open(iv, {}, ct, tag), IntegrityError);
+}
+
+TEST(Gcm, OpenRejectsWrongAad) {
+  AesGcm gcm(Bytes(16, 7));
+  AesGcm::Iv iv{};
+  AesGcm::Tag tag;
+  const Bytes ct = gcm.seal(iv, to_bytes("aad"), to_bytes("msg"), tag);
+  EXPECT_THROW(gcm.open(iv, to_bytes("bad"), ct, tag), IntegrityError);
+}
+
+TEST(Pae, RoundtripAndFormat) {
+  TestRng rng(3);
+  const Bytes key = rng.bytes(16);
+  const Bytes pt = rng.bytes(1000);
+  const Bytes sealed = pae_encrypt(key, rng, pt);
+  EXPECT_EQ(sealed.size(), pt.size() + pae_overhead());
+  EXPECT_EQ(pae_decrypt(key, sealed), pt);
+}
+
+TEST(Pae, ProbabilisticEncryption) {
+  TestRng rng(4);
+  const Bytes key = rng.bytes(16);
+  const Bytes pt = to_bytes("same plaintext");
+  // Same plaintext twice must yield different ciphertexts (random IV).
+  EXPECT_NE(pae_encrypt(key, rng, pt), pae_encrypt(key, rng, pt));
+}
+
+TEST(Pae, DetectsTruncation) {
+  TestRng rng(5);
+  const Bytes key = rng.bytes(16);
+  Bytes sealed = pae_encrypt(key, rng, to_bytes("hello"));
+  sealed.pop_back();
+  EXPECT_THROW(pae_decrypt(key, sealed), IntegrityError);
+  EXPECT_THROW(pae_decrypt(key, Bytes(10, 0)), IntegrityError);
+}
+
+TEST(Pae, WrongKeyFails) {
+  TestRng rng(6);
+  const Bytes key = rng.bytes(16);
+  Bytes other = key;
+  other[0] ^= 1;
+  const Bytes sealed = pae_encrypt(key, rng, to_bytes("secret"));
+  EXPECT_THROW(pae_decrypt(other, sealed), IntegrityError);
+}
+
+TEST(Pae, Aes256KeysWork) {
+  TestRng rng(7);
+  const Bytes key = rng.bytes(32);
+  const Bytes pt = rng.bytes(100);
+  EXPECT_EQ(pae_decrypt(key, pae_encrypt(key, rng, pt)), pt);
+}
+
+class PaeSizesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaeSizesTest, RoundtripAtSize) {
+  TestRng rng(GetParam() + 100);
+  const Bytes key = rng.bytes(16);
+  const Bytes pt = rng.bytes(GetParam());
+  const Bytes aad = rng.bytes(GetParam() % 37);
+  EXPECT_EQ(pae_decrypt(key, pae_encrypt(key, rng, pt, aad), aad), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaeSizesTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 255,
+                                           256, 4095, 4096, 4097, 70'000));
+
+// ----------------------------------------------------------------- fe25519 ---
+
+TEST(Fe25519, MulMatchesKnownIdentity) {
+  // (2^255 - 20) == -1 mod p; (-1) * (-1) == 1.
+  Fe minus_one, one, prod;
+  fe_one(one);
+  fe_neg(minus_one, one);
+  fe_mul(prod, minus_one, minus_one);
+  std::uint8_t a[32], b[32];
+  fe_tobytes(a, prod);
+  fe_tobytes(b, one);
+  EXPECT_EQ(to_hex(BytesView(a, 32)), to_hex(BytesView(b, 32)));
+}
+
+TEST(Fe25519, InvertRoundtrip) {
+  TestRng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    std::uint8_t raw[32];
+    rng.fill(raw);
+    raw[31] &= 0x7f;
+    Fe x, xinv, prod, one;
+    fe_frombytes(x, raw);
+    if (fe_is_zero(x)) continue;
+    fe_invert(xinv, x);
+    fe_mul(prod, x, xinv);
+    fe_one(one);
+    std::uint8_t got[32], want[32];
+    fe_tobytes(got, prod);
+    fe_tobytes(want, one);
+    EXPECT_EQ(to_hex(BytesView(got, 32)), to_hex(BytesView(want, 32)));
+  }
+}
+
+TEST(Fe25519, TobytesIsCanonical) {
+  // p encodes to zero.
+  Fe p;
+  p.v[0] = (std::uint64_t{1} << 51) - 19;
+  for (int i = 1; i < 5; ++i) p.v[i] = (std::uint64_t{1} << 51) - 1;
+  std::uint8_t s[32];
+  fe_tobytes(s, p);
+  for (auto b : BytesView(s, 32)) EXPECT_EQ(b, 0);
+  EXPECT_TRUE(fe_is_zero(p));
+}
+
+// --------------------------------------------------------------- X25519 ---
+
+TEST(X25519, Rfc7748Vector1) {
+  X25519Key scalar, u;
+  const Bytes s = from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const Bytes p = from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  std::copy(s.begin(), s.end(), scalar.begin());
+  std::copy(p.begin(), p.end(), u.begin());
+  EXPECT_EQ(hex(x25519(scalar, u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748DhAliceBob) {
+  X25519Key alice_priv, bob_priv;
+  const Bytes a = from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const Bytes b = from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  std::copy(a.begin(), a.end(), alice_priv.begin());
+  std::copy(b.begin(), b.end(), bob_priv.begin());
+  const auto alice_pub = x25519_base(alice_priv);
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  const auto k1 = x25519_shared(alice_priv, bob_pub);
+  const auto k2 = x25519_shared(bob_priv, alice_pub);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(hex(k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, GeneratedPairsAgree) {
+  TestRng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    const auto a = x25519_generate(rng);
+    const auto b = x25519_generate(rng);
+    EXPECT_EQ(x25519_shared(a.private_key, b.public_key),
+              x25519_shared(b.private_key, a.public_key));
+  }
+}
+
+TEST(X25519, RejectsAllZeroShared) {
+  TestRng rng(10);
+  const auto a = x25519_generate(rng);
+  X25519Key zero{};
+  EXPECT_THROW(x25519_shared(a.private_key, zero), CryptoError);
+}
+
+// -------------------------------------------------------------- Ed25519 ---
+
+TEST(Ed25519, Rfc8032Test1EmptyMessage) {
+  Ed25519Seed seed;
+  const Bytes s = from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  std::copy(s.begin(), s.end(), seed.begin());
+  const auto pk = ed25519_public_key(seed);
+  EXPECT_EQ(hex(pk),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = ed25519_sign(seed, pk, {});
+  EXPECT_EQ(hex(sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify(pk, {}, sig));
+}
+
+TEST(Ed25519, Rfc8032Test2OneByte) {
+  Ed25519Seed seed;
+  const Bytes s = from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  std::copy(s.begin(), s.end(), seed.begin());
+  const auto pk = ed25519_public_key(seed);
+  EXPECT_EQ(hex(pk),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = from_hex("72");
+  const auto sig = ed25519_sign(seed, pk, msg);
+  EXPECT_EQ(hex(sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(ed25519_verify(pk, msg, sig));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedMessage) {
+  TestRng rng(11);
+  const auto pair = ed25519_generate(rng);
+  const Bytes msg = to_bytes("the message");
+  const auto sig = ed25519_sign(pair.seed, pair.public_key, msg);
+  EXPECT_TRUE(ed25519_verify(pair.public_key, msg, sig));
+  EXPECT_FALSE(ed25519_verify(pair.public_key, to_bytes("the messagf"), sig));
+}
+
+TEST(Ed25519, VerifyRejectsTamperedSignature) {
+  TestRng rng(12);
+  const auto pair = ed25519_generate(rng);
+  const Bytes msg = to_bytes("msg");
+  auto sig = ed25519_sign(pair.seed, pair.public_key, msg);
+  sig[0] ^= 1;
+  EXPECT_FALSE(ed25519_verify(pair.public_key, msg, sig));
+}
+
+TEST(Ed25519, VerifyRejectsWrongKey) {
+  TestRng rng(13);
+  const auto pair1 = ed25519_generate(rng);
+  const auto pair2 = ed25519_generate(rng);
+  const Bytes msg = to_bytes("msg");
+  const auto sig = ed25519_sign(pair1.seed, pair1.public_key, msg);
+  EXPECT_FALSE(ed25519_verify(pair2.public_key, msg, sig));
+}
+
+TEST(Ed25519, RejectsNonCanonicalS) {
+  TestRng rng(14);
+  const auto pair = ed25519_generate(rng);
+  const Bytes msg = to_bytes("m");
+  auto sig = ed25519_sign(pair.seed, pair.public_key, msg);
+  // Force S >= L by setting its top bits.
+  sig[63] |= 0xf0;
+  EXPECT_FALSE(ed25519_verify(pair.public_key, msg, sig));
+}
+
+class Ed25519MessageSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ed25519MessageSizes, SignVerifyRoundtrip) {
+  TestRng rng(GetParam() + 500);
+  const auto pair = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(GetParam());
+  const auto sig = ed25519_sign(pair.seed, pair.public_key, msg);
+  EXPECT_TRUE(ed25519_verify(pair.public_key, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ed25519MessageSizes,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 1024));
+
+// ----------------------------------------------------------------- DRBG ---
+
+TEST(ChaCha, Rfc8439BlockFunction) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  std::uint8_t out[64];
+  chacha20_block(key.data(), 1, nonce.data(), out);
+  EXPECT_EQ(to_hex(BytesView(out, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Drbg, DeterministicFromSeed) {
+  std::array<std::uint8_t, 32> seed{};
+  seed[0] = 1;
+  ChaChaDrbg a(seed), b(seed);
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  std::array<std::uint8_t, 32> s1{}, s2{};
+  s2[0] = 1;
+  ChaChaDrbg a(s1), b(s2);
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(Drbg, OutputLooksUniform) {
+  std::array<std::uint8_t, 32> seed{};
+  ChaChaDrbg rng(seed);
+  const Bytes data = rng.bytes(100'000);
+  // Count ones; should be ~400000 +- 4 sigma (~1800).
+  std::size_t ones = 0;
+  for (auto byte : data) ones += static_cast<std::size_t>(__builtin_popcount(byte));
+  EXPECT_GT(ones, 398'000u);
+  EXPECT_LT(ones, 402'000u);
+}
+
+TEST(Drbg, SystemRngProducesDistinctDraws) {
+  auto& rng = system_rng();
+  EXPECT_NE(rng.bytes(32), rng.bytes(32));
+}
+
+}  // namespace
+}  // namespace seg::crypto

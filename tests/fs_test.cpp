@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fs/path.h"
+#include "fs/records.h"
+
+namespace seg::fs {
+namespace {
+
+// ------------------------------------------------------------------ paths ---
+
+TEST(Path, DirDetection) {
+  EXPECT_TRUE(is_dir_path("/"));
+  EXPECT_TRUE(is_dir_path("/a/"));
+  EXPECT_FALSE(is_dir_path("/a"));
+  EXPECT_FALSE(is_dir_path(""));
+  EXPECT_TRUE(is_root("/"));
+  EXPECT_FALSE(is_root("/a/"));
+}
+
+TEST(Path, Validation) {
+  EXPECT_TRUE(is_valid_path("/"));
+  EXPECT_TRUE(is_valid_path("/a"));
+  EXPECT_TRUE(is_valid_path("/a/"));
+  EXPECT_TRUE(is_valid_path("/a/b.txt"));
+  EXPECT_TRUE(is_valid_path("/a/b/c/"));
+  EXPECT_FALSE(is_valid_path(""));
+  EXPECT_FALSE(is_valid_path("a"));
+  EXPECT_FALSE(is_valid_path("a/"));
+  EXPECT_FALSE(is_valid_path("//"));
+  EXPECT_FALSE(is_valid_path("/a//b"));
+  EXPECT_FALSE(is_valid_path("/./"));
+  EXPECT_FALSE(is_valid_path("/a/../b"));
+  EXPECT_FALSE(is_valid_path("/.."));
+}
+
+TEST(Path, Parent) {
+  EXPECT_EQ(parent("/"), "/");
+  EXPECT_EQ(parent("/a"), "/");
+  EXPECT_EQ(parent("/a/"), "/");
+  EXPECT_EQ(parent("/a/b"), "/a/");
+  EXPECT_EQ(parent("/a/b/"), "/a/");
+  EXPECT_EQ(parent("/a/b/c.txt"), "/a/b/");
+}
+
+TEST(Path, LeafName) {
+  EXPECT_EQ(leaf_name("/"), "");
+  EXPECT_EQ(leaf_name("/a"), "a");
+  EXPECT_EQ(leaf_name("/a/"), "a");
+  EXPECT_EQ(leaf_name("/a/b.txt"), "b.txt");
+}
+
+TEST(Path, Join) {
+  EXPECT_EQ(join("/", "a"), "/a");
+  EXPECT_EQ(join("/", "a", true), "/a/");
+  EXPECT_EQ(join("/x/", "y.txt"), "/x/y.txt");
+  EXPECT_THROW(join("/a", "b"), Error);       // base not a dir
+  EXPECT_THROW(join("/a/", "b/c"), Error);    // name contains '/'
+  EXPECT_THROW(join("/a/", ""), Error);
+}
+
+TEST(Path, Segments) {
+  EXPECT_TRUE(segments("/").empty());
+  EXPECT_EQ(segments("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(segments("/a/b/"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Path, AncestorAndRebase) {
+  EXPECT_TRUE(is_ancestor("/a/", "/a/b/c"));
+  EXPECT_TRUE(is_ancestor("/", "/anything"));
+  EXPECT_FALSE(is_ancestor("/a/", "/ab/c"));
+  EXPECT_FALSE(is_ancestor("/a", "/a/b"));  // not a dir path
+  EXPECT_EQ(rebase("/a/b/c", "/a/", "/x/"), "/x/b/c");
+  EXPECT_EQ(rebase("/a/", "/a/", "/x/"), "/x/");
+  EXPECT_THROW(rebase("/b/c", "/a/", "/x/"), Error);
+}
+
+// -------------------------------------------------------------------- ACL ---
+
+TEST(Acl, OwnersSortedUnique) {
+  Acl acl;
+  acl.add_owner(5);
+  acl.add_owner(1);
+  acl.add_owner(5);
+  EXPECT_EQ(acl.owners(), (std::vector<GroupId>{1, 5}));
+  EXPECT_TRUE(acl.is_owner(1));
+  EXPECT_FALSE(acl.is_owner(2));
+  acl.remove_owner(1);
+  EXPECT_FALSE(acl.is_owner(1));
+}
+
+TEST(Acl, PermissionUpsertAndRemove) {
+  Acl acl;
+  acl.set_permission(3, kPermRead);
+  acl.set_permission(1, kPermReadWrite);
+  EXPECT_EQ(acl.permission(3), kPermRead);
+  EXPECT_EQ(acl.permission(1), kPermReadWrite);
+  EXPECT_FALSE(acl.permission(2).has_value());
+  acl.set_permission(3, kPermWrite);
+  EXPECT_EQ(acl.permission(3), kPermWrite);
+  acl.set_permission(3, kPermNone);  // removes the entry
+  EXPECT_FALSE(acl.permission(3).has_value());
+  EXPECT_EQ(acl.entry_count(), 1u);
+}
+
+TEST(Acl, SerializeRoundtrip) {
+  Acl acl;
+  acl.set_inherit(true);
+  acl.add_owner(7);
+  acl.add_owner(2);
+  acl.set_permission(10, kPermRead);
+  acl.set_permission(4, kPermDeny);
+  const Acl parsed = Acl::parse(acl.serialize());
+  EXPECT_TRUE(parsed.inherit());
+  EXPECT_EQ(parsed.owners(), acl.owners());
+  EXPECT_EQ(parsed.permission(10), kPermRead);
+  EXPECT_EQ(parsed.permission(4), kPermDeny);
+}
+
+TEST(Acl, StorageIs32BitPerEntry) {
+  // The prototype's layout: one 32-bit word for count+flag, 32 bits per
+  // owner and per permission entry (drives the E6 overhead numbers).
+  Acl acl;
+  acl.add_owner(1);
+  const std::size_t base = acl.serialize().size();
+  acl.set_permission(2, kPermRead);
+  EXPECT_EQ(acl.serialize().size(), base + 4);
+  acl.add_owner(3);
+  EXPECT_EQ(acl.serialize().size(), base + 8);
+}
+
+TEST(Acl, ParseRejectsGarbage) {
+  EXPECT_THROW(Acl::parse(Bytes{1, 2, 3}), Error);
+  Acl acl;
+  acl.add_owner(1);
+  Bytes data = acl.serialize();
+  data.push_back(0);
+  EXPECT_THROW(Acl::parse(data), ProtocolError);
+}
+
+TEST(Perm, Covers) {
+  EXPECT_TRUE(perm_covers(kPermRead, kPermRead));
+  EXPECT_TRUE(perm_covers(kPermReadWrite, kPermRead));
+  EXPECT_TRUE(perm_covers(kPermReadWrite, kPermWrite));
+  EXPECT_FALSE(perm_covers(kPermRead, kPermWrite));
+  EXPECT_FALSE(perm_covers(kPermDeny | kPermRead, kPermRead));
+  EXPECT_FALSE(perm_covers(kPermDeny, kPermRead));
+  EXPECT_FALSE(perm_covers(kPermNone, kPermRead));
+}
+
+// -------------------------------------------------------------- Directory ---
+
+TEST(Directory, SortedChildren) {
+  Directory dir;
+  dir.add("/z");
+  dir.add("/a");
+  dir.add("/m/");
+  EXPECT_EQ(dir.children(), (std::vector<std::string>{"/a", "/m/", "/z"}));
+  EXPECT_TRUE(dir.contains("/m/"));
+  dir.remove("/m/");
+  EXPECT_FALSE(dir.contains("/m/"));
+  EXPECT_EQ(dir.size(), 2u);
+}
+
+TEST(Directory, SerializeRoundtrip) {
+  Directory dir;
+  dir.add("/a/file with spaces");
+  dir.add("/a/\xc3\xa9");
+  const Directory parsed = Directory::parse(dir.serialize());
+  EXPECT_EQ(parsed.children(), dir.children());
+}
+
+TEST(Directory, ParseRejectsUnsorted) {
+  // Hand-craft an unsorted children list.
+  Bytes data;
+  put_u32_be(data, 2);
+  put_u32_be(data, 2);
+  append(data, to_bytes("/b"));
+  put_u32_be(data, 2);
+  append(data, to_bytes("/a"));
+  EXPECT_THROW(Directory::parse(data), ProtocolError);
+}
+
+// -------------------------------------------------------------- MemberList ---
+
+TEST(MemberList, MembershipOps) {
+  MemberList list;
+  list.add(3);
+  list.add(1);
+  list.add(3);
+  EXPECT_EQ(list.groups(), (std::vector<GroupId>{1, 3}));
+  EXPECT_TRUE(list.is_member(3));
+  list.remove(3);
+  EXPECT_FALSE(list.is_member(3));
+  const MemberList parsed = MemberList::parse(list.serialize());
+  EXPECT_EQ(parsed.groups(), list.groups());
+}
+
+// --------------------------------------------------------------- GroupList ---
+
+TEST(GroupList, CreateFindRemove) {
+  GroupList groups;
+  const GroupId a = groups.create("alpha");
+  const GroupId b = groups.create("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(groups.find("alpha"), a);
+  EXPECT_FALSE(groups.find("gamma").has_value());
+  EXPECT_THROW(groups.create("alpha"), ProtocolError);
+  groups.remove(a);
+  EXPECT_FALSE(groups.find("alpha").has_value());
+  EXPECT_THROW(groups.remove(a), ProtocolError);
+}
+
+TEST(GroupList, IdsNeverReused) {
+  GroupList groups;
+  const GroupId a = groups.create("a");
+  groups.remove(a);
+  const GroupId b = groups.create("b");
+  EXPECT_GT(b, a);  // stale ACL entries can never point at a new group
+}
+
+TEST(GroupList, Ownership) {
+  GroupList groups;
+  const GroupId g = groups.create("g");
+  const GroupId owner1 = groups.create("o1");
+  const GroupId owner2 = groups.create("o2");
+  groups.add_owner(g, owner1);
+  groups.add_owner(g, owner2);
+  EXPECT_TRUE(groups.is_owner(g, owner1));
+  EXPECT_TRUE(groups.is_owner(g, owner2));  // F7: multiple group owners
+  groups.remove_owner(g, owner1);
+  EXPECT_FALSE(groups.is_owner(g, owner1));
+  EXPECT_FALSE(groups.is_owner(99, owner1));
+}
+
+TEST(GroupList, SerializeRoundtripPreservesNextId) {
+  GroupList groups;
+  const GroupId a = groups.create("a");
+  groups.add_owner(a, a);
+  groups.remove(a);
+  GroupList parsed = GroupList::parse(groups.serialize());
+  EXPECT_GT(parsed.create("fresh"), a);
+}
+
+}  // namespace
+}  // namespace seg::fs

@@ -1,0 +1,348 @@
+// Model-based property testing: a small reference implementation of the
+// paper's file-system + access-control semantics (Table I / Algo 1) is
+// driven with random operation sequences in lock-step with the real
+// system; every response status and every read-visibility decision must
+// match. Divergence pinpoints semantic bugs on either side.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fs/path.h"
+#include "fs/records.h"
+#include "segshare_test_util.h"
+
+namespace seg {
+namespace {
+
+// ------------------------------------------------------------- the model ---
+
+struct ModelNode {
+  bool is_dir = false;
+  Bytes content;
+  std::set<std::string> owners;                 // group names
+  std::map<std::string, std::uint32_t> perms;   // group name -> bits
+  bool inherit = false;
+};
+
+class Model {
+ public:
+  Model() {
+    ModelNode root;
+    root.is_dir = true;
+    nodes_["/"] = root;
+  }
+
+  void ensure_user(const std::string& user) {
+    const std::string g = "user:" + user;
+    groups_[g].insert(user);
+    group_owners_[g].insert(g);
+  }
+
+  bool group_exists(const std::string& g) const { return groups_.contains(g); }
+
+  bool member_of(const std::string& user, const std::string& g) const {
+    const auto it = groups_.find(g);
+    return it != groups_.end() && it->second.contains(user);
+  }
+
+  std::vector<std::string> memberships(const std::string& user) const {
+    std::vector<std::string> out;
+    for (const auto& [g, members] : groups_)
+      if (members.contains(user)) out.push_back(g);
+    return out;
+  }
+
+  bool auth_group(const std::string& user, const std::string& g) const {
+    const auto it = group_owners_.find(g);
+    if (it == group_owners_.end()) return false;
+    for (const auto& mine : memberships(user))
+      if (it->second.contains(mine)) return true;
+    return false;
+  }
+
+  std::optional<std::uint32_t> effective_perm(const std::string& path,
+                                              const std::string& g) const {
+    std::string current = path;
+    for (;;) {
+      const auto node = nodes_.find(current);
+      if (node == nodes_.end()) return std::nullopt;
+      const auto entry = node->second.perms.find(g);
+      if (entry != node->second.perms.end()) return entry->second;
+      if (!node->second.inherit || current == "/") return std::nullopt;
+      current = fs::parent(current);
+    }
+  }
+
+  bool is_owner(const std::string& user, const std::string& path) const {
+    const auto node = nodes_.find(path);
+    if (node == nodes_.end()) return false;
+    for (const auto& g : memberships(user))
+      if (node->second.owners.contains(g)) return true;
+    return false;
+  }
+
+  bool auth(const std::string& user, const std::string& path,
+            fs::Perm p) const {
+    if (!nodes_.contains(path)) return false;
+    if (is_owner(user, path)) return true;
+    for (const auto& g : memberships(user)) {
+      const auto perm = effective_perm(path, g);
+      if (perm && fs::perm_covers(*perm, p)) return true;
+    }
+    return false;
+  }
+
+  // --- operations; each returns the expected proto status ------------------
+
+  proto::Status put(const std::string& user, const std::string& path,
+                    BytesView content) {
+    ensure_user(user);
+    if (!fs::is_valid_path(path) || fs::is_dir_path(path))
+      return proto::Status::kBadRequest;
+    const std::string parent = fs::parent(path);
+    const bool exists = nodes_.contains(path);
+    if (!fs::is_root(parent) && !nodes_.contains(parent))
+      return proto::Status::kNotFound;
+    const bool parent_writable = !fs::is_root(parent) &&
+                                 nodes_.contains(parent) &&
+                                 auth(user, parent, fs::kPermWrite);
+    const bool parent_ok =
+        exists ? parent_writable : (fs::is_root(parent) || parent_writable);
+    const bool file_ok = exists && auth(user, path, fs::kPermWrite);
+    if (!parent_ok && !file_ok) return proto::Status::kForbidden;
+    ModelNode& node = nodes_[path];
+    node.content.assign(content.begin(), content.end());
+    if (!exists) node.owners.insert("user:" + user);
+    return proto::Status::kOk;
+  }
+
+  proto::Status get(const std::string& user, const std::string& path,
+                    Bytes* out) const {
+    if (!nodes_.contains(path)) return proto::Status::kNotFound;
+    if (!auth(user, path, fs::kPermRead)) return proto::Status::kForbidden;
+    *out = nodes_.at(path).content;
+    return proto::Status::kOk;
+  }
+
+  proto::Status mkdir(const std::string& user, const std::string& path) {
+    ensure_user(user);
+    if (!fs::is_valid_path(path) || !fs::is_dir_path(path) ||
+        fs::is_root(path))
+      return proto::Status::kBadRequest;
+    if (nodes_.contains(path)) return proto::Status::kConflict;
+    const std::string parent = fs::parent(path);
+    if (!nodes_.contains(parent)) return proto::Status::kNotFound;
+    if (!fs::is_root(parent) && !auth(user, parent, fs::kPermWrite))
+      return proto::Status::kForbidden;
+    ModelNode node;
+    node.is_dir = true;
+    node.owners.insert("user:" + user);
+    nodes_[path] = node;
+    return proto::Status::kOk;
+  }
+
+  proto::Status remove(const std::string& user, const std::string& path) {
+    if (!fs::is_valid_path(path) || fs::is_root(path))
+      return proto::Status::kBadRequest;
+    if (!nodes_.contains(path)) return proto::Status::kNotFound;
+    if (!is_owner(user, path) && !auth(user, path, fs::kPermWrite))
+      return proto::Status::kForbidden;
+    // Recursive removal of the subtree.
+    std::vector<std::string> doomed;
+    for (const auto& [p, node] : nodes_)
+      if (p == path || (fs::is_dir_path(path) && fs::is_ancestor(path, p)))
+        doomed.push_back(p);
+    for (const auto& p : doomed) nodes_.erase(p);
+    return proto::Status::kOk;
+  }
+
+  proto::Status set_permission(const std::string& user,
+                               const std::string& path, const std::string& g,
+                               std::uint32_t perm) {
+    ensure_user(user);
+    if (!nodes_.contains(path)) return proto::Status::kNotFound;
+    if (!is_owner(user, path)) return proto::Status::kForbidden;
+    if (!group_exists(g)) {
+      if (g.rfind("user:", 0) == 0 && g.size() > 5) {
+        const_cast<Model*>(this)->ensure_user(g.substr(5));
+      } else {
+        return proto::Status::kNotFound;
+      }
+    }
+    if (perm == fs::kPermNone) {
+      nodes_[path].perms.erase(g);
+    } else {
+      nodes_[path].perms[g] = perm;
+    }
+    return proto::Status::kOk;
+  }
+
+  proto::Status set_inherit(const std::string& user, const std::string& path,
+                            bool inherit) {
+    if (!nodes_.contains(path)) return proto::Status::kNotFound;
+    if (!is_owner(user, path)) return proto::Status::kForbidden;
+    nodes_[path].inherit = inherit;
+    return proto::Status::kOk;
+  }
+
+  proto::Status add_member(const std::string& user, const std::string& member,
+                           const std::string& g) {
+    ensure_user(user);
+    if (g.empty() || member.empty() || g.rfind("user:", 0) == 0)
+      return proto::Status::kBadRequest;
+    if (!group_exists(g)) {
+      groups_[g].insert(user);  // creator joins
+      group_owners_[g].insert("user:" + user);
+    }
+    if (!auth_group(user, g)) return proto::Status::kForbidden;
+    ensure_user(member);
+    groups_[g].insert(member);
+    return proto::Status::kOk;
+  }
+
+  proto::Status remove_member(const std::string& user,
+                              const std::string& member,
+                              const std::string& g) {
+    if (g.rfind("user:", 0) == 0) return proto::Status::kBadRequest;
+    if (!group_exists(g)) return proto::Status::kNotFound;
+    if (!auth_group(user, g)) return proto::Status::kForbidden;
+    groups_[g].erase(member);
+    return proto::Status::kOk;
+  }
+
+  const std::map<std::string, ModelNode>& nodes() const { return nodes_; }
+
+ private:
+  std::map<std::string, ModelNode> nodes_;
+  std::map<std::string, std::set<std::string>> groups_;        // g -> members
+  std::map<std::string, std::set<std::string>> group_owners_;  // g -> owner gs
+};
+
+// ------------------------------------------------------------ the driver ---
+
+class ModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelCheck, RandomOpsAgreeWithModel) {
+  testutil::Rig rig({}, GetParam());
+  Model model;
+
+  const std::vector<std::string> users = {"u1", "u2", "u3"};
+  std::map<std::string, client::UserClient*> clients;
+  for (const auto& u : users) {
+    clients[u] = &rig.connect(u);
+    model.ensure_user(u);
+  }
+  const std::vector<std::string> dirs = {"/", "/d1/", "/d2/", "/d1/s/"};
+  const std::vector<std::string> names = {"a", "b", "c"};
+  const std::vector<std::string> groups = {"g1", "g2"};
+
+  TestRng rng(GetParam() * 77 + 1);
+  auto pick = [&rng](const auto& v) -> const auto& {
+    return v[rng.uniform(v.size())];
+  };
+
+  for (int step = 0; step < 160; ++step) {
+    const std::string& user = pick(users);
+    client::UserClient& client = *clients[user];
+    const std::string path = pick(dirs) + pick(names);
+    const std::string dir = pick(dirs);
+
+    switch (rng.uniform(8)) {
+      case 0: {  // put
+        const Bytes content = rng.bytes(rng.uniform(200));
+        const auto real = client.put_file(path, content).status;
+        const auto expected = model.put(user, path, content);
+        ASSERT_EQ(real, expected) << "put " << path << " by " << user;
+        break;
+      }
+      case 1: {  // get
+        const auto [resp, body] = client.get_file(path);
+        Bytes expected_body;
+        const auto expected = model.get(user, path, &expected_body);
+        ASSERT_EQ(resp.status, expected) << "get " << path << " by " << user;
+        if (resp.ok()) {
+          ASSERT_EQ(body, expected_body);
+        }
+        break;
+      }
+      case 2: {  // mkdir
+        const auto real = client.mkdir(dir).status;
+        const auto expected = model.mkdir(user, dir);
+        ASSERT_EQ(real, expected) << "mkdir " << dir << " by " << user;
+        break;
+      }
+      case 3: {  // remove (sometimes a dir)
+        const std::string target = rng.uniform(3) == 0 ? dir : path;
+        const auto real = client.remove(target).status;
+        const auto expected = model.remove(user, target);
+        ASSERT_EQ(real, expected) << "remove " << target << " by " << user;
+        break;
+      }
+      case 4: {  // set permission
+        const std::string grantee =
+            rng.uniform(2) == 0 ? pick(groups) : ("user:" + pick(users));
+        const std::uint32_t perm =
+            std::vector<std::uint32_t>{fs::kPermNone, fs::kPermRead,
+                                       fs::kPermWrite, fs::kPermReadWrite,
+                                       fs::kPermDeny}[rng.uniform(5)];
+        const std::string target = rng.uniform(3) == 0 ? dir : path;
+        const auto real = client.set_permission(target, grantee, perm).status;
+        const auto expected = model.set_permission(user, target, grantee, perm);
+        ASSERT_EQ(real, expected)
+            << "setperm " << target << " " << grantee << " by " << user;
+        break;
+      }
+      case 5: {  // set inherit
+        const bool flag = rng.uniform(2) != 0;
+        const std::string target = rng.uniform(3) == 0 ? dir : path;
+        const auto real = client.set_inherit(target, flag).status;
+        const auto expected = model.set_inherit(user, target, flag);
+        ASSERT_EQ(real, expected) << "inherit " << target << " by " << user;
+        break;
+      }
+      case 6: {  // add member
+        const std::string member = pick(users);
+        const std::string g = pick(groups);
+        const auto real = client.add_user_to_group(member, g).status;
+        const auto expected = model.add_member(user, member, g);
+        ASSERT_EQ(real, expected)
+            << "addmember " << member << "->" << g << " by " << user;
+        break;
+      }
+      case 7: {  // remove member
+        const std::string member = pick(users);
+        const std::string g = pick(groups);
+        const auto real = client.remove_user_from_group(member, g).status;
+        const auto expected = model.remove_member(user, member, g);
+        ASSERT_EQ(real, expected)
+            << "rmmember " << member << "<-" << g << " by " << user;
+        break;
+      }
+    }
+  }
+
+  // Final sweep: the full read-visibility matrix must agree.
+  for (const auto& u : users) {
+    for (const auto& [path, node] : model.nodes()) {
+      if (node.is_dir) continue;
+      Bytes expected_body;
+      const auto expected = model.get(u, path, &expected_body);
+      const auto [resp, body] = clients[u]->get_file(path);
+      ASSERT_EQ(resp.status, expected) << u << " reading " << path;
+      if (resp.ok()) {
+        ASSERT_EQ(body, expected_body);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelCheck,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+}  // namespace
+}  // namespace seg

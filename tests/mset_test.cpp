@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mset/mset_hash.h"
+
+namespace seg::mset {
+namespace {
+
+const Bytes kKey = to_bytes("multiset-prf-key");
+
+TEST(MsetXorHash, EmptyHashesEqual) {
+  MsetXorHash a, b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.cardinality(), 0u);
+}
+
+TEST(MsetXorHash, OrderIndependence) {
+  MsetXorHash a, b;
+  a.add(kKey, to_bytes("x"));
+  a.add(kKey, to_bytes("y"));
+  a.add(kKey, to_bytes("z"));
+  b.add(kKey, to_bytes("z"));
+  b.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("y"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MsetXorHash, AddRemoveRoundtrip) {
+  MsetXorHash a, b;
+  a.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("y"));
+  b.remove(kKey, to_bytes("y"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MsetXorHash, MultiplicityMatters) {
+  // Classic XOR weakness: {x, x} vs {} would collide without the count.
+  MsetXorHash twice, empty;
+  twice.add(kKey, to_bytes("x"));
+  twice.add(kKey, to_bytes("x"));
+  EXPECT_NE(twice, empty);
+  EXPECT_EQ(twice.cardinality(), 2u);
+}
+
+TEST(MsetXorHash, DifferentSetsDiffer) {
+  MsetXorHash a, b;
+  a.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("y"));
+  EXPECT_NE(a, b);
+}
+
+TEST(MsetXorHash, KeyedPrf) {
+  // Same element under different keys gives different accumulators.
+  MsetXorHash a, b;
+  a.add(kKey, to_bytes("x"));
+  b.add(to_bytes("other-key"), to_bytes("x"));
+  EXPECT_NE(to_hex(a.accumulator()), to_hex(b.accumulator()));
+}
+
+TEST(MsetXorHash, CombineIsUnion) {
+  MsetXorHash a, b, combined;
+  a.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("y"));
+  b.add(kKey, to_bytes("z"));
+  combined.add(kKey, to_bytes("x"));
+  combined.add(kKey, to_bytes("y"));
+  combined.add(kKey, to_bytes("z"));
+  a.combine(b);
+  EXPECT_EQ(a, combined);
+  EXPECT_EQ(a.cardinality(), 3u);
+}
+
+TEST(MsetXorHash, RemoveFromEmptyThrows) {
+  MsetXorHash a;
+  EXPECT_THROW(a.remove(kKey, to_bytes("x")), Error);
+}
+
+TEST(MsetXorHash, SerializeRoundtrip) {
+  MsetXorHash a;
+  a.add(kKey, to_bytes("hello"));
+  a.add(kKey, to_bytes("world"));
+  const auto restored = MsetXorHash::deserialize(a.serialize());
+  EXPECT_EQ(a, restored);
+  EXPECT_EQ(restored.cardinality(), 2u);
+}
+
+TEST(MsetXorHash, DeserializeRejectsBadSize) {
+  EXPECT_THROW(MsetXorHash::deserialize(Bytes(10, 0)), ProtocolError);
+}
+
+TEST(MsetXorHash, DigestChangesWithContent) {
+  MsetXorHash a, b;
+  a.add(kKey, to_bytes("x"));
+  b.add(kKey, to_bytes("x"));
+  EXPECT_EQ(to_hex(a.digest()), to_hex(b.digest()));
+  b.add(kKey, to_bytes("y"));
+  EXPECT_NE(to_hex(a.digest()), to_hex(b.digest()));
+}
+
+// Property sweep: random add/remove sequences ending in the same multiset
+// produce identical hashes regardless of path taken.
+class MsetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsetPropertyTest, PathIndependence) {
+  TestRng rng(GetParam());
+  std::vector<Bytes> elements;
+  for (int i = 0; i < 20; ++i)
+    elements.push_back(to_bytes("elem" + std::to_string(i)));
+
+  // Build a random target multiset.
+  std::vector<int> multiplicity(elements.size());
+  for (auto& m : multiplicity) m = static_cast<int>(rng.uniform(4));
+
+  // Path A: straight adds.
+  MsetXorHash a;
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    for (int j = 0; j < multiplicity[i]; ++j) a.add(kKey, elements[i]);
+
+  // Path B: shuffled adds plus add/remove noise.
+  MsetXorHash b;
+  std::vector<std::size_t> ops;
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    for (int j = 0; j < multiplicity[i]; ++j) ops.push_back(i);
+  for (std::size_t i = ops.size(); i > 1; --i)
+    std::swap(ops[i - 1], ops[rng.uniform(i)]);
+  for (const auto i : ops) {
+    if (rng.uniform(3) == 0) {
+      const auto noise = rng.uniform(elements.size());
+      b.add(kKey, elements[noise]);
+      b.remove(kKey, elements[noise]);
+    }
+    b.add(kKey, elements[i]);
+  }
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace seg::mset

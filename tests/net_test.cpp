@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/channel.h"
+
+namespace seg::net {
+namespace {
+
+TEST(DuplexChannel, MessagesFlowBothWays) {
+  DuplexChannel channel;
+  channel.a().send(to_bytes("hello"));
+  channel.a().send(to_bytes("world"));
+  EXPECT_EQ(channel.b().recv(), to_bytes("hello"));
+  EXPECT_EQ(channel.b().recv(), to_bytes("world"));
+  channel.b().send(to_bytes("reply"));
+  EXPECT_EQ(channel.a().recv(), to_bytes("reply"));
+}
+
+TEST(DuplexChannel, TryRecvOnEmpty) {
+  DuplexChannel channel;
+  EXPECT_FALSE(channel.a().try_recv().has_value());
+  EXPECT_FALSE(channel.a().pending());
+  EXPECT_THROW(channel.a().recv(), ProtocolError);
+}
+
+TEST(DuplexChannel, StatsCountBytesAndMessages) {
+  DuplexChannel channel;
+  channel.a().send(Bytes(100, 1));
+  channel.a().send(Bytes(50, 2));
+  channel.b().send(Bytes(10, 3));
+  EXPECT_EQ(channel.stats().bytes_a_to_b, 150u);
+  EXPECT_EQ(channel.stats().bytes_b_to_a, 10u);
+  EXPECT_EQ(channel.stats().messages_a_to_b, 2u);
+  EXPECT_EQ(channel.stats().messages_b_to_a, 1u);
+}
+
+TEST(DuplexChannel, RoundTripsFromAlternations) {
+  DuplexChannel channel;
+  // request → response → request → response: 3 alternations ≈ 2 RTs.
+  channel.a().send(to_bytes("req1"));
+  channel.b().send(to_bytes("resp1"));
+  channel.a().send(to_bytes("req2"));
+  channel.b().send(to_bytes("resp2"));
+  EXPECT_EQ(channel.stats().alternations, 3u);
+  EXPECT_EQ(channel.stats().round_trips(), 2u);
+}
+
+TEST(DuplexChannel, StatsReset) {
+  DuplexChannel channel;
+  channel.a().send(to_bytes("x"));
+  channel.stats().reset();
+  EXPECT_EQ(channel.stats().bytes_a_to_b, 0u);
+  // Pending data is unaffected by a stats reset.
+  EXPECT_TRUE(channel.b().pending());
+}
+
+TEST(LatencyModel, WireTimeIsMaxOfDirections) {
+  LatencyModel model;
+  model.bandwidth_up_mbps = 100.0;    // 100 Mbit/s
+  model.bandwidth_down_mbps = 100.0;
+  ChannelStats stats;
+  stats.bytes_a_to_b = 12'500'000;  // 100 Mbit → 1000 ms
+  stats.bytes_b_to_a = 1'250'000;   // 10 Mbit → 100 ms
+  EXPECT_NEAR(model.wire_ms(stats), 1000.0, 1e-6);
+}
+
+TEST(LatencyModel, PipelinedOverlapsCompute) {
+  LatencyModel model;
+  model.rtt_ms = 30;
+  model.bandwidth_up_mbps = 100.0;
+  ChannelStats stats;
+  stats.bytes_a_to_b = 12'500'000;  // 1000 ms wire
+  stats.alternations = 1;
+  // Compute (600 ms) hides inside the transfer when pipelined.
+  EXPECT_NEAR(model.estimate_ms(stats, 600.0, true), 1030.0, 1e-6);
+  // Non-pipelined: compute adds.
+  EXPECT_NEAR(model.estimate_ms(stats, 600.0, false), 1630.0, 1e-6);
+  // Compute-bound pipelined case.
+  EXPECT_NEAR(model.estimate_ms(stats, 1500.0, true), 1530.0, 1e-6);
+}
+
+TEST(LatencyModel, AtLeastOneRoundTrip) {
+  LatencyModel model;
+  model.rtt_ms = 25;
+  ChannelStats stats;  // no traffic at all
+  EXPECT_GE(model.estimate_ms(stats, 0.0), 25.0);
+}
+
+}  // namespace
+}  // namespace seg::net

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "proto/messages.h"
+
+namespace seg::proto {
+namespace {
+
+TEST(Request, SerializeRoundtripAllFields) {
+  Request req;
+  req.verb = Verb::kSetPermission;
+  req.path = "/a/b.txt";
+  req.target = "bob";
+  req.group = "team";
+  req.perm = 3;
+  req.flag = true;
+  req.body_size = 123456789;
+  const Request parsed = Request::parse(req.serialize());
+  EXPECT_EQ(parsed.verb, req.verb);
+  EXPECT_EQ(parsed.path, req.path);
+  EXPECT_EQ(parsed.target, req.target);
+  EXPECT_EQ(parsed.group, req.group);
+  EXPECT_EQ(parsed.perm, req.perm);
+  EXPECT_EQ(parsed.flag, req.flag);
+  EXPECT_EQ(parsed.body_size, req.body_size);
+}
+
+TEST(Request, EveryVerbRoundtrips) {
+  for (std::uint8_t v = 1; v <= 15; ++v) {
+    Request req;
+    req.verb = static_cast<Verb>(v);
+    EXPECT_EQ(Request::parse(req.serialize()).verb, req.verb);
+  }
+}
+
+TEST(Request, ParseRejectsMalformed) {
+  EXPECT_THROW(Request::parse({}), ProtocolError);
+  EXPECT_THROW(Request::parse(Bytes{99}), ProtocolError);  // unknown verb
+  Request req;
+  Bytes data = req.serialize();
+  data.pop_back();
+  EXPECT_THROW(Request::parse(data), Error);
+  data = req.serialize();
+  data.push_back(0);
+  EXPECT_THROW(Request::parse(data), ProtocolError);
+}
+
+TEST(Response, SerializeRoundtrip) {
+  Response resp;
+  resp.status = Status::kForbidden;
+  resp.message = "denied";
+  resp.body_size = 42;
+  resp.listing = {"/a", "/b/"};
+  const Response parsed = Response::parse(resp.serialize());
+  EXPECT_EQ(parsed.status, resp.status);
+  EXPECT_EQ(parsed.message, "denied");
+  EXPECT_EQ(parsed.body_size, 42u);
+  EXPECT_EQ(parsed.listing, resp.listing);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(Response, ParseRejectsUnknownStatus) {
+  Response resp;
+  Bytes data = resp.serialize();
+  data[0] = 200;
+  EXPECT_THROW(Response::parse(data), ProtocolError);
+}
+
+TEST(Frame, RoundtripAllTypes) {
+  for (const auto type : {FrameType::kRequest, FrameType::kResponse,
+                          FrameType::kData, FrameType::kEnd}) {
+    const Bytes framed = frame(type, to_bytes("payload"));
+    const auto [parsed_type, payload] = unframe(framed);
+    EXPECT_EQ(parsed_type, type);
+    EXPECT_EQ(payload, to_bytes("payload"));
+  }
+}
+
+TEST(Frame, EmptyPayload) {
+  const auto [type, payload] = unframe(frame(FrameType::kEnd));
+  EXPECT_EQ(type, FrameType::kEnd);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(Frame, RejectsUnknownType) {
+  EXPECT_THROW(unframe(Bytes{0}), ProtocolError);
+  EXPECT_THROW(unframe(Bytes{5}), ProtocolError);
+  EXPECT_THROW(unframe({}), ProtocolError);
+}
+
+TEST(Names, HumanReadable) {
+  EXPECT_STREQ(verb_name(Verb::kPutFile), "PUT");
+  EXPECT_STREQ(verb_name(Verb::kList), "PROPFIND");
+  EXPECT_STREQ(status_name(Status::kOk), "OK");
+  EXPECT_STREQ(status_name(Status::kForbidden), "FORBIDDEN");
+}
+
+}  // namespace
+}  // namespace seg::proto

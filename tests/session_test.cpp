@@ -1,0 +1,146 @@
+// Session-level behaviour: multiple concurrent connections, multi-device
+// users, token replacement (separation of authentication and
+// authorization, F8), connection lifecycle, and client misuse.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fs/records.h"
+#include "segshare_test_util.h"
+
+namespace seg {
+namespace {
+
+using testutil::Rig;
+
+TEST(Sessions, ManyConcurrentConnections) {
+  Rig rig;
+  std::vector<client::UserClient*> clients;
+  for (int i = 0; i < 10; ++i)
+    clients.push_back(&rig.connect("user" + std::to_string(i)));
+  // Interleave requests across all connections.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const std::string path =
+          "/u" + std::to_string(i) + "-r" + std::to_string(round);
+      ASSERT_TRUE(clients[i]->put_file(path, to_bytes(path)).ok());
+    }
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto [resp, body] = clients[i]->get_file("/u" + std::to_string(i) + "-r2");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(to_string(body), "/u" + std::to_string(i) + "-r2");
+  }
+}
+
+TEST(Sessions, SameUserTwoDevices) {
+  // The same identity with two distinct certificates (two devices): both
+  // see the same files and permissions — authorization binds to the
+  // identity information, not the token (F8).
+  Rig rig;
+  auto& laptop = rig.connect("alice");
+  auto& phone = rig.connect("alice");  // separate enrollment, same subject
+  ASSERT_TRUE(laptop.put_file("/from-laptop", to_bytes("hi")).ok());
+  EXPECT_EQ(phone.get_file("/from-laptop").second, to_bytes("hi"));
+  ASSERT_TRUE(phone.put_file("/from-laptop", to_bytes("edited")).ok());
+  EXPECT_EQ(laptop.get_file("/from-laptop").second, to_bytes("edited"));
+}
+
+TEST(Sessions, TokenReplacementPreservesAccess) {
+  // "As long as the identity information is preserved, no further change
+  // is necessary if a user's token is replaced" (§I).
+  Rig rig;
+  auto& before = rig.connect("bob");
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  ASSERT_TRUE(alice.set_permission("/f", "user:bob", fs::kPermRead).ok());
+  EXPECT_TRUE(before.get_file("/f").first.ok());
+  // Bob's certificate is replaced (new key pair, new serial): access holds.
+  auto& after = rig.connect("bob");
+  EXPECT_TRUE(after.get_file("/f").first.ok());
+}
+
+TEST(Sessions, IdentityComesFromCertificateNotClaims) {
+  // A user cannot act as someone else: the enclave derives the identity
+  // exclusively from the validated client certificate.
+  Rig rig;
+  auto& mallory = rig.connect("mallory");
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/private", to_bytes("alice's")).ok());
+  // Mallory can name any path but her requests run under "mallory".
+  EXPECT_EQ(mallory.get_file("/private").first.status,
+            proto::Status::kForbidden);
+  EXPECT_EQ(rig.enclave().connection_user(1), "mallory");
+  EXPECT_EQ(rig.enclave().connection_user(2), "alice");
+}
+
+TEST(Sessions, CloseInvalidatesConnection) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  rig.enclave().close(1);
+  EXPECT_THROW(rig.enclave().service(1), ProtocolError);
+  EXPECT_THROW(rig.enclave().connection_user(1), ProtocolError);
+}
+
+TEST(Sessions, ClientMisuse) {
+  Rig rig;
+  TestRng rng(5);
+  client::UserClient offline(rng, rig.ca().public_key(),
+                             client::enroll_user(rng, rig.ca(), "x"));
+  EXPECT_THROW(offline.put_file("/f", to_bytes("x")), ProtocolError);
+  EXPECT_THROW(offline.get_file("/f"), ProtocolError);
+  EXPECT_THROW(offline.server_certificate(), ProtocolError);
+}
+
+TEST(Sessions, EnclaveNotReadyRejectsAccept) {
+  TestRng rng(6);
+  tls::CertificateAuthority ca(rng);
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore c, g, d;
+  core::SegShareEnclave enclave(platform, rng, ca.public_key(),
+                                core::Stores{c, g, d});
+  // No server certificate installed yet.
+  net::DuplexChannel channel;
+  EXPECT_THROW(enclave.accept(channel.b()), ProtocolError);
+}
+
+TEST(Sessions, TransitionsAccountedPerRequest) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  rig.platform().stats().reset();
+  ASSERT_TRUE(alice.put_file("/f", Bytes(256 * 1024, 1)).ok());
+  const auto after_put = rig.platform().stats().switchless_calls;
+  EXPECT_GT(after_put, 10u);  // streamed: one transition per piece + I/O
+  alice.stat("/f");
+  EXPECT_GT(rig.platform().stats().switchless_calls, after_put);
+}
+
+TEST(Sessions, LargeDirectoryListing) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/big/").ok());
+  for (int i = 0; i < 300; ++i)
+    ASSERT_TRUE(
+        alice.put_file("/big/f" + std::to_string(i), to_bytes("x")).ok());
+  const auto listing = alice.list("/big/");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.listing.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(listing.listing.begin(), listing.listing.end()));
+}
+
+TEST(Sessions, GroupWithManyMembers) {
+  Rig rig;
+  auto& owner = rig.connect("owner");
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(
+        owner.add_user_to_group("m" + std::to_string(i), "big-group").ok());
+  ASSERT_TRUE(owner.put_file("/shared", to_bytes("content")).ok());
+  ASSERT_TRUE(owner.set_permission("/shared", "big-group", fs::kPermRead).ok());
+  auto& m42 = rig.connect("m42");
+  EXPECT_TRUE(m42.get_file("/shared").first.ok());
+  ASSERT_TRUE(owner.remove_user_from_group("m42", "big-group").ok());
+  EXPECT_EQ(m42.get_file("/shared").first.status, proto::Status::kForbidden);
+}
+
+}  // namespace
+}  // namespace seg

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sgx/enclave.h"
+#include "sgx/platform.h"
+#include "sgx/switchless.h"
+
+namespace seg::sgx {
+namespace {
+
+TEST(Measurement, DeterministicOverImage) {
+  EXPECT_EQ(measure(to_bytes("code-v1")), measure(to_bytes("code-v1")));
+  EXPECT_NE(measure(to_bytes("code-v1")), measure(to_bytes("code-v2")));
+}
+
+TEST(Platform, QuoteRoundtrip) {
+  TestRng rng(1);
+  SgxPlatform platform(rng);
+  const auto m = measure(to_bytes("enclave"));
+  const Quote q = platform.quote(m, to_bytes("report-data"));
+  EXPECT_TRUE(SgxPlatform::verify_quote(platform.attestation_public_key(), q));
+}
+
+TEST(Platform, QuoteRejectsTamperedMeasurement) {
+  TestRng rng(2);
+  SgxPlatform platform(rng);
+  Quote q = platform.quote(measure(to_bytes("good")), to_bytes("rd"));
+  q.measurement = measure(to_bytes("evil"));
+  EXPECT_FALSE(SgxPlatform::verify_quote(platform.attestation_public_key(), q));
+}
+
+TEST(Platform, QuoteRejectsTamperedReportData) {
+  TestRng rng(3);
+  SgxPlatform platform(rng);
+  Quote q = platform.quote(measure(to_bytes("e")), to_bytes("original"));
+  q.report_data = to_bytes("swapped");
+  EXPECT_FALSE(SgxPlatform::verify_quote(platform.attestation_public_key(), q));
+}
+
+TEST(Platform, QuoteFromOtherPlatformRejected) {
+  TestRng rng(4);
+  SgxPlatform p1(rng), p2(rng);
+  const Quote q = p1.quote(measure(to_bytes("e")), to_bytes("rd"));
+  EXPECT_FALSE(SgxPlatform::verify_quote(p2.attestation_public_key(), q));
+}
+
+TEST(Platform, SealingKeysPerIdentity) {
+  TestRng rng(5);
+  SgxPlatform platform(rng);
+  const auto m1 = measure(to_bytes("enclave-a"));
+  const auto m2 = measure(to_bytes("enclave-b"));
+  EXPECT_EQ(platform.derive_sealing_key(m1, to_bytes("l")),
+            platform.derive_sealing_key(m1, to_bytes("l")));
+  EXPECT_NE(platform.derive_sealing_key(m1, to_bytes("l")),
+            platform.derive_sealing_key(m2, to_bytes("l")));
+  EXPECT_NE(platform.derive_sealing_key(m1, to_bytes("l1")),
+            platform.derive_sealing_key(m1, to_bytes("l2")));
+}
+
+TEST(Platform, SealingKeysPerPlatform) {
+  TestRng rng(6);
+  SgxPlatform p1(rng), p2(rng);
+  const auto m = measure(to_bytes("enclave"));
+  EXPECT_NE(p1.derive_sealing_key(m, {}), p2.derive_sealing_key(m, {}));
+}
+
+TEST(MonotonicCounter, IncrementAndRead) {
+  TestRng rng(7);
+  SgxPlatform platform(rng);
+  const auto id = platform.create_monotonic_counter();
+  EXPECT_EQ(platform.read_monotonic_counter(id), 0u);
+  EXPECT_EQ(platform.increment_monotonic_counter(id), 1u);
+  EXPECT_EQ(platform.increment_monotonic_counter(id), 2u);
+  EXPECT_EQ(platform.read_monotonic_counter(id), 2u);
+}
+
+TEST(MonotonicCounter, UnknownIdThrows) {
+  TestRng rng(8);
+  SgxPlatform platform(rng);
+  EXPECT_THROW(platform.read_monotonic_counter(99), EnclaveError);
+  EXPECT_THROW(platform.increment_monotonic_counter(99), EnclaveError);
+}
+
+TEST(MonotonicCounter, IncrementChargesSlowCost) {
+  TestRng rng(9);
+  CostModel model;
+  model.counter_increment_ns = 5'000'000;
+  SgxPlatform platform(rng, model);
+  const auto id = platform.create_monotonic_counter();
+  platform.increment_monotonic_counter(id);
+  EXPECT_EQ(platform.stats().counter_increments, 1u);
+  EXPECT_GE(platform.stats().charged_ns, 5'000'000u);
+}
+
+TEST(Platform, TransitionAccounting) {
+  TestRng rng(10);
+  SgxPlatform platform(rng);
+  platform.charge_ecall(false);
+  platform.charge_ecall(true);
+  platform.charge_ocall(false);
+  platform.charge_ocall(true);
+  EXPECT_EQ(platform.stats().ecalls, 1u);
+  EXPECT_EQ(platform.stats().ocalls, 1u);
+  EXPECT_EQ(platform.stats().switchless_calls, 2u);
+  const auto& m = platform.cost_model();
+  EXPECT_EQ(platform.stats().charged_ns,
+            m.ecall_ns + m.ocall_ns + 2 * m.switchless_call_ns);
+}
+
+TEST(Platform, EpcPagingChargedBeyondPrm) {
+  TestRng rng(11);
+  CostModel model;
+  model.epc_size_bytes = 1 << 20;
+  SgxPlatform platform(rng, model);
+  // Within PRM: no paging.
+  platform.charge_epc_touch(512 << 10, 64 << 10);
+  EXPECT_EQ(platform.stats().epc_pages_in, 0u);
+  // Beyond PRM: paging charged per 4k page touched.
+  platform.charge_epc_touch(2 << 20, 8192);
+  EXPECT_EQ(platform.stats().epc_pages_in, 2u);
+}
+
+// Minimal concrete enclave for lifecycle tests.
+class TestEnclave : public Enclave {
+ public:
+  using Enclave::Enclave;
+  void do_ecall() { enter(); }
+  void do_ocall() { exit_call(); }
+};
+
+TEST(Enclave, SealUnsealRoundtrip) {
+  TestRng rng(12);
+  SgxPlatform platform(rng);
+  TestEnclave enclave(platform, to_bytes("image"));
+  const Bytes sealed = enclave.seal(rng, to_bytes("root key material"));
+  EXPECT_EQ(enclave.unseal(sealed), to_bytes("root key material"));
+}
+
+TEST(Enclave, SealedBlobSurvivesRestart) {
+  // Statelessness across enclave instances: a *new* instance with the same
+  // image on the same platform can unseal (paper §II-A data sealing).
+  TestRng rng(13);
+  SgxPlatform platform(rng);
+  Bytes sealed;
+  {
+    TestEnclave first(platform, to_bytes("image"));
+    sealed = first.seal(rng, to_bytes("persisted"));
+    first.destroy();
+  }
+  TestEnclave second(platform, to_bytes("image"));
+  EXPECT_EQ(second.unseal(sealed), to_bytes("persisted"));
+}
+
+TEST(Enclave, DifferentIdentityCannotUnseal) {
+  TestRng rng(14);
+  SgxPlatform platform(rng);
+  TestEnclave a(platform, to_bytes("image-a"));
+  TestEnclave b(platform, to_bytes("image-b"));
+  const Bytes sealed = a.seal(rng, to_bytes("secret"));
+  EXPECT_THROW(b.unseal(sealed), IntegrityError);
+}
+
+TEST(Enclave, DifferentPlatformCannotUnseal) {
+  TestRng rng(15);
+  SgxPlatform p1(rng), p2(rng);
+  TestEnclave a(p1, to_bytes("image"));
+  TestEnclave b(p2, to_bytes("image"));
+  const Bytes sealed = a.seal(rng, to_bytes("secret"));
+  EXPECT_THROW(b.unseal(sealed), IntegrityError);
+}
+
+TEST(Enclave, TamperedSealedBlobRejected) {
+  TestRng rng(16);
+  SgxPlatform platform(rng);
+  TestEnclave enclave(platform, to_bytes("image"));
+  Bytes sealed = enclave.seal(rng, to_bytes("secret"));
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_THROW(enclave.unseal(sealed), IntegrityError);
+}
+
+TEST(Enclave, LabelSeparatesSealingDomains) {
+  TestRng rng(17);
+  SgxPlatform platform(rng);
+  TestEnclave enclave(platform, to_bytes("image"));
+  const Bytes sealed = enclave.seal(rng, to_bytes("v"), to_bytes("label-a"));
+  EXPECT_THROW(enclave.unseal(sealed, to_bytes("label-b")), IntegrityError);
+  EXPECT_EQ(enclave.unseal(sealed, to_bytes("label-a")), to_bytes("v"));
+}
+
+TEST(Enclave, DestroyedEnclaveRejectsEntry) {
+  TestRng rng(18);
+  SgxPlatform platform(rng);
+  TestEnclave enclave(platform, to_bytes("image"));
+  enclave.do_ecall();
+  enclave.destroy();
+  EXPECT_THROW(enclave.do_ecall(), EnclaveError);
+  EXPECT_THROW(enclave.do_ocall(), EnclaveError);
+}
+
+TEST(Enclave, QuoteBindsMeasurement) {
+  TestRng rng(19);
+  SgxPlatform platform(rng);
+  TestEnclave enclave(platform, to_bytes("image"));
+  const Quote q = enclave.generate_quote(to_bytes("channel-key"));
+  EXPECT_EQ(q.measurement, enclave.measurement());
+  EXPECT_TRUE(SgxPlatform::verify_quote(platform.attestation_public_key(), q));
+}
+
+TEST(Switchless, ExecutesTasks) {
+  TestRng rng(20);
+  SgxPlatform platform(rng);
+  {
+    SwitchlessQueue queue(platform, 2);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+      futures.push_back(queue.submit([&counter] { ++counter; }));
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(queue.tasks_executed(), 100u);
+  }
+  EXPECT_EQ(platform.stats().switchless_calls, 100u);
+  EXPECT_EQ(platform.stats().ecalls, 0u);
+}
+
+TEST(Switchless, CallBlocksUntilDone) {
+  TestRng rng(21);
+  SgxPlatform platform(rng);
+  SwitchlessQueue queue(platform, 1);
+  int value = 0;
+  queue.call([&value] { value = 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Switchless, CheaperThanSynchronousTransitions) {
+  TestRng rng(22);
+  SgxPlatform sync_platform(rng), swl_platform(rng);
+  for (int i = 0; i < 1000; ++i) sync_platform.charge_ecall(false);
+  for (int i = 0; i < 1000; ++i) swl_platform.charge_ecall(true);
+  EXPECT_LT(swl_platform.stats().charged_ns, sync_platform.stats().charged_ns);
+}
+
+}  // namespace
+}  // namespace seg::sgx

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/error.h"
+#include "store/untrusted_store.h"
+
+namespace seg::store {
+namespace {
+
+// Shared conformance suite run against every backend.
+class StoreConformanceTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      store_ = std::make_unique<MemoryStore>();
+    } else if (GetParam() == "disk") {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("seg_store_test_" + std::to_string(::getpid()));
+      std::filesystem::remove_all(dir_);
+      store_ = std::make_unique<DiskStore>(dir_.string());
+    } else {
+      store_ = std::make_unique<AdversaryStore>(std::make_unique<MemoryStore>());
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<UntrustedStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(StoreConformanceTest, PutGetRoundtrip) {
+  store_->put("a", to_bytes("hello"));
+  const auto got = store_->get("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("hello"));
+}
+
+TEST_P(StoreConformanceTest, GetMissingReturnsNullopt) {
+  EXPECT_FALSE(store_->get("nope").has_value());
+  EXPECT_FALSE(store_->exists("nope"));
+}
+
+TEST_P(StoreConformanceTest, OverwriteReplaces) {
+  store_->put("a", to_bytes("v1"));
+  store_->put("a", to_bytes("version2"));
+  EXPECT_EQ(*store_->get("a"), to_bytes("version2"));
+}
+
+TEST_P(StoreConformanceTest, EmptyBlobAllowed) {
+  store_->put("empty", Bytes{});
+  ASSERT_TRUE(store_->get("empty").has_value());
+  EXPECT_TRUE(store_->get("empty")->empty());
+  EXPECT_TRUE(store_->exists("empty"));
+}
+
+TEST_P(StoreConformanceTest, RemoveDeletes) {
+  store_->put("a", to_bytes("x"));
+  store_->remove("a");
+  EXPECT_FALSE(store_->exists("a"));
+  // Removing a missing blob is a no-op.
+  EXPECT_NO_THROW(store_->remove("a"));
+}
+
+TEST_P(StoreConformanceTest, RenameMoves) {
+  store_->put("a", to_bytes("payload"));
+  store_->rename("a", "b");
+  EXPECT_FALSE(store_->exists("a"));
+  EXPECT_EQ(*store_->get("b"), to_bytes("payload"));
+}
+
+TEST_P(StoreConformanceTest, RenameMissingThrows) {
+  EXPECT_THROW(store_->rename("ghost", "b"), StorageError);
+}
+
+TEST_P(StoreConformanceTest, ListReturnsAllNames) {
+  store_->put("x", to_bytes("1"));
+  store_->put("y", to_bytes("2"));
+  auto names = store_->list();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST_P(StoreConformanceTest, TotalBytesTracksContent) {
+  EXPECT_EQ(store_->total_bytes(), 0u);
+  store_->put("a", Bytes(100, 1));
+  store_->put("b", Bytes(50, 2));
+  EXPECT_EQ(store_->total_bytes(), 150u);
+  store_->remove("a");
+  EXPECT_EQ(store_->total_bytes(), 50u);
+}
+
+TEST_P(StoreConformanceTest, NamesWithSpecialCharacters) {
+  const std::string weird = "dir/with:odd %chars\xc3\xa9";
+  store_->put(weird, to_bytes("v"));
+  EXPECT_TRUE(store_->exists(weird));
+  EXPECT_EQ(*store_->get(weird), to_bytes("v"));
+  const auto names = store_->list();
+  EXPECT_NE(std::find(names.begin(), names.end(), weird), names.end());
+}
+
+TEST_P(StoreConformanceTest, BinaryDataPreserved) {
+  Bytes blob(1000);
+  for (std::size_t i = 0; i < blob.size(); ++i)
+    blob[i] = static_cast<std::uint8_t>(i * 31);
+  store_->put("bin", blob);
+  EXPECT_EQ(*store_->get("bin"), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreConformanceTest,
+                         ::testing::Values("memory", "disk", "adversary"));
+
+// --- adversary-specific behaviour ---
+
+TEST(AdversaryStore, TamperFlipBit) {
+  AdversaryStore store(std::make_unique<MemoryStore>());
+  store.put("a", Bytes{0x00});
+  EXPECT_TRUE(store.tamper_flip_bit("a", 0));
+  EXPECT_EQ(*store.get("a"), Bytes{0x01});
+  EXPECT_FALSE(store.tamper_flip_bit("missing", 0));
+}
+
+TEST(AdversaryStore, BlobRollback) {
+  AdversaryStore store(std::make_unique<MemoryStore>());
+  store.put("a", to_bytes("old"));
+  store.snapshot_blob("a");
+  store.put("a", to_bytes("new"));
+  EXPECT_TRUE(store.rollback_blob("a"));
+  EXPECT_EQ(*store.get("a"), to_bytes("old"));
+  EXPECT_FALSE(store.rollback_blob("never-snapshotted"));
+}
+
+TEST(AdversaryStore, BlobRollbackToAbsence) {
+  AdversaryStore store(std::make_unique<MemoryStore>());
+  store.snapshot_blob("a");  // snapshot of "not present"
+  store.put("a", to_bytes("new"));
+  EXPECT_TRUE(store.rollback_blob("a"));
+  EXPECT_FALSE(store.exists("a"));
+}
+
+TEST(AdversaryStore, FullRollback) {
+  AdversaryStore store(std::make_unique<MemoryStore>());
+  store.put("a", to_bytes("1"));
+  store.put("b", to_bytes("2"));
+  store.snapshot_all();
+  store.put("a", to_bytes("changed"));
+  store.put("c", to_bytes("3"));
+  store.remove("b");
+  store.rollback_all();
+  EXPECT_EQ(*store.get("a"), to_bytes("1"));
+  EXPECT_EQ(*store.get("b"), to_bytes("2"));
+  EXPECT_FALSE(store.exists("c"));
+}
+
+TEST(AdversaryStore, FullRollbackWithoutSnapshotThrows) {
+  AdversaryStore store(std::make_unique<MemoryStore>());
+  EXPECT_THROW(store.rollback_all(), StorageError);
+}
+
+}  // namespace
+}  // namespace seg::store

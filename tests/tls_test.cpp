@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/channel.h"
+#include "tls/certificate.h"
+#include "tls/handshake.h"
+#include "tls/record.h"
+#include "tls/secure_channel.h"
+
+namespace seg::tls {
+namespace {
+
+// ----------------------------------------------------------- certificates ---
+
+TEST(Certificate, IssueAndVerify) {
+  TestRng rng(1);
+  CertificateAuthority ca(rng);
+  const auto pair = crypto::ed25519_generate(rng);
+  const Certificate cert = ca.issue_user_certificate("alice", pair.public_key);
+  EXPECT_EQ(cert.subject, "alice");
+  EXPECT_FALSE(cert.is_server);
+  EXPECT_TRUE(cert.verify(ca.public_key()));
+}
+
+TEST(Certificate, SerializeRoundtrip) {
+  TestRng rng(2);
+  CertificateAuthority ca(rng);
+  const auto pair = crypto::ed25519_generate(rng);
+  const Certificate cert = ca.issue_user_certificate("bob", pair.public_key);
+  const Certificate parsed = Certificate::parse(cert.serialize());
+  EXPECT_EQ(parsed.subject, cert.subject);
+  EXPECT_EQ(parsed.serial, cert.serial);
+  EXPECT_TRUE(parsed.verify(ca.public_key()));
+}
+
+TEST(Certificate, TamperedCertificateFailsVerify) {
+  TestRng rng(3);
+  CertificateAuthority ca(rng);
+  const auto pair = crypto::ed25519_generate(rng);
+  Certificate cert = ca.issue_user_certificate("eve", pair.public_key);
+  cert.subject = "admin";  // identity swap
+  EXPECT_FALSE(cert.verify(ca.public_key()));
+}
+
+TEST(Certificate, ForeignCaRejected) {
+  TestRng rng(4);
+  CertificateAuthority ca1(rng), ca2(rng, "CA-2");
+  const auto pair = crypto::ed25519_generate(rng);
+  const Certificate cert = ca1.issue_user_certificate("x", pair.public_key);
+  EXPECT_FALSE(cert.verify(ca2.public_key()));
+}
+
+TEST(Certificate, ParseRejectsGarbage) {
+  EXPECT_THROW(Certificate::parse(to_bytes("not a cert")), ProtocolError);
+  EXPECT_THROW(Certificate::parse({}), ProtocolError);
+}
+
+TEST(Csr, ProofOfPossession) {
+  TestRng rng(5);
+  const auto pair = crypto::ed25519_generate(rng);
+  CertificateSigningRequest csr = make_csr("server-1", pair);
+  EXPECT_TRUE(csr.verify());
+  csr.subject = "server-2";
+  EXPECT_FALSE(csr.verify());
+
+  CertificateAuthority ca(rng);
+  EXPECT_THROW(ca.issue_server_certificate(csr), AuthError);
+  const Certificate cert = ca.issue_server_certificate(make_csr("s", pair));
+  EXPECT_TRUE(cert.is_server);
+}
+
+TEST(Csr, SerializeRoundtrip) {
+  TestRng rng(6);
+  const auto pair = crypto::ed25519_generate(rng);
+  const auto csr = make_csr("name", pair);
+  const auto parsed = CertificateSigningRequest::parse(csr.serialize());
+  EXPECT_EQ(parsed.subject, "name");
+  EXPECT_TRUE(parsed.verify());
+}
+
+// ------------------------------------------------------------ record layer ---
+
+SessionKeys test_keys(TestRng& rng) {
+  SessionKeys keys;
+  keys.client_write_key = rng.bytes(32);
+  keys.server_write_key = rng.bytes(32);
+  rng.fill(keys.client_iv_salt);
+  rng.fill(keys.server_iv_salt);
+  return keys;
+}
+
+TEST(RecordLayer, Roundtrip) {
+  TestRng rng(7);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true), server(keys, false);
+  const Bytes msg = rng.bytes(1000);
+  EXPECT_EQ(server.unprotect(client.protect(msg)), msg);
+  EXPECT_EQ(client.unprotect(server.protect(msg)), msg);
+}
+
+TEST(RecordLayer, SequenceNumbersPreventReplay) {
+  TestRng rng(8);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true), server(keys, false);
+  const Bytes record = client.protect(to_bytes("once"));
+  EXPECT_EQ(server.unprotect(record), to_bytes("once"));
+  EXPECT_THROW(server.unprotect(record), IntegrityError);  // replayed
+}
+
+TEST(RecordLayer, ReorderDetected) {
+  TestRng rng(9);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true), server(keys, false);
+  const Bytes r1 = client.protect(to_bytes("first"));
+  const Bytes r2 = client.protect(to_bytes("second"));
+  EXPECT_THROW(server.unprotect(r2), IntegrityError);  // out of order
+}
+
+TEST(RecordLayer, TamperDetected) {
+  TestRng rng(10);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true), server(keys, false);
+  Bytes record = client.protect(to_bytes("payload"));
+  record[0] ^= 1;
+  EXPECT_THROW(server.unprotect(record), IntegrityError);
+}
+
+TEST(RecordLayer, DirectionKeysDiffer) {
+  TestRng rng(11);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true), client2(keys, true);
+  // A client cannot decrypt its own direction (reflection attack).
+  const Bytes record = client.protect(to_bytes("x"));
+  EXPECT_THROW(client2.unprotect(record), IntegrityError);
+}
+
+TEST(RecordLayer, PayloadSizeLimit) {
+  TestRng rng(12);
+  const auto keys = test_keys(rng);
+  RecordLayer client(keys, true);
+  EXPECT_NO_THROW(client.protect(Bytes(kMaxRecordPayload, 0)));
+  EXPECT_THROW(client.protect(Bytes(kMaxRecordPayload + 1, 0)), ProtocolError);
+}
+
+// --------------------------------------------------------------- handshake ---
+
+struct HandshakeFixture {
+  TestRng rng{13};
+  CertificateAuthority ca{rng};
+  crypto::Ed25519KeyPair client_pair = crypto::ed25519_generate(rng);
+  crypto::Ed25519KeyPair server_pair = crypto::ed25519_generate(rng);
+  Certificate client_cert =
+      ca.issue_user_certificate("alice", client_pair.public_key);
+  Certificate server_cert =
+      ca.issue_server_certificate(make_csr("server", server_pair));
+};
+
+TEST(Handshake, FullExchangeEstablishesMatchingKeys) {
+  HandshakeFixture f;
+  ClientHandshake client(f.rng, f.ca.public_key(), f.client_cert,
+                         f.client_pair.seed);
+  ServerHandshake server(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  const Bytes ch = client.start();
+  const Bytes sh = server.on_client_hello(ch);
+  const Bytes cf = client.on_server_hello(sh);
+  const Bytes sf = server.on_client_finished(cf);
+  client.on_server_finished(sf);
+
+  ASSERT_TRUE(client.established());
+  ASSERT_TRUE(server.established());
+  EXPECT_EQ(client.result().keys, server.result().keys);
+  EXPECT_EQ(server.result().peer_certificate.subject, "alice");
+  EXPECT_EQ(client.result().peer_certificate.subject, "server");
+}
+
+TEST(Handshake, RejectsUntrustedClientCertificate) {
+  HandshakeFixture f;
+  CertificateAuthority rogue(f.rng, "Rogue");
+  const auto rogue_pair = crypto::ed25519_generate(f.rng);
+  const Certificate rogue_cert =
+      rogue.issue_user_certificate("mallory", rogue_pair.public_key);
+  ClientHandshake client(f.rng, f.ca.public_key(), rogue_cert,
+                         rogue_pair.seed);
+  ServerHandshake server(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  EXPECT_THROW(server.on_client_hello(client.start()), AuthError);
+}
+
+TEST(Handshake, RejectsServerCertPresentedAsClient) {
+  HandshakeFixture f;
+  // An attacker replays the server's own certificate as a client cert.
+  ClientHandshake client(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  ServerHandshake server(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  EXPECT_THROW(server.on_client_hello(client.start()), AuthError);
+}
+
+TEST(Handshake, RejectsClientCertPresentedAsServer) {
+  HandshakeFixture f;
+  ClientHandshake client(f.rng, f.ca.public_key(), f.client_cert,
+                         f.client_pair.seed);
+  // "Server" armed with a client certificate (no is_server flag).
+  ServerHandshake server(f.rng, f.ca.public_key(), f.client_cert,
+                         f.client_pair.seed);
+  const Bytes sh = server.on_client_hello(client.start());
+  EXPECT_THROW(client.on_server_hello(sh), AuthError);
+}
+
+TEST(Handshake, DetectsTamperedServerHello) {
+  HandshakeFixture f;
+  ClientHandshake client(f.rng, f.ca.public_key(), f.client_cert,
+                         f.client_pair.seed);
+  ServerHandshake server(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  Bytes sh = server.on_client_hello(client.start());
+  sh[10] ^= 1;  // flip a bit of the server random
+  EXPECT_THROW(client.on_server_hello(sh), Error);
+}
+
+TEST(Handshake, DetectsWrongClientSignature) {
+  HandshakeFixture f;
+  // Mallory holds alice's certificate but not her key.
+  const auto mallory_pair = crypto::ed25519_generate(f.rng);
+  ClientHandshake client(f.rng, f.ca.public_key(), f.client_cert,
+                         mallory_pair.seed);
+  ServerHandshake server(f.rng, f.ca.public_key(), f.server_cert,
+                         f.server_pair.seed);
+  const Bytes sh = server.on_client_hello(client.start());
+  const Bytes cf = client.on_server_hello(sh);
+  EXPECT_THROW(server.on_client_finished(cf), AuthError);
+}
+
+TEST(Handshake, StateMachineMisuseThrows) {
+  HandshakeFixture f;
+  ClientHandshake client(f.rng, f.ca.public_key(), f.client_cert,
+                         f.client_pair.seed);
+  EXPECT_THROW(client.on_server_hello(to_bytes("x")), ProtocolError);
+  client.start();
+  EXPECT_THROW(client.start(), ProtocolError);
+  EXPECT_THROW(client.result(), ProtocolError);
+}
+
+// ----------------------------------------------------------- secure channel ---
+
+TEST(SecureChannel, LargeMessageFragmentsAcrossRecords) {
+  HandshakeFixture f;
+  ClientHandshake ch(f.rng, f.ca.public_key(), f.client_cert,
+                     f.client_pair.seed);
+  ServerHandshake sh(f.rng, f.ca.public_key(), f.server_cert,
+                     f.server_pair.seed);
+  net::DuplexChannel wire;
+  const Bytes hello = ch.start();
+  const Bytes shm = sh.on_client_hello(hello);
+  const Bytes cf = ch.on_server_hello(shm);
+  const Bytes sf = sh.on_client_finished(cf);
+  ch.on_server_finished(sf);
+
+  SecureChannel client(wire.a(), ch.result().keys, true);
+  SecureChannel server(wire.b(), sh.result().keys, false);
+
+  TestRng rng(20);
+  const Bytes big = rng.bytes(100'000);  // > 6 records
+  client.send_message(big);
+  EXPECT_GT(wire.stats().messages_a_to_b, 6u);
+  EXPECT_EQ(server.recv_message(), big);
+
+  server.send_message(to_bytes("short reply"));
+  EXPECT_EQ(client.recv_message(), to_bytes("short reply"));
+
+  client.send_message({});  // empty messages are legal
+  EXPECT_TRUE(server.recv_message().empty());
+}
+
+}  // namespace
+}  // namespace seg::tls

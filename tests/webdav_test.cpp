@@ -1,0 +1,215 @@
+// Tests of the WebDAV facade: HTTP codec, verb mapping, multistatus
+// rendering, and end-to-end DAV access to a full deployment.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fs/records.h"
+#include "segshare_test_util.h"
+#include "webdav/dav_client.h"
+#include "webdav/gateway.h"
+#include "webdav/http.h"
+
+namespace seg::webdav {
+namespace {
+
+// ------------------------------------------------------------------ codec ---
+
+TEST(Http, RequestRenderParseRoundtrip) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.target = "/docs/a.txt";
+  req.set_header("X-Custom", "value with spaces");
+  req.body = to_bytes("file body");
+  const HttpRequest parsed = parse_request(render(req));
+  EXPECT_EQ(parsed.method, "PUT");
+  EXPECT_EQ(parsed.target, "/docs/a.txt");
+  EXPECT_EQ(parsed.header("x-custom"), "value with spaces");
+  EXPECT_EQ(parsed.body, to_bytes("file body"));
+}
+
+TEST(Http, ResponseRenderParseRoundtrip) {
+  HttpResponse resp;
+  resp.status = 207;
+  resp.reason = "Multi-Status";
+  resp.body = to_bytes("<xml/>");
+  const HttpResponse parsed = parse_response(render(resp));
+  EXPECT_EQ(parsed.status, 207);
+  EXPECT_EQ(parsed.reason, "Multi-Status");
+  EXPECT_EQ(parsed.body, to_bytes("<xml/>"));
+  EXPECT_EQ(parsed.header("content-length"), "6");
+}
+
+TEST(Http, HeaderNamesCaseInsensitive) {
+  HttpRequest req;
+  req.set_header("Content-Type", "text/plain");
+  EXPECT_EQ(req.header("CONTENT-TYPE"), "text/plain");
+  EXPECT_FALSE(req.header("missing").has_value());
+}
+
+TEST(Http, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_request(to_bytes("garbage")), ProtocolError);
+  EXPECT_THROW(parse_request(to_bytes("GET /x HTTP/1.1\r\nbad header\r\n\r\n")),
+               ProtocolError);
+  EXPECT_THROW(parse_request(to_bytes(
+                   "PUT /x HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort")),
+               ProtocolError);
+  EXPECT_THROW(parse_request(to_bytes("GET /x HTTP/0.9\r\n\r\n")),
+               ProtocolError);
+  EXPECT_THROW(parse_response(to_bytes("not a response\r\n\r\n")),
+               ProtocolError);
+}
+
+TEST(Http, UrlEncoding) {
+  EXPECT_EQ(url_encode_path("/a b/ü.txt"), "/a%20b/%C3%BC.txt");
+  EXPECT_EQ(url_decode_path("/a%20b/%C3%BC.txt"), "/a b/ü.txt");
+  EXPECT_EQ(url_decode_path(url_encode_path("/plain/path.txt")),
+            "/plain/path.txt");
+}
+
+TEST(Http, XmlEscape) {
+  EXPECT_EQ(xml_escape("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
+}
+
+// ---------------------------------------------------------------- mapping ---
+
+TEST(Mapping, EveryVerbRoundtripsThroughHttp) {
+  for (std::uint8_t v = 1; v <= 15; ++v) {
+    proto::Request internal;
+    internal.verb = static_cast<proto::Verb>(v);
+    internal.path = "/p";
+    internal.target = internal.verb == proto::Verb::kMove ? "/q" : "bob";
+    internal.group = "team";
+    internal.perm = 3;
+    const HttpRequest http = to_http(internal, to_bytes("body"));
+    const proto::Request back = to_internal(http);
+    EXPECT_EQ(back.verb, internal.verb) << "verb " << int(v);
+    if (internal.verb == proto::Verb::kMove)
+      EXPECT_EQ(back.target, internal.target);
+    if (internal.verb == proto::Verb::kSetPermission) {
+      EXPECT_EQ(back.group, "team");
+      EXPECT_EQ(back.perm, 3u);
+    }
+  }
+}
+
+TEST(Mapping, StatusCodes) {
+  EXPECT_EQ(http_status(proto::Status::kOk), 200);
+  EXPECT_EQ(http_status(proto::Status::kForbidden), 403);
+  EXPECT_EQ(http_status(proto::Status::kNotFound), 404);
+  EXPECT_EQ(http_status(proto::Status::kConflict), 409);
+  EXPECT_EQ(proto_status(201), proto::Status::kOk);
+  EXPECT_EQ(proto_status(207), proto::Status::kOk);
+  EXPECT_EQ(proto_status(403), proto::Status::kForbidden);
+  EXPECT_EQ(proto_status(418), proto::Status::kError);
+}
+
+TEST(Mapping, UnsupportedMethodRejected) {
+  HttpRequest req;
+  req.method = "PATCH";
+  req.target = "/x";
+  EXPECT_THROW(to_internal(req), ProtocolError);
+}
+
+TEST(Mapping, MultistatusRoundtrip) {
+  const std::vector<std::string> children = {"/d/a.txt", "/d/sub/"};
+  const std::string xml = render_multistatus("/d/", children);
+  EXPECT_NE(xml.find("<D:collection/>"), std::string::npos);
+  EXPECT_EQ(parse_multistatus(xml), children);
+}
+
+// ------------------------------------------------------------- end to end ---
+
+TEST(DavEndToEnd, FullWorkflowOverTextualHttp) {
+  testutil::Rig rig;
+  DavClient alice(rig.connect("alice"));
+  DavClient bob(rig.connect("bob"));
+
+  auto request = [](const std::string& text) { return to_bytes(text); };
+
+  // MKCOL + PUT.
+  auto r1 = parse_response(alice.execute(
+      request("MKCOL /docs/ HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r1.status, 201);
+  auto r2 = parse_response(alice.execute(request(
+      "PUT /docs/hello.txt HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello")));
+  EXPECT_EQ(r2.status, 201);
+
+  // GET by owner, 403 for bob.
+  auto r3 = parse_response(alice.execute(
+      request("GET /docs/hello.txt HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r3.status, 200);
+  EXPECT_EQ(r3.body, to_bytes("hello"));
+  auto r4 = parse_response(bob.execute(
+      request("GET /docs/hello.txt HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r4.status, 403);
+
+  // Share via the ACL extension method, then bob reads.
+  auto r5 = parse_response(alice.execute(request(
+      "ACL /docs/hello.txt HTTP/1.1\r\n"
+      "x-segshare-action: set-permission\r\n"
+      "x-segshare-group: user:bob\r\n"
+      "x-segshare-permission: 1\r\n"
+      "content-length: 0\r\n\r\n")));
+  EXPECT_EQ(r5.status, 204);
+  auto r6 = parse_response(bob.execute(
+      request("GET /docs/hello.txt HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r6.status, 200);
+
+  // PROPFIND multistatus listing.
+  auto r7 = parse_response(alice.execute(request(
+      "PROPFIND /docs/ HTTP/1.1\r\ndepth: 1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r7.status, 207);
+  EXPECT_EQ(parse_multistatus(to_string(r7.body)),
+            std::vector<std::string>{"/docs/hello.txt"});
+
+  // MOVE, HEAD, DELETE.
+  auto r8 = parse_response(alice.execute(request(
+      "MOVE /docs/hello.txt HTTP/1.1\r\ndestination: /docs/renamed.txt\r\n"
+      "content-length: 0\r\n\r\n")));
+  EXPECT_EQ(r8.status, 204);
+  auto r9 = parse_response(alice.execute(
+      request("HEAD /docs/renamed.txt HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r9.status, 200);
+  EXPECT_EQ(r9.header("x-segshare-size"), "5");
+  auto r10 = parse_response(alice.execute(request(
+      "DELETE /docs/renamed.txt HTTP/1.1\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r10.status, 204);
+
+  // Group management over the GROUP extension method.
+  auto r11 = parse_response(alice.execute(request(
+      "GROUP /team HTTP/1.1\r\n"
+      "x-segshare-action: add-member\r\n"
+      "x-segshare-user: bob\r\n"
+      "content-length: 0\r\n\r\n")));
+  EXPECT_EQ(r11.status, 204);
+  auto r12 = parse_response(bob.execute(request(
+      "GROUP /team HTTP/1.1\r\n"
+      "x-segshare-action: add-member\r\n"
+      "x-segshare-user: carol\r\n"
+      "content-length: 0\r\n\r\n")));
+  EXPECT_EQ(r12.status, 403);  // bob is a member, not an owner
+
+  // Malformed request handled gracefully.
+  auto r13 = parse_response(alice.execute(request(
+      "ACL /x HTTP/1.1\r\nx-segshare-action: bogus\r\ncontent-length: 0\r\n\r\n")));
+  EXPECT_EQ(r13.status, 400);
+}
+
+TEST(DavEndToEnd, BinaryBodySurvives) {
+  testutil::Rig rig;
+  DavClient alice(rig.connect("alice"));
+  TestRng rng(3);
+  const Bytes blob = rng.bytes(100'000);
+  HttpRequest put;
+  put.method = "PUT";
+  put.target = "/bin";
+  put.body = blob;
+  EXPECT_EQ(alice.execute(put).status, 201);
+  HttpRequest get;
+  get.method = "GET";
+  get.target = "/bin";
+  EXPECT_EQ(alice.execute(get).body, blob);
+}
+
+}  // namespace
+}  // namespace seg::webdav
