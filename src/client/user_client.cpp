@@ -43,6 +43,15 @@ const tls::Certificate& UserClient::server_certificate() const {
   return server_certificate_;
 }
 
+void UserClient::disconnect() {
+  if (!channel_) return;
+  channel_->send_message(proto::frame(proto::FrameType::kClose));
+  pump_();
+  channel_.reset();
+  end_ = nullptr;
+  pump_ = nullptr;
+}
+
 proto::Response UserClient::read_response() {
   const auto [type, payload] = proto::unframe(channel_->recv_message());
   if (type != proto::FrameType::kResponse)
@@ -58,30 +67,46 @@ proto::Response UserClient::simple_request(const proto::Request& request) {
   return read_response();
 }
 
-proto::Response UserClient::put_file(const std::string& path,
-                                     BytesView content) {
+UserClient::PutStream UserClient::begin_put(const std::string& path,
+                                            std::uint64_t body_size) {
   if (!channel_) throw ProtocolError("client: not connected");
   proto::Request request;
   request.verb = proto::Verb::kPutFile;
   request.path = path;
-  request.body_size = content.size();
+  request.body_size = body_size;
   channel_->send_message(
       proto::frame(proto::FrameType::kRequest, request.serialize()));
-  // Stream the body in fixed-size pieces, letting the server drain the
-  // pipe after every piece (§VI streaming: the enclave needs only a
-  // small, constant buffer per request).
+  return PutStream(*this);
+}
+
+void UserClient::PutStream::append(BytesView data) {
+  if (finished_) throw ProtocolError("client: put stream already finished");
+  // Stream in fixed-size pieces, letting the server drain the pipe after
+  // every piece (§VI streaming: the enclave needs only a small, constant
+  // buffer per request).
   std::size_t pos = 0;
-  while (pos < content.size()) {
-    const std::size_t take =
-        std::min(proto::kStreamChunk, content.size() - pos);
-    channel_->send_message(
-        proto::frame(proto::FrameType::kData, content.subspan(pos, take)));
-    pump_();
+  while (pos < data.size()) {
+    const std::size_t take = std::min(proto::kStreamChunk, data.size() - pos);
+    client_.channel_->send_message(
+        proto::frame(proto::FrameType::kData, data.subspan(pos, take)));
+    client_.pump_();
     pos += take;
   }
-  channel_->send_message(proto::frame(proto::FrameType::kEnd));
-  pump_();
-  return read_response();
+}
+
+proto::Response UserClient::PutStream::finish() {
+  if (finished_) throw ProtocolError("client: put stream already finished");
+  finished_ = true;
+  client_.channel_->send_message(proto::frame(proto::FrameType::kEnd));
+  client_.pump_();
+  return client_.read_response();
+}
+
+proto::Response UserClient::put_file(const std::string& path,
+                                     BytesView content) {
+  PutStream stream = begin_put(path, content.size());
+  stream.append(content);
+  return stream.finish();
 }
 
 proto::Response UserClient::put_file_deduplicated(const std::string& path,

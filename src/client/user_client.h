@@ -54,7 +54,32 @@ class UserClient {
   bool connected() const { return channel_ != nullptr; }
   const tls::Certificate& server_certificate() const;
 
+  /// Orderly shutdown: sends a CLOSE frame (no response) so the server
+  /// and enclave reclaim the connection slot, then forgets the channel.
+  /// Safe to call when not connected. A client that simply vanishes —
+  /// simulated by destroying it without disconnect() — is cleaned up by
+  /// the enclave when its transport errors or the server prunes it.
+  void disconnect();
+
   // --- requests (§IV-B + extensions) ---------------------------------------
+
+  /// Streaming upload handle: the body travels in kStreamChunk DATA
+  /// frames as it is appended, so tests can abandon a transfer mid-way
+  /// (disconnect between append and finish) and callers can stream
+  /// sources larger than memory.
+  class PutStream {
+   public:
+    void append(BytesView data);
+    /// Sends END and returns the server's verdict.
+    proto::Response finish();
+
+   private:
+    friend class UserClient;
+    explicit PutStream(UserClient& client) : client_(client) {}
+    UserClient& client_;
+    bool finished_ = false;
+  };
+  PutStream begin_put(const std::string& path, std::uint64_t body_size);
 
   proto::Response put_file(const std::string& path, BytesView content);
   /// Client-side dedup upload (§V-A alternative, requires the server to

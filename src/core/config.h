@@ -41,6 +41,12 @@ struct EnclaveConfig {
   std::size_t rollback_buckets = 64;
   /// §VI: use switchless calls for TLS and file I/O.
   bool switchless = true;
+  /// Byte budget for the in-enclave metadata cache (hash-header sidecars,
+  /// decrypted ACL/directory records, resident dedup index). 0 disables
+  /// caching entirely, which keeps behaviour bit-identical to the
+  /// uncached code paths. Cached bytes count against the simulated EPC,
+  /// so oversizing the budget shows up as paging cost, not free speed.
+  std::size_t metadata_cache_bytes = 0;
 };
 
 }  // namespace seg::core

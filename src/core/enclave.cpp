@@ -203,6 +203,10 @@ void SegShareEnclave::close(std::uint64_t connection_id) {
   connections_.erase(connection_id);
 }
 
+bool SegShareEnclave::has_connection(std::uint64_t connection_id) const {
+  return connections_.contains(connection_id);
+}
+
 std::string SegShareEnclave::connection_user(
     std::uint64_t connection_id) const {
   const auto it = connections_.find(connection_id);
@@ -214,17 +218,27 @@ void SegShareEnclave::service(std::uint64_t connection_id) {
   const auto it = connections_.find(connection_id);
   if (it == connections_.end()) throw ProtocolError("unknown connection");
   Connection& connection = it->second;
-  while (connection.transport->pending()) {
-    enter(config_.switchless);
-    const Bytes message = connection.transport->recv();
-    if (!connection.channel) {
-      handle_handshake_message(connection, message);
-    } else {
-      // Reassemble the record-fragmented application message. The first
-      // record is already in hand; SecureChannel pulls continuations.
-      handle_frame(connection, reassemble(connection, message));
+  try {
+    while (connection.transport->pending() && !connection.closed) {
+      enter(config_.switchless);
+      const Bytes message = connection.transport->recv();
+      if (!connection.channel) {
+        handle_handshake_message(connection, message);
+      } else {
+        // Reassemble the record-fragmented application message. The first
+        // record is already in hand; SecureChannel pulls continuations.
+        handle_frame(connection, reassemble(connection, message));
+      }
     }
+  } catch (...) {
+    // Fatal errors (handshake failures, record forgeries, auth failures)
+    // kill the connection: an abandoned PUT's Upload destructor discards
+    // the staged temp object. The error still propagates so the caller
+    // can log/abort — but the slot is reclaimed either way.
+    connections_.erase(it);
+    throw;
   }
+  if (connection.closed) connections_.erase(it);
 }
 
 Bytes SegShareEnclave::reassemble(Connection& connection,
@@ -285,6 +299,13 @@ void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
         return;
       case proto::FrameType::kEnd:
         handle_end(connection);
+        return;
+      case proto::FrameType::kClose:
+        // Orderly shutdown: abandon any in-flight PUT (the staged temp
+        // object is discarded by Upload's destructor) and mark the
+        // connection for removal. No response frame.
+        connection.put.reset();
+        connection.closed = true;
         return;
       case proto::FrameType::kResponse:
         throw ProtocolError("unexpected response frame from client");
@@ -923,6 +944,11 @@ TrustedFileManager& SegShareEnclave::file_manager() {
 AccessControl& SegShareEnclave::access_control() {
   if (!access_) throw ProtocolError("enclave has no root key yet");
   return *access_;
+}
+
+TrustedFileManager::CacheStats SegShareEnclave::cache_stats() const {
+  if (!tfm_) throw ProtocolError("enclave has no root key yet");
+  return tfm_->cache_stats();
 }
 
 }  // namespace seg::core

@@ -69,10 +69,18 @@ class SegShareEnclave : public sgx::Enclave {
 
   /// Processes everything pending on the connection: handshake flights
   /// and request frames. Each processed message is one (switchless)
-  /// transition into the enclave.
+  /// transition into the enclave. A connection that sends a CLOSE frame
+  /// or fails fatally (bad handshake, record forgery) is dropped here, so
+  /// the untrusted server can prune its side by polling has_connection();
+  /// fatal errors still propagate to the caller.
   void service(std::uint64_t connection_id);
 
   void close(std::uint64_t connection_id);
+
+  /// Whether the enclave still tracks this connection (it drops closed
+  /// and fatally-errored connections during service()).
+  bool has_connection(std::uint64_t connection_id) const;
+  std::size_t connection_count() const { return connections_.size(); }
 
   /// Authenticated identity of the connection (empty until established).
   std::string connection_user(std::uint64_t connection_id) const;
@@ -107,6 +115,8 @@ class SegShareEnclave : public sgx::Enclave {
   const EnclaveConfig& config() const { return config_; }
   TrustedFileManager& file_manager();
   AccessControl& access_control();
+  /// Metadata-cache counters (config.metadata_cache_bytes budget).
+  TrustedFileManager::CacheStats cache_stats() const;
 
  private:
   struct PutState {
@@ -124,6 +134,7 @@ class SegShareEnclave : public sgx::Enclave {
     std::unique_ptr<tls::SecureChannel> channel;
     std::string user;
     std::optional<PutState> put;
+    bool closed = false;  // CLOSE frame seen; drop after the service loop
   };
 
   void bootstrap_new();

@@ -1,0 +1,136 @@
+// In-enclave metadata cache (write-through, EPC-budgeted).
+//
+// Request handling pays O(store) crypto on metadata: every tree operation
+// re-reads and GCM-decrypts hash-header sidecars, every request re-fetches
+// ACL and directory records. Keeping the hot records resident inside the
+// enclave removes those store round-trips, but enclave memory is not free:
+// once the resident set exceeds the EPC, every touch risks a page-in
+// (§II-A). The cache therefore takes a hard byte budget, evicts LRU, and
+// registers its residency with the SgxPlatform cost model so the paging
+// simulation stays honest.
+//
+// Freshness argument (mirrors the group-record cache, DESIGN.md §6.4):
+// the enclave is the only writer of every cached record and all mutations
+// go through the cache write-through, so within a session a cache hit is
+// at least as fresh as the untrusted store. Across restarts the cache
+// starts empty and the usual §V-D/§V-E validation applies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sgx/platform.h"
+
+namespace seg::core {
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+};
+
+/// LRU cache keyed by logical name with byte-budget eviction. A zero
+/// budget disables the cache (get always misses silently, put is a
+/// no-op), so callers can keep one unconditional code path.
+template <typename Value>
+class LruCache {
+ public:
+  LruCache(std::size_t budget_bytes, sgx::SgxPlatform* platform)
+      : platform_(platform) {
+    counters_.budget_bytes = budget_bytes;
+  }
+  ~LruCache() { clear(); }
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  bool enabled() const { return counters_.budget_bytes != 0; }
+
+  /// Returns the cached value or nullptr; counts a hit/miss and charges
+  /// the touch to the EPC model. The pointer is valid until the next
+  /// mutating call.
+  const Value* get(const std::string& key) {
+    if (!enabled()) return nullptr;
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++counters_.misses;
+      return nullptr;
+    }
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    touch(it->second.bytes);
+    return &it->second.value;
+  }
+
+  /// Inserts or replaces; `value_bytes` is the caller's estimate of the
+  /// payload size (the key is charged on top). Values that could never
+  /// fit the budget are not cached.
+  void put(const std::string& key, Value value, std::size_t value_bytes) {
+    if (!enabled()) return;
+    erase(key);
+    const std::uint64_t bytes = value_bytes + key.size();
+    if (bytes > counters_.budget_bytes) return;
+    while (counters_.resident_bytes + bytes > counters_.budget_bytes)
+      evict_oldest();
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), bytes, lru_.begin()});
+    adjust_resident(static_cast<std::int64_t>(bytes));
+    touch(bytes);
+  }
+
+  void erase(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+  }
+
+  /// Drops every entry but keeps the hit/miss history.
+  void clear() {
+    adjust_resident(-static_cast<std::int64_t>(counters_.resident_bytes));
+    entries_.clear();
+    lru_.clear();
+  }
+
+  const CacheCounters& counters() const { return counters_; }
+
+ private:
+  struct Entry {
+    Value value;
+    std::uint64_t bytes;
+    std::list<std::string>::iterator lru;
+  };
+
+  void evict_oldest() {
+    const auto it = entries_.find(lru_.back());
+    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+
+  void adjust_resident(std::int64_t delta) {
+    if (delta == 0) return;
+    counters_.resident_bytes =
+        static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(counters_.resident_bytes) + delta);
+    if (platform_ != nullptr) platform_->adjust_epc_resident(delta);
+  }
+
+  void touch(std::uint64_t bytes) {
+    if (platform_ != nullptr) platform_->charge_epc_touch(0, bytes);
+  }
+
+  sgx::SgxPlatform* platform_;
+  CacheCounters counters_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace seg::core

@@ -33,8 +33,20 @@ std::uint64_t SegShareServer::accept(net::DuplexChannel& channel) {
 }
 
 void SegShareServer::pump() {
-  for (const auto& [id, channel] : connections_) {
-    if (channel->b().pending()) enclave_.service(id);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    const std::uint64_t id = it->first;
+    net::DuplexChannel* channel = it->second;
+    if (enclave_.has_connection(id) && channel->b().pending()) {
+      try {
+        enclave_.service(id);
+      } catch (...) {
+        // The enclave already dropped the connection; forget our side
+        // before letting the error reach the caller.
+        if (!enclave_.has_connection(id)) connections_.erase(it);
+        throw;
+      }
+    }
+    it = enclave_.has_connection(id) ? std::next(it) : connections_.erase(it);
   }
 }
 

@@ -31,10 +31,15 @@ class SegShareServer {
   /// Accepts a client connection; the server always owns end "b".
   std::uint64_t accept(net::DuplexChannel& channel);
 
-  /// Forwards pending traffic of every connection into the enclave.
+  /// Forwards pending traffic of every connection into the enclave and
+  /// prunes connections the enclave has dropped (CLOSE frame or fatal
+  /// error), so long-running servers do not accumulate dead slots.
   void pump();
 
   void close(std::uint64_t connection_id);
+
+  /// Connections the untrusted side still tracks.
+  std::size_t connection_count() const { return connections_.size(); }
 
   SegShareEnclave& enclave() { return enclave_; }
 

@@ -113,7 +113,12 @@ TrustedFileManager::TrustedFileManager(Stores stores, BytesView root_key,
       name_key_(crypto::hkdf({}, root_key, to_bytes("name-hiding"), 32)),
       mset_key_(crypto::hkdf({}, root_key, to_bytes("multiset-prf"), 32)),
       fs_counter_id_(guard_state.fs_counter),
-      group_counter_id_(guard_state.group_counter) {
+      group_counter_id_(guard_state.group_counter),
+      header_cache_(config.metadata_cache_bytes / 2, platform),
+      object_cache_(config.metadata_cache_bytes -
+                        config.metadata_cache_bytes / 2,
+                    platform) {
+  dedup_index_counters_.budget_bytes = config_.metadata_cache_bytes;
   if (root_key_.size() != 16)
     throw CryptoError("SK_r must be 16 bytes (AES-128)");
   if (config_.fs_guard == FsRollbackGuard::kMonotonicCounter) {
@@ -165,6 +170,10 @@ Bytes TrustedFileManager::raw_read_content(const std::string& logical) const {
 }
 
 Bytes TrustedFileManager::read(const std::string& logical) const {
+  const bool cacheable = is_metadata_object(logical);
+  if (cacheable) {
+    if (const Bytes* hit = object_cache_.get(logical)) return *hit;
+  }
   Bytes content = raw_read_content(logical);
   if (config_.rollback_protection)
     tree_validate(logical, crypto::Sha256::hash(content));
@@ -176,36 +185,32 @@ Bytes TrustedFileManager::read(const std::string& logical) const {
     const auto mac = crypto::HmacSha256::mac(root_key_, data);
     if (to_hex(mac) != hname)
       throw RollbackError("dedup object does not match its name");
+    if (cacheable) object_cache_.put(logical, data, data.size());
     return data;
   }
+  // Insert only after validation so tampered store content can never
+  // poison the cache.
+  if (cacheable) object_cache_.put(logical, content, content.size());
   return content;
 }
 
 void TrustedFileManager::write(const std::string& logical, BytesView content) {
+  // Overwriting a dedup indirection must release the old shared blob's
+  // reference, exactly like Upload::finish() and commit_by_hash() do.
+  release_dedup_link(logical);
   content_fs_.write_file(physical(logical), content);
   if (config_.rollback_protection)
     tree_on_write(logical, crypto::Sha256::hash(content));
+  if (is_metadata_object(logical))
+    object_cache_.put(logical, Bytes(content.begin(), content.end()),
+                      content.size());
 }
 
 void TrustedFileManager::remove(const std::string& logical) {
-  if (config_.deduplication && exists(logical)) {
-    const Bytes content = raw_read_content(logical);
-    if (is_link(content)) {
-      const std::string hname = link_target(content);
-      DedupIndex index = load_dedup_index();
-      const auto it = index.refcounts.find(hname);
-      if (it != index.refcounts.end() && --it->second == 0) {
-        index.refcounts.erase(it);
-        dedup_fs_.remove_file(hname);
-        std::erase_if(index.client_index, [&](const auto& entry) {
-          return entry.second == hname;
-        });
-      }
-      save_dedup_index(index);
-    }
-  }
+  release_dedup_link(logical);
   content_fs_.remove_file(physical(logical));
   if (config_.rollback_protection) tree_on_remove(logical);
+  object_cache_.erase(logical);
 }
 
 void TrustedFileManager::move_object(const std::string& from,
@@ -217,14 +222,22 @@ void TrustedFileManager::move_object(const std::string& from,
     tree_on_remove(from);
     tree_on_write(to, crypto::Sha256::hash(raw));
   }
+  object_cache_.erase(from);
+  object_cache_.erase(to);
+  if (is_metadata_object(to) && !(config_.deduplication && is_link(raw)))
+    object_cache_.put(to, raw, raw.size());
 }
 
 std::uint64_t TrustedFileManager::logical_size(
     const std::string& logical) const {
   const std::uint64_t raw = content_fs_.file_size(physical(logical));
-  if (config_.deduplication) {
-    const Bytes content = raw_read_content(logical);
-    if (is_link(content)) return dedup_fs_.file_size(link_target(content));
+  // A dedup indirection is a few dozen bytes, so only a single-chunk
+  // object can be one: probing just the first PFS chunk keeps PROPFIND on
+  // a large non-link file O(1) instead of decrypting the whole object.
+  if (config_.deduplication && raw > 0 && raw <= pfs::kChunkSize) {
+    const auto reader = content_fs_.open_reader(physical(logical));
+    const Bytes first = reader->read_chunk(0);
+    if (is_link(first)) return dedup_fs_.file_size(link_target(first));
   }
   return raw;
 }
@@ -233,19 +246,25 @@ std::uint64_t TrustedFileManager::logical_size(
 
 TrustedFileManager::Upload::Upload(TrustedFileManager& tfm, std::string logical)
     : tfm_(tfm), logical_(std::move(logical)), dedup_mac_(tfm.root_key_) {
-  if (tfm_.config_.deduplication) {
-    temp_name_ = "tmp-" + to_hex(tfm_.rng_.bytes(16));
-    writer_ = tfm_.dedup_fs_.open_writer(temp_name_);
-  } else {
-    writer_ = tfm_.content_fs_.open_writer(tfm_.physical(logical_));
-  }
+  // Both modes stream into a staging temporary: a client that disconnects
+  // mid-upload must not leave a partial object under the final name (the
+  // tree never registered it, so nothing would ever detect it).
+  temp_name_ = "tmp-" + to_hex(tfm_.rng_.bytes(16));
+  writer_ = tfm_.config_.deduplication
+                ? tfm_.dedup_fs_.open_writer(temp_name_)
+                : tfm_.content_fs_.open_writer(temp_name_);
 }
 
 TrustedFileManager::Upload::~Upload() {
-  if (!finished_ && !temp_name_.empty()) {
-    // Abandoned dedup upload: drop the staged temporary.
+  if (!finished_) {
+    // Abandoned upload: drop the staged temporary (the prefix-scan
+    // fallback in remove_file cleans up chunks without a metadata node).
     writer_.reset();
-    tfm_.dedup_fs_.remove_file(temp_name_);
+    if (tfm_.config_.deduplication) {
+      tfm_.dedup_fs_.remove_file(temp_name_);
+    } else {
+      tfm_.content_fs_.remove_file(temp_name_);
+    }
   }
 }
 
@@ -266,31 +285,35 @@ void TrustedFileManager::Upload::finish() {
     // §V-A: deduplicate by content MAC; the single encrypted copy lives in
     // the dedup store, the content store holds an indirection.
     const std::string hname = to_hex(dedup_mac_.finish());
-    DedupIndex index = tfm_.load_dedup_index();
-    const auto it = index.refcounts.find(hname);
-    if (it != index.refcounts.end()) {
-      ++it->second;
-      tfm_.dedup_fs_.remove_file(temp_name_);
-    } else {
-      tfm_.dedup_fs_.rename_file(temp_name_, hname);
-      index.refcounts[hname] = 1;
-    }
-    if (tfm_.config_.client_side_dedup) {
-      // Remember the plaintext hash so later probes can hit.
-      crypto::Sha256 copy = content_hash_;
-      index.client_index[to_hex(copy.finish())] = hname;
-    }
-    tfm_.save_dedup_index(index);
+    tfm_.with_dedup_index([&](DedupIndex& index) {
+      const auto it = index.refcounts.find(hname);
+      if (it != index.refcounts.end()) {
+        ++it->second;
+        tfm_.dedup_fs_.remove_file(temp_name_);
+      } else {
+        tfm_.dedup_fs_.rename_file(temp_name_, hname);
+        index.refcounts[hname] = 1;
+      }
+      if (tfm_.config_.client_side_dedup) {
+        // Remember the plaintext hash so later probes can hit.
+        crypto::Sha256 copy = content_hash_;
+        index.client_index[to_hex(copy.finish())] = hname;
+      }
+      return true;
+    });
 
     // If the logical file previously pointed at other content, release it.
     if (tfm_.exists(logical_)) tfm_.remove(logical_);
     const Bytes link = make_link(hname);
     tfm_.content_fs_.write_file(tfm_.physical(logical_), link);
+    tfm_.object_cache_.erase(logical_);
     if (tfm_.config_.rollback_protection)
       tfm_.tree_on_write(logical_, crypto::Sha256::hash(link));
     return;
   }
 
+  tfm_.content_fs_.rename_file(temp_name_, tfm_.physical(logical_));
+  tfm_.object_cache_.erase(logical_);
   if (tfm_.config_.rollback_protection)
     tfm_.tree_on_write(logical_, content_hash_.finish());
 }
@@ -304,16 +327,20 @@ bool TrustedFileManager::commit_by_hash(
     const std::string& logical, const crypto::Sha256::Digest& content_hash) {
   if (!config_.deduplication || !config_.client_side_dedup)
     throw ProtocolError("client-side dedup disabled");
-  DedupIndex index = load_dedup_index();
-  const auto hit = index.client_index.find(to_hex(content_hash));
-  if (hit == index.client_index.end()) return false;
-  const std::string hname = hit->second;
-  ++index.refcounts[hname];
-  save_dedup_index(index);
+  std::string hname;
+  const bool known = with_dedup_index([&](DedupIndex& index) {
+    const auto hit = index.client_index.find(to_hex(content_hash));
+    if (hit == index.client_index.end()) return false;
+    hname = hit->second;
+    ++index.refcounts[hname];
+    return true;
+  });
+  if (!known) return false;
 
   if (exists(logical)) remove(logical);
   const Bytes link = make_link(hname);
   content_fs_.write_file(physical(logical), link);
+  object_cache_.erase(logical);
   if (config_.rollback_protection)
     tree_on_write(logical, crypto::Sha256::hash(link));
   return true;
@@ -508,13 +535,21 @@ std::string tree_parent_of(const std::string& logical) {
 }
 }  // namespace
 
+std::size_t TrustedFileManager::header_bytes(const HashHeader& header) {
+  constexpr std::size_t kMsetSize = mset::MsetXorHash::kDigestSize + 8;
+  return 32 + 32 + 8 + 4 + header.buckets.size() * kMsetSize;
+}
+
 std::optional<TrustedFileManager::HashHeader> TrustedFileManager::load_header(
     const std::string& logical) const {
+  if (const HashHeader* cached = header_cache_.get(logical)) return *cached;
   const auto blob = content_store_.get(header_blob(logical));
   if (!blob) return std::nullopt;
   const Bytes plain =
       crypto::pae_decrypt_with(header_gcm_, *blob, to_bytes("hdr:" + logical));
-  return HashHeader::parse(plain, config_.rollback_buckets);
+  HashHeader header = HashHeader::parse(plain, config_.rollback_buckets);
+  header_cache_.put(logical, header, header_bytes(header));
+  return header;
 }
 
 void TrustedFileManager::store_header(const std::string& logical,
@@ -523,10 +558,12 @@ void TrustedFileManager::store_header(const std::string& logical,
                      crypto::pae_encrypt_with(header_gcm_, rng_,
                                               header.serialize(),
                                               to_bytes("hdr:" + logical)));
+  header_cache_.put(logical, header, header_bytes(header));
 }
 
 void TrustedFileManager::remove_header(const std::string& logical) {
   content_store_.remove(header_blob(logical));
+  header_cache_.erase(logical);
 }
 
 std::size_t TrustedFileManager::bucket_of(const std::string& logical) const {
@@ -616,10 +653,23 @@ void TrustedFileManager::tree_propagate(
   tree_propagate(parent, parent_old_main, header.main_hash);
 }
 
+bool TrustedFileManager::is_metadata_object(const std::string& logical) {
+  return fs::is_dir_path(logical) ||
+         (logical.size() >= 4 &&
+          logical.compare(logical.size() - 4, 4, ".acl") == 0);
+}
+
+Bytes TrustedFileManager::cached_dir_content(const std::string& dir) const {
+  // Cache hits only — the cache is populated by read()/write() after
+  // validation, so unvalidated store content never enters it here.
+  if (const Bytes* hit = object_cache_.get(dir)) return *hit;
+  return raw_read_content(dir);
+}
+
 std::vector<std::string> TrustedFileManager::bucket_children(
     const std::string& dir, std::size_t bucket) const {
   std::vector<std::string> result;
-  const Bytes content = raw_read_content(dir);
+  const Bytes content = cached_dir_content(dir);
   const fs::Directory directory = fs::Directory::parse(content);
   auto consider = [&](const std::string& node) {
     if (bucket_of(node) == bucket && exists(node)) result.push_back(node);
@@ -654,7 +704,7 @@ TrustedFileManager::tree_validate_structure(const std::string& logical) const {
     const auto parent_header = load_header(parent);
     if (!parent_header)
       throw RollbackError("missing hash header for " + parent);
-    const Bytes parent_content = raw_read_content(parent);
+    const Bytes parent_content = cached_dir_content(parent);
     if (crypto::Sha256::hash(parent_content) != parent_header->content_hash)
       throw RollbackError("stale directory content: " + parent);
     if (dir_main(parent, *parent_header) != parent_header->main_hash)
@@ -774,7 +824,59 @@ TrustedFileManager::DedupIndex TrustedFileManager::load_dedup_index() const {
 }
 
 void TrustedFileManager::save_dedup_index(const DedupIndex& index) {
-  dedup_fs_.write_file(kDedupIndexRecord, index.serialize());
+  const Bytes data = index.serialize();
+  dedup_fs_.write_file(kDedupIndexRecord, data);
+  if (dedup_index_resident_) set_dedup_index_residency(data.size());
+}
+
+void TrustedFileManager::set_dedup_index_residency(std::size_t bytes) {
+  if (platform_ != nullptr)
+    platform_->adjust_epc_resident(
+        static_cast<std::int64_t>(bytes) -
+        static_cast<std::int64_t>(dedup_index_bytes_));
+  dedup_index_bytes_ = bytes;
+  dedup_index_counters_.resident_bytes = bytes;
+}
+
+bool TrustedFileManager::with_dedup_index(
+    const std::function<bool(DedupIndex&)>& fn) {
+  const bool resident_mode = config_.metadata_cache_bytes != 0;
+  if (!resident_mode) {
+    DedupIndex index = load_dedup_index();
+    if (!fn(index)) return false;
+    save_dedup_index(index);
+    return true;
+  }
+  if (!dedup_index_resident_) {
+    ++dedup_index_counters_.misses;
+    dedup_index_resident_ = load_dedup_index();
+    set_dedup_index_residency(dedup_index_resident_->serialize().size());
+  } else {
+    ++dedup_index_counters_.hits;
+  }
+  if (platform_ != nullptr) platform_->charge_epc_touch(0, dedup_index_bytes_);
+  if (!fn(*dedup_index_resident_)) return false;
+  save_dedup_index(*dedup_index_resident_);  // write-through
+  return true;
+}
+
+void TrustedFileManager::release_dedup_link(const std::string& logical) {
+  if (!config_.deduplication || !exists(logical)) return;
+  const Bytes content = raw_read_content(logical);
+  if (!is_link(content)) return;
+  const std::string hname = link_target(content);
+  with_dedup_index([&](DedupIndex& index) {
+    const auto it = index.refcounts.find(hname);
+    if (it == index.refcounts.end()) return false;
+    if (--it->second == 0) {
+      index.refcounts.erase(it);
+      dedup_fs_.remove_file(hname);
+      std::erase_if(index.client_index, [&](const auto& entry) {
+        return entry.second == hname;
+      });
+    }
+    return true;
+  });
 }
 
 bool TrustedFileManager::is_link(BytesView content) {
@@ -806,9 +908,27 @@ std::uint64_t TrustedFileManager::group_store_bytes() const {
   return group_store_.total_bytes();
 }
 
+TrustedFileManager::CacheStats TrustedFileManager::cache_stats() const {
+  return CacheStats{header_cache_.counters(), object_cache_.counters(),
+                    dedup_index_counters_};
+}
+
+void TrustedFileManager::clear_caches() {
+  header_cache_.clear();
+  object_cache_.clear();
+  dedup_index_resident_.reset();
+  if (dedup_index_bytes_ != 0 && platform_ != nullptr)
+    platform_->adjust_epc_resident(-static_cast<std::int64_t>(dedup_index_bytes_));
+  dedup_index_bytes_ = 0;
+  dedup_index_counters_.resident_bytes = 0;
+}
+
 // ------------------------------------------------------------ maintenance ---
 
 void TrustedFileManager::startup_validation() {
+  // Cached metadata was authenticated against the previous trusted state;
+  // after a restart (or restore) it must be re-derived from the stores.
+  clear_caches();
   // Rebuild the group-store root from disk and compare with the guard.
   group_record_hashes_.clear();
   group_root_ = mset::MsetXorHash{};

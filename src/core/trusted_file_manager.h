@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "core/metadata_cache.h"
 #include "crypto/hmac.h"
 #include "crypto/sha2.h"
 #include "fs/records.h"
@@ -101,7 +103,10 @@ class TrustedFileManager {
     TrustedFileManager& tfm_;
     std::string logical_;
     std::unique_ptr<pfs::ProtectedFs::Writer> writer_;
-    std::string temp_name_;  // dedup staging name (dedup mode only)
+    // Staging name in the dedup store (dedup mode) or content store
+    // (plain mode); the logical namespace is untouched until finish(), so
+    // an abandoned upload never leaves a partial object behind.
+    std::string temp_name_;
     crypto::Sha256 content_hash_;
     crypto::HmacSha256 dedup_mac_;
     std::uint64_t size_ = 0;
@@ -156,6 +161,18 @@ class TrustedFileManager {
   std::uint64_t content_store_bytes() const;
   std::uint64_t dedup_store_bytes() const;
   std::uint64_t group_store_bytes() const;
+
+  /// Snapshot of the in-enclave metadata cache (config.metadata_cache_bytes).
+  struct CacheStats {
+    CacheCounters headers;      // rollback-tree hash-header sidecars
+    CacheCounters objects;      // decrypted ACL / directory records
+    CacheCounters dedup_index;  // resident dedup index (hits = resident uses)
+    std::uint64_t resident_bytes() const {
+      return headers.resident_bytes + objects.resident_bytes +
+             dedup_index.resident_bytes;
+    }
+  };
+  CacheStats cache_stats() const;
 
   /// Re-derives and checks the group-store root hash after a restart; also
   /// primes the in-enclave group-record cache. Throws RollbackError if the
@@ -226,6 +243,16 @@ class TrustedFileManager {
   };
   DedupIndex load_dedup_index() const;
   void save_dedup_index(const DedupIndex& index);
+  void set_dedup_index_residency(std::size_t bytes);
+  /// Runs `fn` over the dedup index; when `fn` returns true the mutated
+  /// index is persisted. With the metadata cache enabled the index stays
+  /// resident after first load and saves are write-through; otherwise each
+  /// call is a parse/serialize round trip, exactly as before.
+  bool with_dedup_index(const std::function<bool(DedupIndex&)>& fn);
+  /// Decrements the refcount behind `logical`'s dedup link (if any) and
+  /// garbage-collects the shared blob on last reference. The shared
+  /// release step of remove(), write() and Upload::finish().
+  void release_dedup_link(const std::string& logical);
   static bool is_link(BytesView content);
   static std::string link_target(BytesView content);
   static Bytes make_link(const std::string& hname);
@@ -238,6 +265,16 @@ class TrustedFileManager {
   std::string group_physical(const std::string& record) const;
 
   Bytes raw_read_content(const std::string& logical) const;
+
+  // --- metadata cache (EPC-budgeted, write-through) ---
+  /// True for the records worth caching at object granularity: directory
+  /// files and ACLs are small, hot and written only by this enclave.
+  static bool is_metadata_object(const std::string& logical);
+  static std::size_t header_bytes(const HashHeader& header);
+  /// Directory content for tree validation: served from the object cache
+  /// when warm (same freshness argument as the group-record cache).
+  Bytes cached_dir_content(const std::string& dir) const;
+  void clear_caches();
 
   EnclaveConfig config_;
   Bytes root_key_;
@@ -262,6 +299,14 @@ class TrustedFileManager {
   // protection for the small, hot administration records.
   mutable std::map<std::string, crypto::Sha256::Digest> group_record_hashes_;
   mset::MsetXorHash group_root_;
+  // Metadata caches (budget split between headers and objects; a zero
+  // config budget disables them and keeps the uncached code paths exact).
+  mutable LruCache<HashHeader> header_cache_;
+  mutable LruCache<Bytes> object_cache_;
+  // Resident dedup index (metadata cache enabled + dedup mode only).
+  mutable std::optional<DedupIndex> dedup_index_resident_;
+  mutable CacheCounters dedup_index_counters_;
+  std::uint64_t dedup_index_bytes_ = 0;  // platform-registered residency
 };
 
 }  // namespace seg::core

@@ -11,7 +11,7 @@ HmacSha256::HmacSha256(BytesView key) {
   if (key.size() > 64) {
     const auto digest = Sha256::hash(key);
     std::memcpy(block_key.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
   std::array<std::uint8_t, 64> ipad_key{};

@@ -104,6 +104,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(BytesView data) {
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t pos = 0;
   if (buffer_len_ > 0) {
@@ -206,6 +207,7 @@ void Sha512::process_block(const std::uint8_t* block) {
 }
 
 void Sha512::update(BytesView data) {
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t pos = 0;
   if (buffer_len_ > 0) {

@@ -349,7 +349,14 @@ void ProtectedFs::remove_file(const std::string& name) {
 void ProtectedFs::rename_file(const std::string& from, const std::string& to) {
   // Names are cryptographically bound into every blob (AAD), so renaming
   // re-encrypts — same behaviour class as the SDK library's key binding.
-  write_file(to, read_file(from));
+  // Done chunk-at-a-time so only one chunk lives in enclave memory.
+  {
+    const auto reader = open_reader(from);
+    const auto writer = open_writer(to);
+    for (std::uint64_t i = 0; i < reader->chunk_count(); ++i)
+      writer->append(reader->read_chunk(i));
+    writer->close();
+  }
   remove_file(from);
 }
 

@@ -131,7 +131,7 @@ std::pair<FrameType, Bytes> unframe(BytesView message) {
   if (message.empty()) throw ProtocolError("frame: empty message");
   const auto type = message[0];
   if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kEnd))
+      type > static_cast<std::uint8_t>(FrameType::kClose))
     throw ProtocolError("frame: unknown type");
   return {static_cast<FrameType>(type),
           Bytes(message.begin() + 1, message.end())};

@@ -12,6 +12,9 @@
 // and per response:
 //   RESPONSE (header) · DATA* · END       for GET
 //   RESPONSE (header)                     otherwise
+// A CLOSE frame (no payload, no response) ends the connection cleanly so
+// the enclave and server can reclaim the slot immediately instead of
+// keeping half-open sessions alive forever.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,7 @@ enum class FrameType : std::uint8_t {
   kResponse = 2,
   kData = 3,
   kEnd = 4,
+  kClose = 5,  // orderly connection shutdown; no response follows
 };
 
 enum class Verb : std::uint8_t {

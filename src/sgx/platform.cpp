@@ -117,10 +117,21 @@ void SgxPlatform::charge_ocall(bool switchless) {
   }
 }
 
+void SgxPlatform::adjust_epc_resident(std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  epc_resident_bytes_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(epc_resident_bytes_) + delta);
+}
+
+std::uint64_t SgxPlatform::epc_resident_bytes() const {
+  std::lock_guard lock(mutex_);
+  return epc_resident_bytes_;
+}
+
 void SgxPlatform::charge_epc_touch(std::uint64_t bytes_resident,
                                    std::uint64_t bytes_touched) {
   std::lock_guard lock(mutex_);
-  if (bytes_resident > model_.epc_size_bytes) {
+  if (bytes_resident + epc_resident_bytes_ > model_.epc_size_bytes) {
     // Touching memory beyond the PRM forces page-ins; charge proportional
     // to the touched range, 4 KiB at a time.
     const std::uint64_t pages = (bytes_touched + 4095) / 4096;

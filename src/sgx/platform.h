@@ -135,8 +135,16 @@ class SgxPlatform {
   void charge_ecall(bool switchless);
   void charge_ocall(bool switchless);
   /// Registers `bytes` of enclave heap use; pages beyond the EPC size are
-  /// charged paging cost on touch.
+  /// charged paging cost on touch. `bytes_resident` is the caller's
+  /// transient working set; long-lived residency registered via
+  /// adjust_epc_resident() is added on top.
   void charge_epc_touch(std::uint64_t bytes_resident, std::uint64_t bytes_touched);
+
+  /// Registers long-lived enclave-resident bytes (metadata caches, the
+  /// resident dedup index). Charged against the EPC size on every
+  /// subsequent charge_epc_touch().
+  void adjust_epc_resident(std::int64_t delta);
+  std::uint64_t epc_resident_bytes() const;
 
   const CostModel& cost_model() const { return model_; }
   SgxStats& stats() { return stats_; }
@@ -153,6 +161,7 @@ class SgxPlatform {
   std::map<std::uint64_t, Counter> counters_;
   std::map<std::string, Bytes> protected_memory_;
   std::uint64_t next_counter_id_ = 1;
+  std::uint64_t epc_resident_bytes_ = 0;
   SgxStats stats_;
   mutable std::mutex mutex_;
 };

@@ -10,22 +10,29 @@ namespace seg::store {
 // ----------------------------------------------------------- MemoryStore ---
 
 void MemoryStore::put(const std::string& name, BytesView data) {
+  ++ops_.puts;
   blobs_[name] = Bytes(data.begin(), data.end());
 }
 
 std::optional<Bytes> MemoryStore::get(const std::string& name) const {
+  ++ops_.gets;
   const auto it = blobs_.find(name);
   if (it == blobs_.end()) return std::nullopt;
   return it->second;
 }
 
 bool MemoryStore::exists(const std::string& name) const {
+  ++ops_.exists_checks;
   return blobs_.contains(name);
 }
 
-void MemoryStore::remove(const std::string& name) { blobs_.erase(name); }
+void MemoryStore::remove(const std::string& name) {
+  ++ops_.removes;
+  blobs_.erase(name);
+}
 
 void MemoryStore::rename(const std::string& from, const std::string& to) {
+  ++ops_.renames;
   const auto it = blobs_.find(from);
   if (it == blobs_.end()) throw StorageError("rename: missing blob " + from);
   blobs_[to] = std::move(it->second);

@@ -41,6 +41,18 @@ class UntrustedStore {
 /// In-memory store; the default for tests, benches and examples.
 class MemoryStore final : public UntrustedStore {
  public:
+  /// Operation counts since construction / reset_op_counts(). Tests and
+  /// benches use these to assert how many untrusted-store round trips an
+  /// enclave operation costs (e.g. the bounded logical_size probe, cache
+  /// cold-vs-warm ablations).
+  struct OpCounts {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t renames = 0;
+    std::uint64_t exists_checks = 0;
+  };
+
   void put(const std::string& name, BytesView data) override;
   std::optional<Bytes> get(const std::string& name) const override;
   bool exists(const std::string& name) const override;
@@ -49,6 +61,9 @@ class MemoryStore final : public UntrustedStore {
   std::vector<std::string> list() const override;
   std::uint64_t total_bytes() const override;
 
+  const OpCounts& op_counts() const { return ops_; }
+  void reset_op_counts() { ops_ = OpCounts{}; }
+
   /// Deep copy, used by AdversaryStore snapshots and by the backup
   /// extension (§V-G: "the cloud provider only has to copy the files").
   std::map<std::string, Bytes> snapshot() const { return blobs_; }
@@ -56,6 +71,7 @@ class MemoryStore final : public UntrustedStore {
 
  private:
   std::map<std::string, Bytes> blobs_;
+  mutable OpCounts ops_;
 };
 
 /// Store backed by a directory on disk. Blob names are percent-encoded

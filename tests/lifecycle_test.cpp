@@ -1,0 +1,101 @@
+// Connection lifecycle: orderly CLOSE frames, pruning of dead connections
+// by the untrusted server, and abandoned uploads over a live session.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "segshare_test_util.h"
+
+namespace seg {
+namespace {
+
+using testutil::Rig;
+
+TEST(Lifecycle, DisconnectPrunesBothSides) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  EXPECT_EQ(rig.enclave().connection_count(), 1u);
+  EXPECT_EQ(rig.server().connection_count(), 1u);
+  ASSERT_TRUE(alice.put_file("/doc", to_bytes("hello")).ok());
+
+  alice.disconnect();
+  EXPECT_FALSE(alice.connected());
+  EXPECT_EQ(rig.enclave().connection_count(), 0u);
+  // The server notices the enclave dropped the slot on its next pump.
+  rig.server().pump();
+  EXPECT_EQ(rig.server().connection_count(), 0u);
+}
+
+TEST(Lifecycle, ConnectionChurnDoesNotAccumulateState) {
+  Rig rig;
+  for (int i = 0; i < 20; ++i) {
+    auto& client = rig.connect("user" + std::to_string(i));
+    ASSERT_TRUE(client
+                    .put_file("/churn" + std::to_string(i),
+                              to_bytes("data" + std::to_string(i)))
+                    .ok());
+    client.disconnect();
+  }
+  rig.server().pump();
+  EXPECT_EQ(rig.enclave().connection_count(), 0u);
+  EXPECT_EQ(rig.server().connection_count(), 0u);
+
+  // The namespace survives the churn.
+  auto& reader = rig.connect("user3");
+  EXPECT_EQ(reader.get_file("/churn3").second, to_bytes("data3"));
+}
+
+TEST(Lifecycle, DisconnectMidUploadLeavesNoPartialObject) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/warmup", to_bytes("x")).ok());
+
+  const std::uint64_t baseline = rig.content_store().total_bytes();
+  const Bytes body = rig.rng().bytes(300'000);
+  auto stream = alice.begin_put("/big", body.size());
+  stream.append(BytesView(body).subspan(0, 150'000));
+  // The client vanishes mid-transfer. The enclave must discard the
+  // staged temp object instead of leaving partial ciphertext behind.
+  alice.disconnect();
+  rig.server().pump();
+
+  EXPECT_EQ(rig.enclave().connection_count(), 0u);
+  EXPECT_EQ(rig.content_store().total_bytes(), baseline);
+  auto& bob = rig.connect("alice");
+  EXPECT_EQ(bob.stat("/big").status, proto::Status::kNotFound);
+}
+
+TEST(Lifecycle, AbortedOverwriteKeepsOldContent) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/doc", to_bytes("original")).ok());
+
+  auto stream = alice.begin_put("/doc", 1'000'000);
+  stream.append(rig.rng().bytes(100'000));
+  alice.disconnect();
+  rig.server().pump();
+
+  auto& again = rig.connect("alice");
+  EXPECT_EQ(again.get_file("/doc").second, to_bytes("original"));
+}
+
+TEST(Lifecycle, FatalRecordErrorDropsConnection) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/doc", to_bytes("hello")).ok());
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(bob.put_file("/bobdoc", to_bytes("bobs")).ok());
+
+  // Garbage on alice's established channel: the record layer rejects it,
+  // the error propagates, and both sides forget the connection.
+  rig.channel(0).a().send(rig.rng().bytes(64));
+  EXPECT_THROW(rig.server().pump(), IntegrityError);
+  EXPECT_EQ(rig.enclave().connection_count(), 1u);
+  rig.server().pump();
+  EXPECT_EQ(rig.server().connection_count(), 1u);
+
+  // Bob's session is unaffected.
+  EXPECT_EQ(bob.get_file("/bobdoc").second, to_bytes("bobs"));
+}
+
+}  // namespace
+}  // namespace seg

@@ -84,8 +84,14 @@ TEST(Frame, EmptyPayload) {
 
 TEST(Frame, RejectsUnknownType) {
   EXPECT_THROW(unframe(Bytes{0}), ProtocolError);
-  EXPECT_THROW(unframe(Bytes{5}), ProtocolError);
+  EXPECT_THROW(unframe(Bytes{6}), ProtocolError);
   EXPECT_THROW(unframe({}), ProtocolError);
+}
+
+TEST(Frame, CloseRoundTrips) {
+  const auto [type, payload] = unframe(frame(FrameType::kClose));
+  EXPECT_EQ(type, FrameType::kClose);
+  EXPECT_TRUE(payload.empty());
 }
 
 TEST(Names, HumanReadable) {

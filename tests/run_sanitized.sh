@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Configure, build and run the full test suite under ASan + UBSan
+# (CMake preset "asan-ubsan", build dir build-asan/). Any sanitizer
+# report fails the run (-fno-sanitize-recover=all + halt_on_error).
+set -eu
+
+repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset asan-ubsan -S "$repo"
+cmake --build --preset asan-ubsan -j "$jobs"
+
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"

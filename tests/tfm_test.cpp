@@ -146,6 +146,87 @@ TEST_F(TfmTest, DedupSharesOneCopy) {
   EXPECT_LT(dedup_.total_bytes(), 5'000u);  // collected
 }
 
+TEST_F(TfmTest, OverwriteOfDedupLinkReleasesReference) {
+  EnclaveConfig config;
+  config.deduplication = true;
+  auto tfm = make(config);
+  const Bytes content = rng_.bytes(60'000);
+  for (const char* path : {"/a", "/b"}) {
+    auto upload = tfm->begin_upload(path);
+    upload->append(content);
+    upload->finish();
+  }
+  const std::uint64_t shared = tfm->dedup_store_bytes();
+
+  // Overwriting a link via write() must drop its reference; removing the
+  // last link then garbage-collects the shared blob. Before the fix the
+  // refcount leaked and the blob lived forever.
+  tfm->write("/a", to_bytes("replacement"));
+  EXPECT_EQ(tfm->read("/a"), to_bytes("replacement"));
+  EXPECT_EQ(tfm->read("/b"), content);  // still referenced by /b
+  tfm->remove("/b");
+  EXPECT_LT(tfm->dedup_store_bytes(), shared / 2);
+}
+
+TEST_F(TfmTest, ReuploadOverDedupLinkReleasesOldReference) {
+  EnclaveConfig config;
+  config.deduplication = true;
+  auto tfm = make(config);
+  const Bytes v1 = rng_.bytes(60'000);
+  auto up1 = tfm->begin_upload("/f");
+  up1->append(v1);
+  up1->finish();
+  const std::uint64_t after_v1 = tfm->dedup_store_bytes();
+  auto up2 = tfm->begin_upload("/f");
+  up2->append(rng_.bytes(60'000));
+  up2->finish();
+  // v1's blob had a single reference; the re-upload must collect it
+  // rather than stack a second copy on top.
+  EXPECT_LE(tfm->dedup_store_bytes(), after_v1 + 5'000);
+  tfm->remove("/f");
+  EXPECT_LT(tfm->dedup_store_bytes(), 5'000u);
+}
+
+TEST_F(TfmTest, LogicalSizeProbeIsBounded) {
+  EnclaveConfig config;
+  config.deduplication = true;
+  auto tfm = make(config);
+  const Bytes content = rng_.bytes(200'000);
+  auto upload = tfm->begin_upload("/linked");
+  upload->append(content);
+  upload->finish();
+  tfm->write("/direct", content);  // plain multi-chunk object, no link
+
+  // Link case: a handful of gets on the one-chunk link object (meta, tag
+  // node, chunk) plus the dedup store's metadata — never the 200 KB body.
+  content_.reset_op_counts();
+  dedup_.reset_op_counts();
+  EXPECT_EQ(tfm->logical_size("/linked"), content.size());
+  EXPECT_LE(content_.op_counts().gets + dedup_.op_counts().gets, 6u);
+
+  // Direct case: the object is larger than one chunk, so it cannot be a
+  // link — the probe must not stream the body at all.
+  content_.reset_op_counts();
+  EXPECT_EQ(tfm->logical_size("/direct"), content.size());
+  EXPECT_LE(content_.op_counts().gets, 2u);
+}
+
+TEST_F(TfmTest, AbandonedUploadOverExistingFileKeepsOldContent) {
+  EnclaveConfig config;
+  config.deduplication = false;
+  auto tfm = make(config);
+  tfm->write("/f", to_bytes("old"));
+  const std::uint64_t baseline = content_.total_bytes();
+  {
+    auto upload = tfm->begin_upload("/f");
+    upload->append(rng_.bytes(100'000));
+    // Abandoned: destructor must discard the staged temp, not the live
+    // object (before the fix, non-dedup uploads wrote in place).
+  }
+  EXPECT_EQ(tfm->read("/f"), to_bytes("old"));
+  EXPECT_EQ(content_.total_bytes(), baseline);
+}
+
 TEST_F(TfmTest, DedupDownloadStreamsFromDedupStore) {
   EnclaveConfig config;
   config.deduplication = true;
