@@ -61,8 +61,8 @@ int main() {
   std::vector<std::size_t> sizes_mb = {1, 10, 50, 100, 200};
   if (quick_mode()) sizes_mb = {1, 10, 50};
 
-  std::printf("%8s %10s %14s %14s\n", "size", "server", "upload_ms",
-              "download_ms");
+  std::printf("%8s %10s %12s %12s %12s %12s\n", "size", "server", "up_mean_ms",
+              "up_p99_ms", "down_mean_ms", "down_p99_ms");
 
   for (const std::size_t mb : sizes_mb) {
     const int runs = mb >= 100 ? 2 : 3;
@@ -72,33 +72,35 @@ int main() {
     // --- SeGShare -----------------------------------------------------------
     {
       Deployment segshare;
-      const double up = mean_ms(runs, [&] {
+      const LatencySummary up = summarize(collect_ms(runs, [&] {
         return segshare.measure_ms("alice", [&](client::UserClient& c) {
           c.put_file("/bench.bin", content);
         });
-      });
-      const double down = mean_ms(runs, [&] {
+      }));
+      const LatencySummary down = summarize(collect_ms(runs, [&] {
         return segshare.measure_ms("alice", [&](client::UserClient& c) {
           c.get_file("/bench.bin");
         });
-      });
-      std::printf("%6zuMB %10s %14.1f %14.1f\n", mb, "segshare", up, down);
+      }));
+      std::printf("%6zuMB %10s %12.1f %12.1f %12.1f %12.1f\n", mb, "segshare",
+                  up.mean_ms, up.p99_ms, down.mean_ms, down.p99_ms);
     }
 
     // --- plaintext baselines --------------------------------------------------
     for (const auto& profile : {baseline::ServerProfile::nginx_like(),
                                 baseline::ServerProfile::apache_like()}) {
       PlainRig rig(profile);
-      const double up = mean_ms(runs, [&] {
+      const LatencySummary up = summarize(collect_ms(runs, [&] {
         return rig.measure_ms(
             [&](client::UserClient& c) { c.put_file("/bench.bin", content); });
-      });
-      const double down = mean_ms(runs, [&] {
+      }));
+      const LatencySummary down = summarize(collect_ms(runs, [&] {
         return rig.measure_ms(
             [&](client::UserClient& c) { c.get_file("/bench.bin"); });
-      });
-      std::printf("%6zuMB %10s %14.1f %14.1f\n", mb, profile.name.c_str(), up,
-                  down);
+      }));
+      std::printf("%6zuMB %10s %12.1f %12.1f %12.1f %12.1f\n", mb,
+                  profile.name.c_str(), up.mean_ms, up.p99_ms, down.mean_ms,
+                  down.p99_ms);
     }
   }
 

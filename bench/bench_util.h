@@ -14,6 +14,9 @@
 // lands on the paper's 200 MB numbers (1.84 s up, 0.93 s down).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -141,6 +144,52 @@ inline double mean_ms(int runs, const std::function<double()>& sample) {
   double total = 0;
   for (int i = 0; i < runs; ++i) total += sample();
   return total / runs;
+}
+
+/// Collects `runs` samples from a latency sampler.
+inline std::vector<double> collect_ms(int runs,
+                                      const std::function<double()>& sample) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) samples.push_back(sample());
+  return samples;
+}
+
+/// Nearest-rank percentile, `pct` in (0, 100]. Small sample sets degrade
+/// gracefully (p99 of 3 samples is the maximum).
+inline double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(pct / 100.0 *
+                                static_cast<double>(samples.size()));
+  const auto index =
+      static_cast<std::size_t>(std::max(1.0, rank)) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+/// Latency distribution summary for throughput-style benches.
+struct LatencySummary {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+inline LatencySummary summarize(const std::vector<double>& samples) {
+  LatencySummary out;
+  if (samples.empty()) return out;
+  double total = 0;
+  for (const double s : samples) total += s;
+  out.mean_ms = total / static_cast<double>(samples.size());
+  out.p50_ms = percentile(samples, 50);
+  out.p95_ms = percentile(samples, 95);
+  out.p99_ms = percentile(samples, 99);
+  return out;
+}
+
+inline double ops_per_sec(std::size_t ops, double elapsed_ms) {
+  if (elapsed_ms <= 0.0) return 0.0;
+  return static_cast<double>(ops) * 1000.0 / elapsed_ms;
 }
 
 inline void print_header(const std::string& title,

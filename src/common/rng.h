@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/bytes.h"
 
@@ -28,6 +29,24 @@ class RandomSource {
 
   /// Uniform value in [0, bound). `bound` must be > 0.
   std::uint64_t uniform(std::uint64_t bound);
+};
+
+/// Thread-safe adapter: serializes draws from an underlying source so
+/// multiple enclave service threads can share one stream. With a single
+/// consumer the draw order — and therefore every derived nonce and
+/// temp name — is unchanged, which keeps single-threaded runs
+/// bit-identical to using the inner source directly.
+class LockedRandomSource final : public RandomSource {
+ public:
+  explicit LockedRandomSource(RandomSource& inner) : inner_(inner) {}
+  void fill(MutableBytesView out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.fill(out);
+  }
+
+ private:
+  RandomSource& inner_;
+  std::mutex mutex_;
 };
 
 /// Deterministic, seedable generator for tests (splitmix64/xoshiro256**).

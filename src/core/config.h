@@ -41,6 +41,13 @@ struct EnclaveConfig {
   std::size_t rollback_buckets = 64;
   /// §VI: use switchless calls for TLS and file I/O.
   bool switchless = true;
+  /// Enclave service threads (simulated TCS slots). 1 services every
+  /// connection from the calling thread, exactly as before — store
+  /// traffic stays bit-identical. >1 routes ready connections through a
+  /// sgx::SwitchlessQueue worker pool: requests on different connections
+  /// run in parallel under the trusted file manager's reader–writer
+  /// locks, while each TLS session keeps at most one request in flight.
+  std::size_t service_threads = 1;
   /// Byte budget for the in-enclave metadata cache (hash-header sidecars,
   /// decrypted ACL/directory records, resident dedup index). 0 disables
   /// caching entirely, which keeps behaviour bit-identical to the

@@ -70,6 +70,12 @@ SegShareEnclave::SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
   bootstrap_blob_ = "__segshare_bootstrap_" + platform_tag;
   server_cert_blob_ = "__segshare_server_cert_" + platform_tag;
   server_key_blob_ = "__segshare_server_key_" + platform_tag;
+  if (config_.service_threads > 1) {
+    // One pool worker per simulated TCS slot; requests are submitted to
+    // the switchless task buffer and drained concurrently.
+    service_pool_ = std::make_unique<sgx::SwitchlessQueue>(
+        platform, config_.service_threads);
+  }
   if (const auto sealed = stores_.content.get(bootstrap_blob_)) {
     bootstrap_existing(*sealed);
   } else if (auto_bootstrap) {
@@ -194,40 +200,71 @@ std::uint64_t SegShareEnclave::accept(net::DuplexChannel::End& transport) {
   if (needs_reset_)
     throw RollbackError("stores failed freshness check; CA reset required");
   if (!ready()) throw ProtocolError("enclave not ready (setup incomplete)");
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
   const std::uint64_t id = next_connection_id_++;
   connections_[id].transport = &transport;
   return id;
 }
 
 void SegShareEnclave::close(std::uint64_t connection_id) {
-  connections_.erase(connection_id);
+  decltype(connections_)::node_type node;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const auto it = connections_.find(connection_id);
+    if (it == connections_.end()) return;
+    if (it->second.in_service) {
+      // A service thread owns the connection right now; flag it and let
+      // that thread reclaim the slot at the end of its loop.
+      it->second.closed = true;
+      return;
+    }
+    node = connections_.extract(it);
+  }
+  // Node destroyed here, outside the lock (Upload dtor does store I/O).
 }
 
 bool SegShareEnclave::has_connection(std::uint64_t connection_id) const {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
   return connections_.contains(connection_id);
 }
 
 std::string SegShareEnclave::connection_user(
     std::uint64_t connection_id) const {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
   const auto it = connections_.find(connection_id);
   if (it == connections_.end()) throw ProtocolError("unknown connection");
   return it->second.user;
 }
 
+void SegShareEnclave::drop_connection(std::uint64_t connection_id) {
+  decltype(connections_)::node_type node;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    node = connections_.extract(connection_id);
+  }
+  // Node destroyed here, outside the lock (Upload dtor does store I/O).
+}
+
 void SegShareEnclave::service(std::uint64_t connection_id) {
-  const auto it = connections_.find(connection_id);
-  if (it == connections_.end()) throw ProtocolError("unknown connection");
-  Connection& connection = it->second;
+  Connection* connection = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const auto it = connections_.find(connection_id);
+    if (it == connections_.end()) throw ProtocolError("unknown connection");
+    if (it->second.in_service) return;  // another thread is draining it
+    it->second.in_service = true;
+    connection = &it->second;  // map nodes are pointer-stable
+  }
   try {
-    while (connection.transport->pending() && !connection.closed) {
+    while (connection->transport->pending() && !connection->closed) {
       enter(config_.switchless);
-      const Bytes message = connection.transport->recv();
-      if (!connection.channel) {
-        handle_handshake_message(connection, message);
+      const Bytes message = connection->transport->recv();
+      if (!connection->channel) {
+        handle_handshake_message(*connection, message);
       } else {
         // Reassemble the record-fragmented application message. The first
         // record is already in hand; SecureChannel pulls continuations.
-        handle_frame(connection, reassemble(connection, message));
+        handle_frame(*connection, reassemble(*connection, message));
       }
     }
   } catch (...) {
@@ -235,10 +272,32 @@ void SegShareEnclave::service(std::uint64_t connection_id) {
     // kill the connection: an abandoned PUT's Upload destructor discards
     // the staged temp object. The error still propagates so the caller
     // can log/abort — but the slot is reclaimed either way.
-    connections_.erase(it);
+    drop_connection(connection_id);
     throw;
   }
-  if (connection.closed) connections_.erase(it);
+  if (connection->closed) {
+    drop_connection(connection_id);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  connection->in_service = false;
+}
+
+std::future<void> SegShareEnclave::service_async(std::uint64_t connection_id) {
+  if (service_pool_) {
+    return service_pool_->submit(
+        [this, connection_id] { service(connection_id); });
+  }
+  // No pool: run inline and hand back an already-settled future so the
+  // caller has one code path.
+  std::promise<void> promise;
+  try {
+    service(connection_id);
+    promise.set_value();
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return promise.get_future();
 }
 
 Bytes SegShareEnclave::reassemble(Connection& connection,
@@ -277,6 +336,9 @@ void SegShareEnclave::handle_handshake_message(Connection& connection,
       *connection.transport, result.keys, /*is_client=*/false);
   connection.user = result.peer_certificate.subject;
   connection.handshake.reset();
+  // ensure_user may create the user's default group (a group-store
+  // write), so it needs the exclusive file-system lock.
+  const auto guard = tfm_->write_guard();
   access_->ensure_user(connection.user);
 }
 
@@ -287,19 +349,55 @@ void SegShareEnclave::send_response(Connection& connection,
       proto::frame(proto::FrameType::kResponse, response.serialize()));
 }
 
+namespace {
+
+// Verbs that only read file-system state and may therefore run under the
+// shared lock, concurrently with each other. Everything else mutates
+// (or may mutate) and takes the exclusive lock.
+bool is_read_only_verb(proto::Verb verb) {
+  switch (verb) {
+    case proto::Verb::kGetFile:
+    case proto::Verb::kList:
+    case proto::Verb::kStat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
   const auto [type, payload] = proto::unframe(message);
   try {
     switch (type) {
-      case proto::FrameType::kRequest:
-        handle_request(connection, proto::Request::parse(payload));
+      case proto::FrameType::kRequest: {
+        const proto::Request request = proto::Request::parse(payload);
+        // Reader–writer concurrency: GET/LIST/STAT share the file-system
+        // lock; mutating verbs (including PUT, which stages a temp
+        // object) serialize. The lock spans authorization + execution so
+        // an ACL check and the operation it authorizes are atomic.
+        if (is_read_only_verb(request.verb)) {
+          const auto guard = tfm_->read_guard();
+          handle_request(connection, request);
+        } else {
+          const auto guard = tfm_->write_guard();
+          handle_request(connection, request);
+        }
         return;
+      }
       case proto::FrameType::kData:
+        // Connection-local staging (appends to this connection's own
+        // temp object); no file-system lock needed.
         handle_data(connection, payload);
         return;
-      case proto::FrameType::kEnd:
+      case proto::FrameType::kEnd: {
+        // Commits the staged upload: dedup index, ACL and directory
+        // updates — exclusive.
+        const auto guard = tfm_->write_guard();
         handle_end(connection);
         return;
+      }
       case proto::FrameType::kClose:
         // Orderly shutdown: abandon any in-flight PUT (the staged temp
         // object is discarded by Upload's destructor) and mark the

@@ -11,9 +11,12 @@
 // to its CA exactly as §IV-A requires.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -25,6 +28,7 @@
 #include "net/channel.h"
 #include "proto/messages.h"
 #include "sgx/enclave.h"
+#include "sgx/switchless.h"
 #include "tls/certificate.h"
 #include "tls/handshake.h"
 #include "tls/secure_channel.h"
@@ -73,14 +77,34 @@ class SegShareEnclave : public sgx::Enclave {
   /// or fails fatally (bad handshake, record forgery) is dropped here, so
   /// the untrusted server can prune its side by polling has_connection();
   /// fatal errors still propagate to the caller.
+  ///
+  /// Requests on *different* connections may be serviced by different
+  /// threads concurrently (see service_async). Requests on the *same*
+  /// connection are serialized: if another thread is already servicing
+  /// this connection, the call returns immediately and the pending
+  /// traffic is drained by that thread or a later service() call.
   void service(std::uint64_t connection_id);
+
+  /// Like service(), but routed through the enclave's worker pool when
+  /// config.service_threads > 1 (each pool worker models one TCS slot
+  /// draining the switchless task buffer). With service_threads == 1
+  /// there is no pool and the call runs inline; the returned future is
+  /// ready on return either way. Exceptions surface from future::get().
+  std::future<void> service_async(std::uint64_t connection_id);
+
+  /// True when a service-thread pool exists (config.service_threads > 1),
+  /// i.e. service_async() may actually run requests in parallel.
+  bool concurrent() const { return service_pool_ != nullptr; }
 
   void close(std::uint64_t connection_id);
 
   /// Whether the enclave still tracks this connection (it drops closed
   /// and fatally-errored connections during service()).
   bool has_connection(std::uint64_t connection_id) const;
-  std::size_t connection_count() const { return connections_.size(); }
+  std::size_t connection_count() const {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    return connections_.size();
+  }
 
   /// Authenticated identity of the connection (empty until established).
   std::string connection_user(std::uint64_t connection_id) const;
@@ -134,13 +158,26 @@ class SegShareEnclave : public sgx::Enclave {
     std::unique_ptr<tls::SecureChannel> channel;
     std::string user;
     std::optional<PutState> put;
-    bool closed = false;  // CLOSE frame seen; drop after the service loop
+    // CLOSE frame seen (service thread) or close() called while another
+    // thread was servicing; the servicing thread drops the connection at
+    // the end of its loop. Atomic: writer and reader can be different
+    // threads.
+    std::atomic<bool> closed{false};
+    // Claimed by a servicing thread (under connections_mutex_); gives
+    // per-connection serialization while different connections proceed
+    // in parallel.
+    bool in_service = false;
   };
 
   void bootstrap_new();
   void bootstrap_existing(BytesView sealed_bootstrap);
   void persist_bootstrap();
   void init_root_directory();
+
+  /// Removes the connection from the table; the map node (and with it an
+  /// abandoned upload, whose destructor does store I/O) is destroyed
+  /// outside connections_mutex_.
+  void drop_connection(std::uint64_t connection_id);
 
   void handle_handshake_message(Connection& connection, BytesView message);
   Bytes reassemble(Connection& connection, BytesView first_record);
@@ -183,7 +220,11 @@ class SegShareEnclave : public sgx::Enclave {
   void move_subtree(const std::string& from, const std::string& to);
   void send_response(Connection& connection, const proto::Response& response);
 
-  RandomSource& rng_;
+  // All enclave randomness flows through one mutex-guarded adapter so
+  // concurrent service threads never interleave inside the underlying
+  // source; with a single consumer the draw order (and thus every
+  // ciphertext) is unchanged.
+  LockedRandomSource rng_;
   crypto::Ed25519PublicKey ca_public_key_;
   Stores stores_;
   EnclaveConfig config_;
@@ -197,6 +238,7 @@ class SegShareEnclave : public sgx::Enclave {
 
   std::optional<crypto::X25519KeyPair> replication_ephemeral_;
 
+  mutable std::mutex connections_mutex_;  // guards connections_ + next id
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_connection_id_ = 1;
   bool needs_reset_ = false;
@@ -204,6 +246,11 @@ class SegShareEnclave : public sgx::Enclave {
   std::string bootstrap_blob_;
   std::string server_cert_blob_;
   std::string server_key_blob_;
+  // The service-thread pool (config.service_threads TCS slots feeding on
+  // the switchless task buffer); null when service_threads <= 1. Declared
+  // last so its destructor joins the workers before any state they touch
+  // is torn down.
+  std::unique_ptr<sgx::SwitchlessQueue> service_pool_;
 };
 
 /// Builds the enclave's initial image bytes (identity + hard-coded CA

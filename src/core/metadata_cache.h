@@ -14,12 +14,20 @@
 // go through the cache write-through, so within a session a cache hit is
 // at least as fresh as the untrusted store. Across restarts the cache
 // starts empty and the usual §V-D/§V-E validation applies.
+//
+// Thread safety: the map and LRU list are mutex-guarded and get() copies
+// the value out, so concurrent enclave service threads can hit the cache
+// under the file-system *shared* lock; hit/miss counts are atomics so the
+// read path never takes a second lock for accounting.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -42,29 +50,32 @@ template <typename Value>
 class LruCache {
  public:
   LruCache(std::size_t budget_bytes, sgx::SgxPlatform* platform)
-      : platform_(platform) {
-    counters_.budget_bytes = budget_bytes;
-  }
+      : platform_(platform), budget_bytes_(budget_bytes) {}
   ~LruCache() { clear(); }
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
 
-  bool enabled() const { return counters_.budget_bytes != 0; }
+  bool enabled() const { return budget_bytes_ != 0; }
 
-  /// Returns the cached value or nullptr; counts a hit/miss and charges
-  /// the touch to the EPC model. The pointer is valid until the next
-  /// mutating call.
-  const Value* get(const std::string& key) {
-    if (!enabled()) return nullptr;
+  /// Returns a copy of the cached value or nullopt; counts a hit/miss and
+  /// charges the touch to the EPC model. Copy-out (instead of the old
+  /// pointer-into-the-cache API) keeps hits safe against a concurrent
+  /// eviction by another service thread.
+  std::optional<Value> get(const std::string& key) {
+    if (!enabled()) return std::nullopt;
+    std::unique_lock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
-      ++counters_.misses;
-      return nullptr;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
     }
-    ++counters_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second.lru);
-    touch(it->second.bytes);
-    return &it->second.value;
+    const std::uint64_t bytes = it->second.bytes;
+    Value value = it->second.value;
+    lock.unlock();
+    touch(bytes);
+    return value;
   }
 
   /// Inserts or replaces; `value_bytes` is the caller's estimate of the
@@ -72,11 +83,11 @@ class LruCache {
   /// fit the budget are not cached.
   void put(const std::string& key, Value value, std::size_t value_bytes) {
     if (!enabled()) return;
-    erase(key);
     const std::uint64_t bytes = value_bytes + key.size();
-    if (bytes > counters_.budget_bytes) return;
-    while (counters_.resident_bytes + bytes > counters_.budget_bytes)
-      evict_oldest();
+    if (bytes > budget_bytes_) return;
+    const std::lock_guard lock(mutex_);
+    erase_locked(key);
+    while (resident_bytes_ + bytes > budget_bytes_) evict_oldest();
     lru_.push_front(key);
     entries_.emplace(key, Entry{std::move(value), bytes, lru_.begin()});
     adjust_resident(static_cast<std::int64_t>(bytes));
@@ -84,21 +95,30 @@ class LruCache {
   }
 
   void erase(const std::string& key) {
-    const auto it = entries_.find(key);
-    if (it == entries_.end()) return;
-    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
-    lru_.erase(it->second.lru);
-    entries_.erase(it);
+    const std::lock_guard lock(mutex_);
+    erase_locked(key);
   }
 
   /// Drops every entry but keeps the hit/miss history.
   void clear() {
-    adjust_resident(-static_cast<std::int64_t>(counters_.resident_bytes));
+    const std::lock_guard lock(mutex_);
+    adjust_resident(-static_cast<std::int64_t>(resident_bytes_));
     entries_.clear();
     lru_.clear();
   }
 
-  const CacheCounters& counters() const { return counters_; }
+  /// Consistent snapshot of the counters (by value: concurrent service
+  /// threads keep mutating them).
+  CacheCounters counters() const {
+    const std::lock_guard lock(mutex_);
+    CacheCounters out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_;
+    out.resident_bytes = resident_bytes_;
+    out.budget_bytes = budget_bytes_;
+    return out;
+  }
 
  private:
   struct Entry {
@@ -107,19 +127,26 @@ class LruCache {
     std::list<std::string>::iterator lru;
   };
 
+  void erase_locked(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+  }
+
   void evict_oldest() {
     const auto it = entries_.find(lru_.back());
     adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
     entries_.erase(it);
     lru_.pop_back();
-    ++counters_.evictions;
+    ++evictions_;
   }
 
   void adjust_resident(std::int64_t delta) {
     if (delta == 0) return;
-    counters_.resident_bytes =
-        static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(counters_.resident_bytes) + delta);
+    resident_bytes_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(resident_bytes_) + delta);
     if (platform_ != nullptr) platform_->adjust_epc_resident(delta);
   }
 
@@ -128,7 +155,12 @@ class LruCache {
   }
 
   sgx::SgxPlatform* platform_;
-  CacheCounters counters_;
+  const std::uint64_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t evictions_ = 0;
+  std::uint64_t resident_bytes_ = 0;
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recently used
 };

@@ -1,5 +1,10 @@
 #include "core/server.h"
 
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
 #include "common/error.h"
 
 namespace seg::core {
@@ -28,30 +33,83 @@ void SegShareServer::provision_certificate(SegShareEnclave& enclave,
 
 std::uint64_t SegShareServer::accept(net::DuplexChannel& channel) {
   const std::uint64_t id = enclave_.accept(channel.b());
+  const std::lock_guard<std::mutex> lock(mutex_);
   connections_[id] = &channel;
   return id;
 }
 
 void SegShareServer::pump() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    const std::uint64_t id = it->first;
-    net::DuplexChannel* channel = it->second;
-    if (enclave_.has_connection(id) && channel->b().pending()) {
+  // Snapshot the ready set first; connections accepted while this round
+  // runs are picked up next round.
+  std::vector<std::uint64_t> ready;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, channel] : connections_)
+      if (enclave_.has_connection(id) && channel->b().pending())
+        ready.push_back(id);
+  }
+  // Service every ready connection before reporting any error, so one
+  // poisoned client cannot starve the others. With a service-thread pool
+  // the whole round runs in parallel; either way the first error (in
+  // dispatch order, matching the old sequential semantics) is rethrown
+  // once the round is complete.
+  std::exception_ptr first_error;
+  if (enclave_.concurrent()) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(ready.size());
+    for (const std::uint64_t id : ready)
+      futures.push_back(enclave_.service_async(id));
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  } else {
+    for (const std::uint64_t id : ready) {
       try {
         enclave_.service(id);
       } catch (...) {
-        // The enclave already dropped the connection; forget our side
-        // before letting the error reach the caller.
-        if (!enclave_.has_connection(id)) connections_.erase(it);
-        throw;
+        if (!first_error) first_error = std::current_exception();
       }
     }
-    it = enclave_.has_connection(id) ? std::next(it) : connections_.erase(it);
   }
+  prune();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void SegShareServer::pump_connection(std::uint64_t connection_id) {
+  net::DuplexChannel* channel = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = connections_.find(connection_id);
+    if (it == connections_.end()) return;
+    channel = it->second;
+  }
+  if (!enclave_.has_connection(connection_id) || !channel->b().pending()) {
+    prune();
+    return;
+  }
+  try {
+    enclave_.service_async(connection_id).get();
+  } catch (...) {
+    prune();
+    throw;
+  }
+  if (!enclave_.has_connection(connection_id)) prune();
+}
+
+void SegShareServer::prune() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(connections_, [this](const auto& entry) {
+    return !enclave_.has_connection(entry.first);
+  });
 }
 
 void SegShareServer::close(std::uint64_t connection_id) {
   enclave_.close(connection_id);
+  const std::lock_guard<std::mutex> lock(mutex_);
   connections_.erase(connection_id);
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "core/enclave.h"
 #include "net/channel.h"
@@ -34,17 +35,37 @@ class SegShareServer {
   /// Forwards pending traffic of every connection into the enclave and
   /// prunes connections the enclave has dropped (CLOSE frame or fatal
   /// error), so long-running servers do not accumulate dead slots.
+  ///
+  /// Fairness: every ready connection is serviced each round even when
+  /// one of them fails — a poisoned client cannot starve the rest. When
+  /// the enclave runs a service-thread pool (service_threads > 1), ready
+  /// connections are dispatched to it and serviced in parallel. The first
+  /// error encountered (in connection-id order) is rethrown after the
+  /// round completes.
   void pump();
+
+  /// Pumps a single connection, blocking until its pending traffic is
+  /// drained. Safe to call from one thread per connection concurrently
+  /// (the per-client driver loop of a multi-threaded deployment);
+  /// different connections then proceed through the enclave in parallel.
+  void pump_connection(std::uint64_t connection_id);
 
   void close(std::uint64_t connection_id);
 
   /// Connections the untrusted side still tracks.
-  std::size_t connection_count() const { return connections_.size(); }
+  std::size_t connection_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return connections_.size();
+  }
 
   SegShareEnclave& enclave() { return enclave_; }
 
  private:
+  /// Forgets connections the enclave no longer tracks.
+  void prune();
+
   SegShareEnclave& enclave_;
+  mutable std::mutex mutex_;  // guards connections_
   std::map<std::uint64_t, net::DuplexChannel*> connections_;
 };
 

@@ -172,7 +172,7 @@ Bytes TrustedFileManager::raw_read_content(const std::string& logical) const {
 Bytes TrustedFileManager::read(const std::string& logical) const {
   const bool cacheable = is_metadata_object(logical);
   if (cacheable) {
-    if (const Bytes* hit = object_cache_.get(logical)) return *hit;
+    if (auto hit = object_cache_.get(logical)) return std::move(*hit);
   }
   Bytes content = raw_read_content(logical);
   if (config_.rollback_protection)
@@ -468,20 +468,26 @@ std::vector<std::string> TrustedFileManager::member_list_users() const {
 void TrustedFileManager::group_on_write(const std::string& record,
                                         BytesView content) {
   const auto new_hash = crypto::Sha256::hash(content);
-  const auto it = group_record_hashes_.find(record);
-  if (it != group_record_hashes_.end()) {
-    group_root_.remove(mset_key_, concat(to_bytes(record), it->second));
+  {
+    const std::lock_guard<std::mutex> lock(group_hash_mutex_);
+    const auto it = group_record_hashes_.find(record);
+    if (it != group_record_hashes_.end()) {
+      group_root_.remove(mset_key_, concat(to_bytes(record), it->second));
+    }
+    group_root_.add(mset_key_, concat(to_bytes(record), new_hash));
+    group_record_hashes_[record] = new_hash;
   }
-  group_root_.add(mset_key_, concat(to_bytes(record), new_hash));
-  group_record_hashes_[record] = new_hash;
   guard_update_group();
 }
 
 void TrustedFileManager::group_on_remove(const std::string& record) {
-  const auto it = group_record_hashes_.find(record);
-  if (it == group_record_hashes_.end()) return;
-  group_root_.remove(mset_key_, concat(to_bytes(record), it->second));
-  group_record_hashes_.erase(it);
+  {
+    const std::lock_guard<std::mutex> lock(group_hash_mutex_);
+    const auto it = group_record_hashes_.find(record);
+    if (it == group_record_hashes_.end()) return;
+    group_root_.remove(mset_key_, concat(to_bytes(record), it->second));
+    group_record_hashes_.erase(it);
+  }
   guard_update_group();
 }
 
@@ -489,9 +495,12 @@ void TrustedFileManager::group_validate(const std::string& record,
                                         BytesView content) const {
   // Intra-session (and, with a §V-E guard, cross-restart) rollback
   // protection for the small administration records: the enclave caches
-  // every record's fresh hash.
-  const auto it = group_record_hashes_.find(record);
+  // every record's fresh hash. First sightings are inserted on *read*
+  // paths, which run concurrently under the shared fs lock — hence the
+  // dedicated mutex.
   const auto actual = crypto::Sha256::hash(content);
+  const std::lock_guard<std::mutex> lock(group_hash_mutex_);
+  const auto it = group_record_hashes_.find(record);
   if (it != group_record_hashes_.end()) {
     if (actual != it->second)
       throw RollbackError("group-store record is stale: " + record);
@@ -542,7 +551,7 @@ std::size_t TrustedFileManager::header_bytes(const HashHeader& header) {
 
 std::optional<TrustedFileManager::HashHeader> TrustedFileManager::load_header(
     const std::string& logical) const {
-  if (const HashHeader* cached = header_cache_.get(logical)) return *cached;
+  if (auto cached = header_cache_.get(logical)) return cached;
   const auto blob = content_store_.get(header_blob(logical));
   if (!blob) return std::nullopt;
   const Bytes plain =
@@ -662,7 +671,7 @@ bool TrustedFileManager::is_metadata_object(const std::string& logical) {
 Bytes TrustedFileManager::cached_dir_content(const std::string& dir) const {
   // Cache hits only — the cache is populated by read()/write() after
   // validation, so unvalidated store content never enters it here.
-  if (const Bytes* hit = object_cache_.get(dir)) return *hit;
+  if (auto hit = object_cache_.get(dir)) return std::move(*hit);
   return raw_read_content(dir);
 }
 
@@ -835,6 +844,7 @@ void TrustedFileManager::set_dedup_index_residency(std::size_t bytes) {
         static_cast<std::int64_t>(bytes) -
         static_cast<std::int64_t>(dedup_index_bytes_));
   dedup_index_bytes_ = bytes;
+  const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
   dedup_index_counters_.resident_bytes = bytes;
 }
 
@@ -848,10 +858,14 @@ bool TrustedFileManager::with_dedup_index(
     return true;
   }
   if (!dedup_index_resident_) {
-    ++dedup_index_counters_.misses;
+    {
+      const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
+      ++dedup_index_counters_.misses;
+    }
     dedup_index_resident_ = load_dedup_index();
     set_dedup_index_residency(dedup_index_resident_->serialize().size());
   } else {
+    const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
     ++dedup_index_counters_.hits;
   }
   if (platform_ != nullptr) platform_->charge_epc_touch(0, dedup_index_bytes_);
@@ -909,6 +923,7 @@ std::uint64_t TrustedFileManager::group_store_bytes() const {
 }
 
 TrustedFileManager::CacheStats TrustedFileManager::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
   return CacheStats{header_cache_.counters(), object_cache_.counters(),
                     dedup_index_counters_};
 }
@@ -920,6 +935,7 @@ void TrustedFileManager::clear_caches() {
   if (dedup_index_bytes_ != 0 && platform_ != nullptr)
     platform_->adjust_epc_resident(-static_cast<std::int64_t>(dedup_index_bytes_));
   dedup_index_bytes_ = 0;
+  const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
   dedup_index_counters_.resident_bytes = 0;
 }
 

@@ -24,7 +24,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,22 @@ class TrustedFileManager {
 
   /// Current guard state (for sealing across restarts).
   GuardState guard_state() const;
+
+  // ---- reader–writer concurrency layer (multi-threaded pipeline) ----------
+  //
+  // Request-level locking used by the enclave's service-thread pool:
+  // GET/LIST/STAT run under the shared lock (they may touch the metadata
+  // caches, which are internally synchronized), every namespace/ACL/
+  // membership mutation under the exclusive lock. The manager's methods
+  // deliberately do NOT self-lock — std::shared_mutex is not recursive
+  // and one request spans many calls — so the lock lives at the request
+  // layer; single-threaded callers (tests, setup code) may call without
+  // any lock. Lock ordering: fs lock → cache/group-hash locks → store
+  // locks (see DESIGN.md threading model).
+  using ReadGuard = std::shared_lock<std::shared_mutex>;
+  using WriteGuard = std::unique_lock<std::shared_mutex>;
+  ReadGuard read_guard() const { return ReadGuard(fs_mutex_); }
+  WriteGuard write_guard() const { return WriteGuard(fs_mutex_); }
 
   // ---- content-store objects (content files, dir files, ACL files) -------
 
@@ -295,15 +313,24 @@ class TrustedFileManager {
   sgx::CounterProvider* counters_ = nullptr;
   std::optional<std::uint64_t> fs_counter_id_;
   std::optional<std::uint64_t> group_counter_id_;
+  // Request-level reader–writer lock (see read_guard()/write_guard()).
+  mutable std::shared_mutex fs_mutex_;
   // In-enclave cache of group-store record hashes: cheap per-read rollback
-  // protection for the small, hot administration records.
+  // protection for the small, hot administration records. Guarded by its
+  // own mutex because group_validate() inserts first-sighting entries on
+  // *read* paths, which run concurrently under the shared fs lock.
+  mutable std::mutex group_hash_mutex_;
   mutable std::map<std::string, crypto::Sha256::Digest> group_record_hashes_;
   mset::MsetXorHash group_root_;
   // Metadata caches (budget split between headers and objects; a zero
   // config budget disables them and keeps the uncached code paths exact).
   mutable LruCache<HashHeader> header_cache_;
   mutable LruCache<Bytes> object_cache_;
-  // Resident dedup index (metadata cache enabled + dedup mode only).
+  // Resident dedup index (metadata cache enabled + dedup mode only). The
+  // index itself is touched only under the exclusive fs lock (all dedup
+  // mutations are write paths); the counters get their own mutex so
+  // cache_stats() can poll them while uploads run.
+  mutable std::mutex dedup_stats_mutex_;
   mutable std::optional<DedupIndex> dedup_index_resident_;
   mutable CacheCounters dedup_index_counters_;
   std::uint64_t dedup_index_bytes_ = 0;  // platform-registered residency

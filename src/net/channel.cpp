@@ -8,6 +8,7 @@ namespace seg::net {
 
 void DuplexChannel::End::send(BytesView message) {
   auto& channel = channel_;
+  const std::lock_guard<std::mutex> lock(channel.mutex_);
   const int direction = is_a_ ? 1 : 2;
   if (channel.last_direction_ != 0 && channel.last_direction_ != direction)
     ++channel.stats_.alternations;
@@ -24,6 +25,7 @@ void DuplexChannel::End::send(BytesView message) {
 }
 
 std::optional<Bytes> DuplexChannel::End::try_recv() {
+  const std::lock_guard<std::mutex> lock(channel_.mutex_);
   auto& queue = is_a_ ? channel_.to_a_ : channel_.to_b_;
   if (queue.empty()) return std::nullopt;
   Bytes message = std::move(queue.front());
@@ -38,6 +40,7 @@ Bytes DuplexChannel::End::recv() {
 }
 
 bool DuplexChannel::End::pending() const {
+  const std::lock_guard<std::mutex> lock(channel_.mutex_);
   return !(is_a_ ? channel_.to_a_ : channel_.to_b_).empty();
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -33,8 +34,10 @@ struct ChannelStats {
 };
 
 /// Bidirectional in-memory message pipe between two parties "a" and "b".
-/// Single-threaded by design: the simulation interleaves client and server
-/// code deterministically.
+/// Queue and meter accesses are serialized by an internal mutex so a
+/// client thread and an enclave service thread can own opposite ends
+/// concurrently (multi-threaded pipeline); single-threaded simulations
+/// interleave both ends deterministically exactly as before.
 class DuplexChannel {
  public:
   class End {
@@ -61,6 +64,8 @@ class DuplexChannel {
   End& a() { return a_; }
   End& b() { return b_; }
 
+  /// Meter readings; callers read these between exchanges (not while
+  /// another thread is mid-send), so the references stay cheap.
   const ChannelStats& stats() const { return stats_; }
   ChannelStats& stats() { return stats_; }
 
@@ -72,6 +77,7 @@ class DuplexChannel {
   std::deque<Bytes> to_b_;
   ChannelStats stats_;
   int last_direction_ = 0;  // 0 none, 1 a→b, 2 b→a
+  mutable std::mutex mutex_;
 };
 
 /// WAN model used to turn meter readings into milliseconds.

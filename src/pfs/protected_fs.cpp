@@ -155,6 +155,7 @@ ProtectedFs::Writer::Writer(ProtectedFs& fs, std::string name)
 ProtectedFs::Writer::~Writer() {
   if (!closed_) {
     // Abandoned writer: release the exclusivity slot but leave no file.
+    const std::lock_guard<std::mutex> lock(fs_.writers_mutex_);
     fs_.open_writers_.erase(name_);
   }
 }
@@ -229,7 +230,10 @@ void ProtectedFs::Writer::close() {
   }
 
   closed_ = true;
-  fs_.open_writers_.erase(name_);
+  {
+    const std::lock_guard<std::mutex> lock(fs_.writers_mutex_);
+    fs_.open_writers_.erase(name_);
+  }
 }
 
 // ------------------------------------------------------------------ Reader ---
@@ -282,9 +286,12 @@ Bytes ProtectedFs::Reader::read_chunk(std::uint64_t index) const {
 
 std::unique_ptr<ProtectedFs::Writer> ProtectedFs::open_writer(
     const std::string& name) {
-  if (open_writers_.contains(name))
-    throw ProtocolError("pfs: writer already open for " + name);
-  open_writers_.insert(name);
+  {
+    const std::lock_guard<std::mutex> lock(writers_mutex_);
+    if (open_writers_.contains(name))
+      throw ProtocolError("pfs: writer already open for " + name);
+    open_writers_.insert(name);
+  }
   return std::unique_ptr<Writer>(new Writer(*this, name));
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -138,6 +139,10 @@ class ProtectedFs {
   RandomSource& rng_;
   sgx::SgxPlatform* platform_;
   bool switchless_io_;
+  // Writer-exclusivity registry; its own mutex because writers on
+  // *different* files open and close concurrently (e.g. parallel PUT
+  // uploads staging to distinct temp names).
+  mutable std::mutex writers_mutex_;
   mutable std::set<std::string> open_writers_;
 };
 

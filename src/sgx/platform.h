@@ -150,6 +150,16 @@ class SgxPlatform {
   SgxStats& stats() { return stats_; }
   const SgxStats& stats() const { return stats_; }
 
+  /// Consistent copy of the counters taken under the platform lock. The
+  /// charging paths are already serialized by that lock, so concurrent
+  /// service threads (multiple TCS slots) account transitions and EPC
+  /// residency race-free; this accessor is for readers that poll while
+  /// those threads run. The stats() references stay for quiescent use.
+  SgxStats stats_snapshot() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
  private:
   CostModel model_;
   std::array<std::uint8_t, 32> master_secret_;

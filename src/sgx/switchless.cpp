@@ -1,9 +1,12 @@
 #include "sgx/switchless.h"
 
+#include <algorithm>
+
 namespace seg::sgx {
 
-SwitchlessQueue::SwitchlessQueue(SgxPlatform& platform, std::size_t workers)
-    : platform_(platform) {
+SwitchlessQueue::SwitchlessQueue(SgxPlatform& platform, std::size_t workers,
+                                 std::size_t capacity)
+    : platform_(platform), capacity_(std::max<std::size_t>(1, capacity)) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -15,6 +18,7 @@ SwitchlessQueue::~SwitchlessQueue() {
     stopping_ = true;
   }
   cv_.notify_all();
+  not_full_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -22,7 +26,9 @@ std::future<void> SwitchlessQueue::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return stopping_ || queue_.size() < capacity_; });
     queue_.push_back(std::move(packaged));
   }
   platform_.charge_ecall(/*switchless=*/true);
@@ -34,11 +40,6 @@ void SwitchlessQueue::call(std::function<void()> task) {
   submit(std::move(task)).get();
 }
 
-std::uint64_t SwitchlessQueue::tasks_executed() const {
-  std::lock_guard lock(mutex_);
-  return executed_;
-}
-
 void SwitchlessQueue::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
@@ -48,8 +49,9 @@ void SwitchlessQueue::worker_loop() {
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
-      ++executed_;
+      executed_.fetch_add(1, std::memory_order_relaxed);
     }
+    not_full_.notify_one();
     task();
   }
 }

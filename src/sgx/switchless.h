@@ -5,9 +5,13 @@
 // asynchronously. This simulation provides the same structure: a bounded
 // task queue plus worker threads, with per-call accounting delegated to
 // the platform cost model so the ablation bench (E9) can compare
-// switchless on/off.
+// switchless on/off. The queue bound is enforced: like the SDK's
+// fixed-size task pool, submit() applies backpressure (blocks) while the
+// buffer is full, so a flood of callers cannot grow untrusted memory
+// without bound.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -23,33 +27,47 @@ namespace seg::sgx {
 
 class SwitchlessQueue {
  public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
   /// Spawns `workers` threads that play the role of the enclave worker
-  /// threads draining the untrusted task buffer.
-  SwitchlessQueue(SgxPlatform& platform, std::size_t workers = 2);
+  /// threads draining the untrusted task buffer (one per TCS slot).
+  /// `capacity` bounds the buffer; it must be at least 1.
+  explicit SwitchlessQueue(SgxPlatform& platform, std::size_t workers = 2,
+                           std::size_t capacity = kDefaultCapacity);
   ~SwitchlessQueue();
 
   SwitchlessQueue(const SwitchlessQueue&) = delete;
   SwitchlessQueue& operator=(const SwitchlessQueue&) = delete;
 
   /// Submits a task; returns a future for its completion. The call is
-  /// charged at switchless cost instead of full transition cost.
+  /// charged at switchless cost instead of full transition cost. Blocks
+  /// while the task buffer is at capacity (backpressure).
   std::future<void> submit(std::function<void()> task);
 
   /// Convenience: submit and wait.
   void call(std::function<void()> task);
 
-  std::uint64_t tasks_executed() const;
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Tasks dequeued by workers so far; lock-free so monitors can poll it
+  /// while the queue is under load.
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
 
   SgxPlatform& platform_;
+  const std::size_t capacity_;
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable not_full_;
   bool stopping_ = false;
-  std::uint64_t executed_ = 0;
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 }  // namespace seg::sgx

@@ -10,11 +10,13 @@ namespace seg::store {
 // ----------------------------------------------------------- MemoryStore ---
 
 void MemoryStore::put(const std::string& name, BytesView data) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.puts;
   blobs_[name] = Bytes(data.begin(), data.end());
 }
 
 std::optional<Bytes> MemoryStore::get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.gets;
   const auto it = blobs_.find(name);
   if (it == blobs_.end()) return std::nullopt;
@@ -22,16 +24,19 @@ std::optional<Bytes> MemoryStore::get(const std::string& name) const {
 }
 
 bool MemoryStore::exists(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.exists_checks;
   return blobs_.contains(name);
 }
 
 void MemoryStore::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.removes;
   blobs_.erase(name);
 }
 
 void MemoryStore::rename(const std::string& from, const std::string& to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.renames;
   const auto it = blobs_.find(from);
   if (it == blobs_.end()) throw StorageError("rename: missing blob " + from);
@@ -40,6 +45,7 @@ void MemoryStore::rename(const std::string& from, const std::string& to) {
 }
 
 std::vector<std::string> MemoryStore::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(blobs_.size());
   for (const auto& [name, blob] : blobs_) names.push_back(name);
@@ -47,6 +53,7 @@ std::vector<std::string> MemoryStore::list() const {
 }
 
 std::uint64_t MemoryStore::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [name, blob] : blobs_) total += blob.size();
   return total;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,9 @@ class UntrustedStore {
 };
 
 /// In-memory store; the default for tests, benches and examples.
+/// Internally mutex-guarded so concurrent enclave service threads can
+/// read and write blobs in parallel (DiskStore stays single-threaded;
+/// the concurrent pipeline is exercised against memory stores).
 class MemoryStore final : public UntrustedStore {
  public:
   /// Operation counts since construction / reset_op_counts(). Tests and
@@ -66,10 +70,17 @@ class MemoryStore final : public UntrustedStore {
 
   /// Deep copy, used by AdversaryStore snapshots and by the backup
   /// extension (§V-G: "the cloud provider only has to copy the files").
-  std::map<std::string, Bytes> snapshot() const { return blobs_; }
-  void restore(std::map<std::string, Bytes> blobs) { blobs_ = std::move(blobs); }
+  std::map<std::string, Bytes> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return blobs_;
+  }
+  void restore(std::map<std::string, Bytes> blobs) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    blobs_ = std::move(blobs);
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Bytes> blobs_;
   mutable OpCounts ops_;
 };

@@ -43,9 +43,9 @@ EnclaveConfig cached_config(std::size_t budget = 1 << 20) {
 TEST(LruCacheTest, TracksHitsMissesAndEvictions) {
   LruCache<Bytes> cache(100, nullptr);
   EXPECT_TRUE(cache.enabled());
-  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
   cache.put("a", to_bytes("1234"), 4);  // 5 bytes with the key
-  ASSERT_NE(cache.get("a"), nullptr);
+  ASSERT_TRUE(cache.get("a").has_value());
   EXPECT_EQ(*cache.get("a"), to_bytes("1234"));
   EXPECT_EQ(cache.counters().hits, 2u);
   EXPECT_EQ(cache.counters().misses, 1u);
@@ -53,23 +53,23 @@ TEST(LruCacheTest, TracksHitsMissesAndEvictions) {
 
   // Oversized values are refused rather than evicting the whole cache.
   cache.put("huge", Bytes(200), 200);
-  EXPECT_EQ(cache.get("huge"), nullptr);
-  ASSERT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("huge"), std::nullopt);
+  ASSERT_TRUE(cache.get("a").has_value());
 
   // Filling past the budget evicts the least recently used entry.
   cache.put("b", Bytes(46), 46);  // 47 with the key; 52 resident
   cache.put("c", Bytes(52), 52);  // 53 more would hit 105: "a" (LRU) goes
   EXPECT_EQ(cache.counters().evictions, 1u);
-  EXPECT_EQ(cache.get("a"), nullptr);
-  EXPECT_NE(cache.get("b"), nullptr);
-  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  EXPECT_TRUE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
 }
 
 TEST(LruCacheTest, ZeroBudgetDisables) {
   LruCache<Bytes> cache(0, nullptr);
   EXPECT_FALSE(cache.enabled());
   cache.put("a", to_bytes("x"), 1);
-  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
   EXPECT_EQ(cache.counters().hits, 0u);
   EXPECT_EQ(cache.counters().misses, 0u);
 }

@@ -1,15 +1,36 @@
 #!/usr/bin/env sh
-# Configure, build and run the full test suite under ASan + UBSan
-# (CMake preset "asan-ubsan", build dir build-asan/). Any sanitizer
-# report fails the run (-fno-sanitize-recover=all + halt_on_error).
+# Configure, build and run the full test suite under sanitizers. Any
+# sanitizer report fails the run (-fno-sanitize-recover + halt_on_error).
+#
+# Usage: run_sanitized.sh [asan|tsan|all]   (default: all)
+#   asan — ASan + UBSan  (preset "asan-ubsan", build dir build-asan/)
+#   tsan — ThreadSanitizer (preset "tsan",     build dir build-tsan/);
+#          exercises the concurrent request pipeline in concurrency_test
+#          and the switchless worker pool in sgx_test.
 set -eu
 
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
 
-cmake --preset asan-ubsan -S "$repo"
-cmake --build --preset asan-ubsan -j "$jobs"
+run_asan() {
+  cmake --preset asan-ubsan -S "$repo"
+  cmake --build --preset asan-ubsan -j "$jobs"
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+}
 
-ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
-UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+run_tsan() {
+  cmake --preset tsan -S "$repo"
+  cmake --build --preset tsan -j "$jobs"
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac

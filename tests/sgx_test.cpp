@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -233,6 +236,39 @@ TEST(Switchless, CallBlocksUntilDone) {
   int value = 0;
   queue.call([&value] { value = 42; });
   EXPECT_EQ(value, 42);
+}
+
+TEST(Switchless, SubmitAppliesBackpressureWhenBufferFull) {
+  TestRng rng(23);
+  SgxPlatform platform(rng);
+  SwitchlessQueue queue(platform, 1, /*capacity=*/2);
+  EXPECT_EQ(queue.capacity(), 2u);
+
+  // Occupy the single worker on a gated task, then fill the bounded
+  // buffer behind it.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  auto blocked = queue.submit([gate] { gate.wait(); });
+  auto f1 = queue.submit([] {});
+  auto f2 = queue.submit([] {});
+
+  // A further submit must block (backpressure) until the worker drains a
+  // slot — the SDK's fixed-size task pool, not an unbounded queue.
+  std::atomic<bool> fourth_done{false};
+  std::thread submitter([&] {
+    queue.submit([] {}).get();
+    fourth_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fourth_done.load());
+
+  release.set_value();
+  submitter.join();
+  EXPECT_TRUE(fourth_done.load());
+  blocked.get();
+  f1.get();
+  f2.get();
+  EXPECT_EQ(queue.tasks_executed(), 4u);
 }
 
 TEST(Switchless, CheaperThanSynchronousTransitions) {
