@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -26,13 +27,17 @@ int main() {
   print_header("E9  switchless-call ablation + transition accounting (§VI)",
                "§VI: switchless calls for TLS + Protected FS traffic");
 
-  const std::size_t mb = quick_mode() ? 4 : 32;
+  const std::size_t mb = smoke_mode() ? 1 : quick_mode() ? 4 : 32;
+  BenchReport report("ablation");
 
   std::printf("%12s %14s %14s %16s %14s\n", "mode", "transitions",
               "sgx_cost_ms", "upload_ms", "download_ms");
   for (const bool switchless : {true, false}) {
     Deployment d(switchless_config(switchless));
     const Bytes payload = d.rng().bytes(mb << 20);
+    // Unlocked stats() reference is fine here: service_threads defaults
+    // to 1, and the reads happen between operations (quiescent contract,
+    // see SgxPlatform::stats()).
     d.platform().stats().reset();
     const double up = d.measure_ms("alice", [&](client::UserClient& c) {
       c.put_file("/f", payload);
@@ -47,7 +52,16 @@ int main() {
                 switchless ? "switchless" : "synchronous",
                 static_cast<unsigned long long>(transitions),
                 static_cast<double>(stats.charged_ns) / 1e6, up, down);
+    const std::string prefix = switchless ? "switchless" : "synchronous";
+    report.add(prefix + ".transitions", static_cast<double>(transitions),
+               "count");
+    report.add(prefix + ".sgx_cost", static_cast<double>(stats.charged_ns) /
+                                         1e6,
+               "ms");
+    report.add(prefix + ".upload.mean", up, "ms");
+    report.add(prefix + ".download.mean", down, "ms");
   }
+  report.write();
 
   std::printf("\nper-request enclave buffer (streaming, §VI): every PUT is\n"
               "processed in %zu KiB pieces regardless of file size —\n"

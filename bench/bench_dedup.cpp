@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -22,8 +23,9 @@ int main() {
                "§V-A: a single encrypted copy per distinct plaintext, "
                "shared across users and groups");
 
-  const std::size_t uploads = quick_mode() ? 8 : 25;
-  const std::size_t size_kb = 512;
+  const std::size_t uploads = smoke_mode() ? 2 : quick_mode() ? 8 : 25;
+  const std::size_t size_kb = smoke_mode() ? 64 : 512;
+  BenchReport report("dedup");
 
   for (const bool enabled : {false, true}) {
     Deployment d(dedup_config(enabled));
@@ -51,6 +53,22 @@ int main() {
         "%.2f MiB; first upload %.1f ms, later uploads %.1f ms\n",
         enabled ? "ON" : "off", uploads, size_kb, logical_mb, stored_mb,
         first_ms, rest_ms / (uploads - 1));
+    const std::string prefix = enabled ? "server_side.on" : "server_side.off";
+    report.add(prefix + ".stored_mb", stored_mb, "MB");
+    report.add(prefix + ".first_upload.mean", first_ms, "ms");
+    report.add(prefix + ".later_uploads.mean",
+               rest_ms / static_cast<double>(uploads - 1), "ms");
+    if (enabled) {
+      // Dedup counters straight from the enclave registry: hits should be
+      // uploads-1 once everyone pushed the same payload.
+      const auto snapshot = d.enclave().telemetry_snapshot();
+      report.add("server_side.on.dedup_hits",
+                 static_cast<double>(snapshot.gauge("tfm.dedup.hits")),
+                 "count");
+      report.add("server_side.on.dedup_blobs",
+                 static_cast<double>(snapshot.gauge("tfm.dedup.blobs")),
+                 "count");
+    }
   }
 
   // Client-side variant (§V-A alternative): probe by hash, skip the body.
@@ -77,6 +95,11 @@ int main() {
         "probes %.1f ms; %.1f MiB of upload bandwidth never sent\n",
         first_ms, rest_ms / (uploads - 1),
         static_cast<double>(bytes_saved) / (1 << 20));
+    report.add("client_side.first_upload.mean", first_ms, "ms");
+    report.add("client_side.later_probes.mean",
+               rest_ms / static_cast<double>(uploads - 1), "ms");
+    report.add("client_side.bytes_saved", static_cast<double>(bytes_saved),
+               "bytes");
     std::printf("  (the paper prefers server-side dedup: the probe leaks "
                 "content existence [58])\n");
   }
@@ -126,6 +149,11 @@ int main() {
           "cache %-3s: duplicate upload %.1f ms, %.1f dedup-store gets per "
           "upload\n",
           budget != 0 ? "on" : "off", later_ms / uploads, index_gets);
+      const std::string prefix =
+          std::string("resident_index.cache_") + (budget != 0 ? "on" : "off");
+      report.add(prefix + ".upload.mean",
+                 later_ms / static_cast<double>(uploads), "ms");
+      report.add(prefix + ".index_gets_per_upload", index_gets, "count");
       if (budget != 0) {
         const auto stats = d.enclave().cache_stats();
         std::printf(
@@ -136,5 +164,6 @@ int main() {
       }
     }
   }
+  report.write();
   return 0;
 }

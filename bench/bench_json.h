@@ -1,0 +1,125 @@
+// Structured bench results (DESIGN.md §8).
+//
+// Every bench binary writes BENCH_<name>.json alongside its stdout report
+// so CI and the bench-smoke ctest target can schema-check and trend the
+// numbers. Schema (validated by tests/check_bench_json.sh):
+//
+//   {
+//     "schema": "segshare-bench-v1",
+//     "bench": "<name>",
+//     "quick": true|false,
+//     "results": [ {"name": "...", "value": <number>, "unit": "..."} ... ]
+//   }
+//
+// The output directory is $SEGSHARE_BENCH_JSON_DIR when set, else the
+// current working directory. Non-finite values are dropped rather than
+// emitted (JSON has no NaN/Inf).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "telemetry/registry.h"
+
+namespace seg::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    if (!std::isfinite(value)) return;
+    results_.push_back({name, value, unit});
+  }
+
+  /// Flattens a latency distribution under `prefix`.
+  void add_summary(const std::string& prefix, const LatencySummary& summary) {
+    add(prefix + ".mean", summary.mean_ms, "ms");
+    add(prefix + ".p50", summary.p50_ms, "ms");
+    add(prefix + ".p95", summary.p95_ms, "ms");
+    add(prefix + ".p99", summary.p99_ms, "ms");
+  }
+
+  /// Flattens a telemetry snapshot: counters and gauges verbatim,
+  /// histograms as count + p50/p95/p99.
+  void add_snapshot(const telemetry::Snapshot& snapshot,
+                    const std::string& prefix = "stats.") {
+    for (const auto& [name, value] : snapshot.counters)
+      add(prefix + name, static_cast<double>(value), "count");
+    for (const auto& [name, value] : snapshot.gauges)
+      add(prefix + name, static_cast<double>(value), "value");
+    for (const auto& [name, hist] : snapshot.histograms) {
+      add(prefix + name + ".count", static_cast<double>(hist.count), "count");
+      if (hist.count == 0) continue;
+      add(prefix + name + ".p50", static_cast<double>(hist.percentile(50)),
+          "ns");
+      add(prefix + name + ".p95", static_cast<double>(hist.percentile(95)),
+          "ns");
+      add(prefix + name + ".p99", static_cast<double>(hist.percentile(99)),
+          "ns");
+    }
+  }
+
+  /// Writes BENCH_<name>.json; failures are reported on stderr but never
+  /// fail the bench (results are an artifact, not the measurement).
+  void write() const {
+    const char* dir = std::getenv("SEGSHARE_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"schema\": \"segshare-bench-v1\",\n");
+    std::fprintf(out, "  \"bench\": \"%s\",\n", escape(name_).c_str());
+    std::fprintf(out, "  \"quick\": %s,\n", quick_mode() ? "true" : "false");
+    std::fprintf(out, "  \"results\": [");
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      std::fprintf(out, "%s\n    {\"name\": \"%s\", \"value\": %.17g, "
+                        "\"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", escape(r.name).c_str(), r.value,
+                   escape(r.unit).c_str());
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("bench_json: wrote %s (%zu results)\n", path.c_str(),
+                results_.size());
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Result> results_;
+};
+
+}  // namespace seg::bench

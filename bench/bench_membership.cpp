@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -18,7 +19,8 @@ int main() {
                "§VII-B: add 154.05 ms, revoke 153.40 ms; 1..1000 prior "
                "memberships: 150.29-151.13 ms");
 
-  const int runs = quick_mode() ? 5 : 20;
+  const int runs = smoke_mode() ? 1 : quick_mode() ? 5 : 20;
+  BenchReport report("membership");
 
   // --- E2: first group, fresh user ----------------------------------------
   {
@@ -45,11 +47,14 @@ int main() {
     });
     std::printf("first-group membership:  add %.2f ms   revoke %.2f ms\n",
                 add_ms, rm_ms);
+    report.add("first_group.add.mean", add_ms, "ms");
+    report.add("first_group.revoke.mean", rm_ms, "ms");
   }
 
   // --- E3: latency vs number of prior memberships --------------------------
   std::vector<int> prior = {1, 10, 100, 1000};
   if (quick_mode()) prior = {1, 10, 100};
+  if (smoke_mode()) prior = {1};
 
   std::printf("\n%12s %12s %12s\n", "memberships", "add_ms", "revoke_ms");
   Deployment d;
@@ -77,6 +82,9 @@ int main() {
       });
     });
     std::printf("%12d %12.2f %12.2f\n", target, add_ms, rm_ms);
+    const std::string prefix = "prior_" + std::to_string(target);
+    report.add(prefix + ".add.mean", add_ms, "ms");
+    report.add(prefix + ".revoke.mean", rm_ms, "ms");
   }
 
   // --- independence probe: |FS| and file sizes must not matter -------------
@@ -96,6 +104,10 @@ int main() {
     });
     std::printf("  empty FS: %.2f ms   51 files + 8 MB stored: %.2f ms\n",
                 before, after);
+    report.add("independence.empty_fs", before, "ms");
+    report.add("independence.populated_fs", after, "ms");
   }
+  report.add_snapshot(d.enclave().telemetry_snapshot());
+  report.write();
   return 0;
 }

@@ -3,6 +3,11 @@
 // signatures/key agreement, and the Protected FS layer.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "common/rng.h"
 #include "core/trusted_file_manager.h"
 #include "crypto/ed25519.h"
@@ -174,6 +179,46 @@ void BM_TfmValidatedListing(benchmark::State& state) {
 }
 BENCHMARK(BM_TfmValidatedListing)->Arg(0)->Arg(1 << 20);
 
+/// Console reporter that additionally feeds every run into the shared
+/// BENCH_micro.json report (same schema as the end-to-end benches).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(seg::bench::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name)
+        if (c == '/') c = '.';
+      report_.add(name, run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  seg::bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke mode (ctest bench-smoke label): cut per-benchmark measurement
+  // time so the whole suite finishes in seconds while still emitting a
+  // schema-valid JSON report.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (std::getenv("SEGSHARE_BENCH_SMOKE") != nullptr)
+    args.push_back(min_time.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  seg::bench::BenchReport report("micro");
+  JsonTeeReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -16,9 +17,11 @@ int main() {
   print_header("E4  permission add/revoke latency (Fig. 4, permissions)",
                "§VII-B: ~150 ms for 1..1000 groups already having access");
 
-  const int runs = quick_mode() ? 5 : 20;
+  const int runs = smoke_mode() ? 1 : quick_mode() ? 5 : 20;
   std::vector<int> prior = {1, 10, 100, 1000};
   if (quick_mode()) prior = {1, 10, 100};
+  if (smoke_mode()) prior = {1};
+  BenchReport report("permission");
 
   Deployment d;
   auto& owner = d.admin("owner");
@@ -50,6 +53,9 @@ int main() {
       });
     });
     std::printf("%12d %12.2f %12.2f\n", target, add_ms, rm_ms);
+    const std::string prefix = "acl_" + std::to_string(target);
+    report.add(prefix + ".add.mean", add_ms, "ms");
+    report.add(prefix + ".revoke.mean", rm_ms, "ms");
   }
 
   // Independence of file size: permission ops on a large file cost the
@@ -65,5 +71,9 @@ int main() {
   });
   std::printf("  1 KiB file: %.2f ms   32 MiB file: %.2f ms\n", small_ms,
               big_ms);
+  report.add("independence.small_file", small_ms, "ms");
+  report.add("independence.big_file", big_ms, "ms");
+  report.add_snapshot(d.enclave().telemetry_snapshot());
+  report.write();
   return 0;
 }

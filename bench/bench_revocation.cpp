@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baseline/he_share.h"
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -21,8 +22,10 @@ int main() {
                "re-encrypts everything the revoked member could read");
 
   std::vector<std::size_t> file_counts = {1, 10, 100};
+  if (smoke_mode()) file_counts = {1};
   const std::size_t file_kb = quick_mode() ? 64 : 512;
-  const std::size_t members = 20;
+  const std::size_t members = smoke_mode() ? 3 : 20;
+  BenchReport report("revocation");
 
   std::printf("%8s %10s | %16s | %16s %18s\n", "files", "size", "segshare_ms",
               "he_ms", "he_bytes_rewritten");
@@ -67,7 +70,13 @@ int main() {
 
     std::printf("%8zu %8zuKB | %16.2f | %16.2f %18llu\n", n, file_kb, seg_ms,
                 he_ms, static_cast<unsigned long long>(rewritten));
+    const std::string prefix = "files_" + std::to_string(n);
+    report.add(prefix + ".segshare.mean", seg_ms, "ms");
+    report.add(prefix + ".he.mean", he_ms, "ms");
+    report.add(prefix + ".he.bytes_rewritten",
+               static_cast<double>(rewritten), "bytes");
   }
+  report.write();
   std::printf(
       "\nexpected shape: SeGShare constant (~150 ms, one member-list\n"
       "update); HE grows linearly with files x size and re-wraps keys for\n"

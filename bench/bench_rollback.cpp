@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/trusted_file_manager.h"
 #include "fs/records.h"
@@ -111,8 +112,9 @@ int main() {
       "Fig. 5 — download: 111.65 ms minimal; 115.93 ms (tree) / 121.95 ms "
       "(flat) at 16384 files; upload overhead negligible");
 
-  const int max_x = quick_mode() ? 8 : 14;
-  const int runs = quick_mode() ? 2 : 3;
+  const int max_x = smoke_mode() ? 2 : quick_mode() ? 8 : 14;
+  const int runs = smoke_mode() ? 1 : quick_mode() ? 2 : 3;
+  BenchReport report("rollback");
 
   GrowingFs tree_on(true, true), flat_on(true, false);
   GrowingFs tree_off(false, true), flat_off(false, false);
@@ -137,6 +139,13 @@ int main() {
     std::printf("%6d %8u %10.2f %10.2f %10.2f %10.2f   (flat)\n", x, files,
                 f_up, f_down, foff_up, foff_down);
     std::fflush(stdout);
+    const std::string prefix = "files_" + std::to_string(files);
+    report.add(prefix + ".tree.on.down.mean", t_down, "ms");
+    report.add(prefix + ".tree.off.down.mean", toff_down, "ms");
+    report.add(prefix + ".flat.on.down.mean", f_down, "ms");
+    report.add(prefix + ".flat.off.down.mean", foff_down, "ms");
+    report.add(prefix + ".flat.on.up.mean", f_up, "ms");
+    report.add(prefix + ".flat.off.up.mean", foff_up, "ms");
   }
 
   std::printf(
@@ -177,6 +186,10 @@ int main() {
           static_cast<double>(d.content_store().op_counts().gets) / probes;
       std::printf("%10s %12.2f %16.1f\n", budget != 0 ? "on" : "off",
                   total / probes, gets_per_op);
+      const std::string prefix =
+          std::string("cache_") + (budget != 0 ? "on" : "off");
+      report.add(prefix + ".download.mean", total / probes, "ms");
+      report.add(prefix + ".store_gets_per_op", gets_per_op, "count");
       if (budget != 0) {
         const auto stats = d.enclave().cache_stats();
         std::printf(
@@ -229,6 +242,9 @@ int main() {
         "listing %llu store gets\n",
         files, static_cast<unsigned long long>(cold_gets),
         static_cast<unsigned long long>(warm_gets));
+    report.add("restart.cold_gets", static_cast<double>(cold_gets), "count");
+    report.add("restart.warm_gets", static_cast<double>(warm_gets), "count");
   }
+  report.write();
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "fs/records.h"
 
@@ -71,6 +72,7 @@ bool next_is_write(TestRng& rng) { return rng.next() % 100 < kWritePercent; }
 struct RealResult {
   double wall_ops_s = 0;
   LatencySummary latency;
+  telemetry::Snapshot snapshot;
 };
 
 RealResult run_real_phase(std::size_t service_threads, std::size_t ops_each,
@@ -130,6 +132,9 @@ RealResult run_real_phase(std::size_t service_threads, std::size_t ops_each,
   RealResult result;
   result.wall_ops_s = ops_per_sec(all.size(), wall_ms);
   result.latency = summarize(all);
+  // Post-run telemetry from the enclave that served this phase: per-stage
+  // latency histograms and counters for the JSON report.
+  result.snapshot = deployment.enclave().telemetry_snapshot();
   return result;
 }
 
@@ -249,9 +254,10 @@ int main() {
       "independent requests in parallel");
 
   const bool quick = quick_mode();
-  const std::size_t real_ops_each = quick ? 12 : 40;
-  const std::size_t model_ops_each = quick ? 400 : 2000;
-  const std::size_t calib_samples = quick ? 60 : 160;
+  const std::size_t real_ops_each = smoke_mode() ? 4 : quick ? 12 : 40;
+  const std::size_t model_ops_each = smoke_mode() ? 100 : quick ? 400 : 2000;
+  const std::size_t calib_samples = smoke_mode() ? 12 : quick ? 60 : 160;
+  BenchReport report("throughput");
 
   TestRng content_rng(0xf11e);
   const Bytes payload = content_rng.bytes(kFileBytes);
@@ -267,6 +273,8 @@ int main() {
   std::printf(
       "calibrated service cost: read p50 %.3f ms, write p50 %.3f ms\n\n",
       read_cost.p50_ms, write_cost.p50_ms);
+  report.add("calibration.read.p50", read_cost.p50_ms, "ms");
+  report.add("calibration.write.p50", write_cost.p50_ms, "ms");
 
   std::printf("%8s %12s %12s %9s %10s %10s %10s\n", "threads", "wall_ops_s",
               "model_ops_s", "speedup", "p50_ms", "p95_ms", "p99_ms");
@@ -280,7 +288,14 @@ int main() {
                 real.wall_ops_s, model.ops_s, model.ops_s / base_model_ops_s,
                 model.latency.p50_ms, model.latency.p95_ms,
                 model.latency.p99_ms);
+    const std::string prefix = "threads_" + std::to_string(threads);
+    report.add(prefix + ".wall_ops_s", real.wall_ops_s, "ops/s");
+    report.add(prefix + ".model_ops_s", model.ops_s, "ops/s");
+    report.add(prefix + ".speedup", model.ops_s / base_model_ops_s, "x");
+    report.add_summary(prefix + ".model", model.latency);
+    if (threads == 8) report.add_snapshot(real.snapshot);
   }
+  report.write();
 
   std::printf(
       "\nmodel_ops_s: calibrated per-op service costs scheduled over N\n"

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baseline/plain_dav.h"
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace seg;
@@ -60,6 +61,8 @@ int main() {
 
   std::vector<std::size_t> sizes_mb = {1, 10, 50, 100, 200};
   if (quick_mode()) sizes_mb = {1, 10, 50};
+  if (smoke_mode()) sizes_mb = {1};
+  BenchReport report("updown");
 
   std::printf("%8s %10s %12s %12s %12s %12s\n", "size", "server", "up_mean_ms",
               "up_p99_ms", "down_mean_ms", "down_p99_ms");
@@ -84,6 +87,13 @@ int main() {
       }));
       std::printf("%6zuMB %10s %12.1f %12.1f %12.1f %12.1f\n", mb, "segshare",
                   up.mean_ms, up.p99_ms, down.mean_ms, down.p99_ms);
+      const std::string prefix = "segshare." + std::to_string(mb) + "mb";
+      report.add_summary(prefix + ".up", up);
+      report.add_summary(prefix + ".down", down);
+      // Per-stage breakdown from the enclave's own registry, once, for
+      // the largest measured size.
+      if (mb == sizes_mb.back())
+        report.add_snapshot(segshare.enclave().telemetry_snapshot());
     }
 
     // --- plaintext baselines --------------------------------------------------
@@ -101,8 +111,13 @@ int main() {
       std::printf("%6zuMB %10s %12.1f %12.1f %12.1f %12.1f\n", mb,
                   profile.name.c_str(), up.mean_ms, up.p99_ms, down.mean_ms,
                   down.p99_ms);
+      const std::string prefix =
+          profile.name + "." + std::to_string(mb) + "mb";
+      report.add_summary(prefix + ".up", up);
+      report.add_summary(prefix + ".down", down);
     }
   }
+  report.write();
 
   std::printf(
       "\nexpected shape: nginx < segshare < apache for uploads; SeGShare's\n"

@@ -47,11 +47,20 @@ inline net::LatencyModel calibrated_wan() {
   return model;
 }
 
+/// True when SEGSHARE_BENCH_SMOKE is set: the bench-smoke ctest target
+/// runs every bench at minimum size purely to validate that it executes
+/// and emits schema-valid BENCH_*.json — the numbers are meaningless.
+inline bool smoke_mode() {
+  const char* env = std::getenv("SEGSHARE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 /// True when SEGSHARE_BENCH_QUICK is set: benches shrink their sweeps so a
-/// full `for b in build/bench/*; do $b; done` stays fast.
+/// full `for b in build/bench/*; do $b; done` stays fast. Smoke mode
+/// implies quick mode.
 inline bool quick_mode() {
   const char* env = std::getenv("SEGSHARE_BENCH_QUICK");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  return (env != nullptr && env[0] != '\0' && env[0] != '0') || smoke_mode();
 }
 
 /// A complete SeGShare deployment for benchmarking.
@@ -88,7 +97,11 @@ class Deployment {
                     bool pipelined = true) {
     net::DuplexChannel channel;
     client::UserClient client(rng_, ca_.public_key(), identity_for(user));
-    const std::uint64_t sgx_before = platform_.stats().charged_ns;
+    // stats_snapshot(), not the unlocked stats() reference: a Deployment
+    // can run service_threads > 1, in which case pool workers charge
+    // concurrently with this read (the quiescent-only contract of
+    // stats() would not hold).
+    const std::uint64_t sgx_before = platform_.stats_snapshot().charged_ns;
     Stopwatch watch;
     const std::uint64_t connection = server_->accept(channel);
     client.connect(channel.a(), [this] { server_->pump(); });
@@ -96,7 +109,9 @@ class Deployment {
     const double compute_ms = watch.elapsed_ms();
     server_->close(connection);
     const double sgx_ms =
-        static_cast<double>(platform_.stats().charged_ns - sgx_before) / 1e6;
+        static_cast<double>(platform_.stats_snapshot().charged_ns -
+                            sgx_before) /
+        1e6;
     const auto model = calibrated_wan();
     return model.rtt_ms /* TCP connect */ +
            model.estimate_ms(channel.stats(), compute_ms + sgx_ms, pipelined);

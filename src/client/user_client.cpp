@@ -264,4 +264,14 @@ proto::Response UserClient::stat(const std::string& path) {
   return simple_request(request);
 }
 
+std::pair<proto::Response, telemetry::Snapshot> UserClient::stats() {
+  proto::Request request;
+  request.verb = proto::Verb::kStats;
+  const proto::Response response = simple_request(request);
+  telemetry::Snapshot snapshot;
+  if (response.ok())
+    snapshot = telemetry::Snapshot::from_lines(response.listing);
+  return {response, snapshot};
+}
+
 }  // namespace seg::client

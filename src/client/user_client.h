@@ -23,6 +23,7 @@
 #include "crypto/ed25519.h"
 #include "net/channel.h"
 #include "proto/messages.h"
+#include "telemetry/registry.h"
 #include "tls/certificate.h"
 #include "tls/handshake.h"
 #include "tls/secure_channel.h"
@@ -109,6 +110,10 @@ class UserClient {
                                      const std::string& owner_group);
   proto::Response delete_group(const std::string& group);
   proto::Response stat(const std::string& path);
+  /// Telemetry export (kStats): the server's sanitized metric snapshot,
+  /// parsed from the wire lines. Aggregate-only by construction — see
+  /// telemetry::Registry's name rules.
+  std::pair<proto::Response, telemetry::Snapshot> stats();
 
   const std::string& user_id() const {
     return identity_.certificate.subject;

@@ -54,6 +54,10 @@ struct EnclaveConfig {
   /// uncached code paths. Cached bytes count against the simulated EPC,
   /// so oversizing the budget shows up as paging cost, not free speed.
   std::size_t metadata_cache_bytes = 0;
+  /// Capacity of the in-enclave ring of recent request traces (DESIGN.md
+  /// §8). Each retained TraceSpan is a small fixed-size struct with no
+  /// request data, so the default costs a few KiB of enclave memory.
+  std::size_t telemetry_trace_ring = 128;
 };
 
 }  // namespace seg::core

@@ -62,7 +62,8 @@ SegShareEnclave::SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
       ca_public_key_(ca_public_key),
       stores_(stores),
       config_(config),
-      counters_(counters) {
+      counters_(counters),
+      traces_(config.telemetry_trace_ring) {
   // Sealed blobs are platform-bound, so with a shared central data
   // repository (§V-F) each platform's enclave keeps its own bootstrap.
   const std::string platform_tag =
@@ -76,6 +77,38 @@ SegShareEnclave::SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
     service_pool_ = std::make_unique<sgx::SwitchlessQueue>(
         platform, config_.service_threads);
   }
+  // Resolve every metric handle once, so record paths never touch the
+  // registration mutex. Names are static identifiers (verb/status/segment
+  // enum names), per the registry's no-request-data rule.
+  requests_counter_ = &registry_.counter("enclave.requests");
+  responses_counter_ = &registry_.counter("enclave.responses");
+  handshake_counter_ = &registry_.counter("enclave.handshake_messages");
+  bytes_in_counter_ = &registry_.counter("enclave.bytes_in");
+  bytes_out_counter_ = &registry_.counter("enclave.bytes_out");
+  for (std::size_t v = 1; v < verb_counters_.size(); ++v) {
+    verb_counters_[v] = &registry_.counter(
+        std::string("enclave.requests.") +
+        proto::verb_name(static_cast<proto::Verb>(v)));
+  }
+  for (std::size_t s = 0; s < status_counters_.size(); ++s) {
+    status_counters_[s] = &registry_.counter(
+        std::string("enclave.responses.") +
+        proto::status_name(static_cast<proto::Status>(s)));
+  }
+  request_real_hist_ = &registry_.histogram("enclave.request_real_ns");
+  request_sim_hist_ = &registry_.histogram("enclave.request_sim_ns");
+  lock_shared_hist_ = &registry_.histogram("enclave.lock_wait_shared_ns");
+  lock_exclusive_hist_ =
+      &registry_.histogram("enclave.lock_wait_exclusive_ns");
+  for (std::size_t s = 0; s < telemetry::kSegmentCount; ++s) {
+    const std::string segment =
+        telemetry::segment_name(static_cast<telemetry::Segment>(s));
+    segment_real_hists_[s] =
+        &registry_.histogram("enclave.segment." + segment + "_ns");
+    segment_sim_counters_[s] =
+        &registry_.counter("enclave.segment." + segment + "_sim_ns_total");
+  }
+  if (service_pool_) service_pool_->attach_registry(registry_);
   if (const auto sealed = stores_.content.get(bootstrap_blob_)) {
     bootstrap_existing(*sealed);
   } else if (auto_bootstrap) {
@@ -257,15 +290,27 @@ void SegShareEnclave::service(std::uint64_t connection_id) {
   }
   try {
     while (connection->transport->pending() && !connection->closed) {
-      enter(config_.switchless);
-      const Bytes message = connection->transport->recv();
-      if (!connection->channel) {
-        handle_handshake_message(*connection, message);
-      } else {
-        // Reassemble the record-fragmented application message. The first
-        // record is already in hand; SecureChannel pulls continuations.
-        handle_frame(*connection, reassemble(*connection, message));
+      // One span per processed message: the scope makes it the thread's
+      // active span so the transition charge of enter(), record-layer
+      // crypto and everything below attributes to it. handle_frame fills
+      // in request_id/verb for frames that are client-visible requests;
+      // handshake flights and DATA frames stay id 0 and are not retained.
+      telemetry::TraceSpan span;
+      {
+        const telemetry::SpanScope scope(span);
+        enter(config_.switchless);
+        const Bytes message = connection->transport->recv();
+        if (!connection->channel) {
+          handshake_counter_->add();
+          handle_handshake_message(*connection, message);
+        } else {
+          // Reassemble the record-fragmented application message. The
+          // first record is already in hand; SecureChannel pulls
+          // continuations.
+          handle_frame(*connection, reassemble(*connection, message));
+        }
       }
+      if (span.request_id != 0) record_trace(span);
     }
   } catch (...) {
     // Fatal errors (handshake failures, record forgeries, auth failures)
@@ -344,6 +389,16 @@ void SegShareEnclave::handle_handshake_message(Connection& connection,
 
 void SegShareEnclave::send_response(Connection& connection,
                                     const proto::Response& response) {
+  if (telemetry::TraceSpan* span = telemetry::active_span()) {
+    span->status = static_cast<std::uint8_t>(response.status);
+    span->has_status = true;
+  }
+  // One response per client-visible operation — the reconciliation
+  // metric a kStats snapshot is checked against.
+  responses_counter_->add();
+  const auto status_index = static_cast<std::size_t>(response.status);
+  if (status_index < status_counters_.size())
+    status_counters_[status_index]->add();
   exit_call(config_.switchless);
   connection.channel->send_message(
       proto::frame(proto::FrameType::kResponse, response.serialize()));
@@ -359,6 +414,7 @@ bool is_read_only_verb(proto::Verb verb) {
     case proto::Verb::kGetFile:
     case proto::Verb::kList:
     case proto::Verb::kStat:
+    case proto::Verb::kStats:  // reads counters only, never fs state
       return true;
     default:
       return false;
@@ -373,15 +429,34 @@ void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
     switch (type) {
       case proto::FrameType::kRequest: {
         const proto::Request request = proto::Request::parse(payload);
+        if (telemetry::TraceSpan* span = telemetry::active_span()) {
+          span->request_id =
+              next_request_id_.fetch_add(1, std::memory_order_relaxed);
+          span->verb = static_cast<std::uint8_t>(request.verb);
+        }
+        requests_counter_->add();
+        const auto verb_index = static_cast<std::size_t>(request.verb);
+        if (verb_index < verb_counters_.size() && verb_counters_[verb_index])
+          verb_counters_[verb_index]->add();
         // Reader–writer concurrency: GET/LIST/STAT share the file-system
         // lock; mutating verbs (including PUT, which stages a temp
         // object) serialize. The lock spans authorization + execution so
         // an ACL check and the operation it authorizes are atomic.
         if (is_read_only_verb(request.verb)) {
+          const std::uint64_t lock_start = telemetry::steady_now_ns();
           const auto guard = tfm_->read_guard();
+          const std::uint64_t waited =
+              telemetry::steady_now_ns() - lock_start;
+          telemetry::span_add(telemetry::Segment::kLockWait, waited, 0);
+          lock_shared_hist_->record(waited);
           handle_request(connection, request);
         } else {
+          const std::uint64_t lock_start = telemetry::steady_now_ns();
           const auto guard = tfm_->write_guard();
+          const std::uint64_t waited =
+              telemetry::steady_now_ns() - lock_start;
+          telemetry::span_add(telemetry::Segment::kLockWait, waited, 0);
+          lock_exclusive_hist_->record(waited);
           handle_request(connection, request);
         }
         return;
@@ -389,12 +464,24 @@ void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
       case proto::FrameType::kData:
         // Connection-local staging (appends to this connection's own
         // temp object); no file-system lock needed.
+        bytes_in_counter_->add(payload.size());
         handle_data(connection, payload);
         return;
       case proto::FrameType::kEnd: {
         // Commits the staged upload: dedup index, ACL and directory
-        // updates — exclusive.
+        // updates — exclusive. The commit is traced as its own span
+        // (verb PUT): a client-visible PUT is two request spans, START
+        // and END, but only one response.
+        if (telemetry::TraceSpan* span = telemetry::active_span()) {
+          span->request_id =
+              next_request_id_.fetch_add(1, std::memory_order_relaxed);
+          span->verb = static_cast<std::uint8_t>(proto::Verb::kPutFile);
+        }
+        const std::uint64_t lock_start = telemetry::steady_now_ns();
         const auto guard = tfm_->write_guard();
+        const std::uint64_t waited = telemetry::steady_now_ns() - lock_start;
+        telemetry::span_add(telemetry::Segment::kLockWait, waited, 0);
+        lock_exclusive_hist_->record(waited);
         handle_end(connection);
         return;
       }
@@ -475,6 +562,9 @@ void SegShareEnclave::handle_request(Connection& connection,
       return;
     case proto::Verb::kPutByHash:
       send_response(connection, do_put_by_hash(user, request));
+      return;
+    case proto::Verb::kStats:
+      send_response(connection, do_stats(user, request));
       return;
   }
   send_response(connection,
@@ -592,6 +682,7 @@ void SegShareEnclave::do_get(Connection& connection,
   send_response(connection, header);
   for (std::uint64_t i = 0; i < download->chunk_count(); ++i) {
     const Bytes chunk = download->read_chunk(i);
+    bytes_out_counter_->add(chunk.size());
     exit_call(config_.switchless);
     connection.channel->send_message(
         proto::frame(proto::FrameType::kData, chunk));
@@ -915,6 +1006,77 @@ proto::Response SegShareEnclave::do_put_by_hash(
     tfm_->write(parent, dir.serialize());
   }
   return make_status(proto::Status::kOk);
+}
+
+// ----------------------------------------------------------------- stats ---
+
+proto::Response SegShareEnclave::do_stats(const std::string& /*user*/,
+                                          const proto::Request& /*request*/) {
+  // Any authenticated user may query: the snapshot is aggregate-only by
+  // construction (registry name rules), so it reveals nothing about other
+  // users' files or groups beyond global load. Built before this span is
+  // recorded, so the export's latency histograms exclude the stats
+  // request itself.
+  proto::Response resp;
+  resp.listing = telemetry_snapshot().to_lines();
+  return resp;
+}
+
+telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
+  telemetry::Snapshot snap = registry_.snapshot();
+
+  const sgx::SgxStats sgx_stats = platform().stats_snapshot();
+  snap.gauges["sgx.ecalls"] = sgx_stats.ecalls;
+  snap.gauges["sgx.ocalls"] = sgx_stats.ocalls;
+  snap.gauges["sgx.switchless_calls"] = sgx_stats.switchless_calls;
+  snap.gauges["sgx.epc_pages_in"] = sgx_stats.epc_pages_in;
+  snap.gauges["sgx.counter_increments"] = sgx_stats.counter_increments;
+  snap.gauges["sgx.charged_ns"] = sgx_stats.charged_ns;
+  snap.gauges["sgx.epc_resident_bytes"] = platform().epc_resident_bytes();
+
+  if (tfm_) {
+    const TrustedFileManager::CacheStats cache = tfm_->cache_stats();
+    const auto tier = [&snap](const char* name, const CacheCounters& c) {
+      const std::string prefix = std::string("cache.") + name;
+      snap.gauges[prefix + ".hits"] = c.hits;
+      snap.gauges[prefix + ".misses"] = c.misses;
+      snap.gauges[prefix + ".evictions"] = c.evictions;
+      snap.gauges[prefix + ".resident_bytes"] = c.resident_bytes;
+      snap.gauges[prefix + ".budget_bytes"] = c.budget_bytes;
+    };
+    tier("headers", cache.headers);
+    tier("objects", cache.objects);
+    tier("dedup_index", cache.dedup_index);
+
+    const TrustedFileManager::DedupStats dedup = tfm_->dedup_stats();
+    snap.gauges["tfm.dedup.hits"] = dedup.hits;
+    snap.gauges["tfm.dedup.stores"] = dedup.stores;
+    snap.gauges["tfm.dedup.releases"] = dedup.releases;
+    snap.gauges["tfm.dedup.refs"] = dedup.refs;
+    snap.gauges["tfm.dedup.blobs"] = dedup.blobs;
+  }
+
+  snap.gauges["enclave.connections"] = connection_count();
+  snap.gauges["enclave.traces_recorded"] = traces_.total_recorded();
+  if (service_pool_) {
+    snap.gauges["sgx.switchless.tasks_executed"] =
+        service_pool_->tasks_executed();
+  }
+
+  // The untrusted side last: its counters are data the host already
+  // knows; nothing trusted flows the other way.
+  if (untrusted_registry_ != nullptr) snap.merge(untrusted_registry_->snapshot());
+  return snap;
+}
+
+void SegShareEnclave::record_trace(const telemetry::TraceSpan& span) {
+  traces_.push(span);
+  request_real_hist_->record(span.total_real_ns);
+  request_sim_hist_->record(span.total_sim_ns);
+  for (std::size_t s = 0; s < telemetry::kSegmentCount; ++s) {
+    if (span.real_ns[s] != 0) segment_real_hists_[s]->record(span.real_ns[s]);
+    if (span.sim_ns[s] != 0) segment_sim_counters_[s]->add(span.sim_ns[s]);
+  }
 }
 
 // ------------------------------------------------------------ replication ---

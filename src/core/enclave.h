@@ -29,6 +29,8 @@
 #include "proto/messages.h"
 #include "sgx/enclave.h"
 #include "sgx/switchless.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "tls/certificate.h"
 #include "tls/handshake.h"
 #include "tls/secure_channel.h"
@@ -142,6 +144,32 @@ class SegShareEnclave : public sgx::Enclave {
   /// Metadata-cache counters (config.metadata_cache_bytes budget).
   TrustedFileManager::CacheStats cache_stats() const;
 
+  // ---- observability (DESIGN.md §8) ----------------------------------------
+
+  /// The explicit trust-boundary export: the enclave's own registry plus
+  /// registry views of the platform's SGX cost accounting, the metadata
+  /// cache and the dedup index, merged with the attached untrusted
+  /// registry (if any). Everything in it is an aggregate keyed by a
+  /// static metric name — no paths, group names or key material (the
+  /// registry rejects such names structurally). Same data the kStats
+  /// verb serves to clients.
+  telemetry::Snapshot telemetry_snapshot();
+
+  /// Registers the untrusted server's registry so kStats snapshots cover
+  /// both sides of the trust boundary. The registry must outlive this
+  /// enclave's use of it (the server and enclave share a deployment
+  /// lifetime). Untrusted metrics are data the host already knows; the
+  /// merge never moves trusted state the other way.
+  void attach_untrusted_registry(telemetry::Registry* registry) {
+    untrusted_registry_ = registry;
+  }
+
+  /// Recently completed request spans, oldest first (ring of
+  /// config.telemetry_trace_ring).
+  std::vector<telemetry::TraceSpan> recent_traces() const {
+    return traces_.recent();
+  }
+
  private:
   struct PutState {
     proto::Request request;
@@ -215,6 +243,12 @@ class SegShareEnclave : public sgx::Enclave {
                           const proto::Request& request);
   proto::Response do_put_by_hash(const std::string& user,
                                  const proto::Request& request);
+  proto::Response do_stats(const std::string& user,
+                           const proto::Request& request);
+
+  /// Records a completed request span: ring buffer + latency histograms +
+  /// per-segment time breakdown.
+  void record_trace(const telemetry::TraceSpan& span);
 
   void remove_subtree(const std::string& path);
   void move_subtree(const std::string& from, const std::string& to);
@@ -246,6 +280,38 @@ class SegShareEnclave : public sgx::Enclave {
   std::string bootstrap_blob_;
   std::string server_cert_blob_;
   std::string server_key_blob_;
+
+  // ---- telemetry state (DESIGN.md §8) --------------------------------------
+  // Declared before service_pool_ so pool workers can never outlive the
+  // registry and handles they record into.
+  telemetry::Registry registry_;
+  telemetry::TraceBuffer traces_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  telemetry::Registry* untrusted_registry_ = nullptr;
+  // Metric handles resolved once in the constructor so the record path
+  // never touches the registration mutex. Verb/status arrays are indexed
+  // by the wire enum value.
+  telemetry::Counter* requests_counter_ = nullptr;
+  telemetry::Counter* responses_counter_ = nullptr;
+  telemetry::Counter* handshake_counter_ = nullptr;
+  telemetry::Counter* bytes_in_counter_ = nullptr;
+  telemetry::Counter* bytes_out_counter_ = nullptr;
+  std::array<telemetry::Counter*,
+             static_cast<std::size_t>(proto::Verb::kStats) + 1>
+      verb_counters_{};
+  std::array<telemetry::Counter*,
+             static_cast<std::size_t>(proto::Status::kError) + 1>
+      status_counters_{};
+  telemetry::Histogram* request_real_hist_ = nullptr;
+  telemetry::Histogram* request_sim_hist_ = nullptr;
+  telemetry::Histogram* lock_shared_hist_ = nullptr;
+  telemetry::Histogram* lock_exclusive_hist_ = nullptr;
+  std::array<telemetry::Histogram*, telemetry::kSegmentCount>
+      segment_real_hists_{};
+  // Modeled-time totals per segment (transition/paging/guard segments have
+  // no wall-clock component worth a histogram).
+  std::array<telemetry::Counter*, telemetry::kSegmentCount>
+      segment_sim_counters_{};
   // The service-thread pool (config.service_threads TCS slots feeding on
   // the switchless task buffer); null when service_threads <= 1. Declared
   // last so its destructor joins the workers before any state they touch

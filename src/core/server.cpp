@@ -38,7 +38,25 @@ std::uint64_t SegShareServer::accept(net::DuplexChannel& channel) {
   return id;
 }
 
+void SegShareServer::note_pump_error(std::uint64_t connection_id,
+                                     bool suppressed) {
+  pump_errors_->add();
+  if (suppressed) pump_suppressed_->add();
+  pump_last_error_connection_->set(connection_id);
+  // Untrusted-side note only: fatal connection errors are host-visible
+  // anyway (they propagate out of pump()), so recording the message does
+  // not widen what the host learns.
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    registry_.set_note("server.pump.last_error", e.what());
+  } catch (...) {
+    registry_.set_note("server.pump.last_error", "unknown exception");
+  }
+}
+
 void SegShareServer::pump() {
+  pump_rounds_->add();
   // Snapshot the ready set first; connections accepted while this round
   // runs are picked up next round.
   std::vector<std::uint64_t> ready;
@@ -48,21 +66,25 @@ void SegShareServer::pump() {
       if (enclave_.has_connection(id) && channel->b().pending())
         ready.push_back(id);
   }
+  pump_dispatched_->add(ready.size());
   // Service every ready connection before reporting any error, so one
   // poisoned client cannot starve the others. With a service-thread pool
   // the whole round runs in parallel; either way the first error (in
   // dispatch order, matching the old sequential semantics) is rethrown
-  // once the round is complete.
+  // once the round is complete. Errors after the first used to vanish
+  // silently; every one is now at least accounted (suppressed_errors
+  // counter + last-error note) even though only the first rethrows.
   std::exception_ptr first_error;
   if (enclave_.concurrent()) {
     std::vector<std::future<void>> futures;
     futures.reserve(ready.size());
     for (const std::uint64_t id : ready)
       futures.push_back(enclave_.service_async(id));
-    for (auto& future : futures) {
+    for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
-        future.get();
+        futures[i].get();
       } catch (...) {
+        note_pump_error(ready[i], /*suppressed=*/first_error != nullptr);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -71,6 +93,7 @@ void SegShareServer::pump() {
       try {
         enclave_.service(id);
       } catch (...) {
+        note_pump_error(id, /*suppressed=*/first_error != nullptr);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -94,6 +117,8 @@ void SegShareServer::pump_connection(std::uint64_t connection_id) {
   try {
     enclave_.service_async(connection_id).get();
   } catch (...) {
+    // Never suppressed here — pump_connection always rethrows.
+    note_pump_error(connection_id, /*suppressed=*/false);
     prune();
     throw;
   }

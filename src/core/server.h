@@ -13,13 +13,24 @@
 
 #include "core/enclave.h"
 #include "net/channel.h"
+#include "telemetry/registry.h"
 #include "tls/certificate.h"
 
 namespace seg::core {
 
 class SegShareServer {
  public:
-  explicit SegShareServer(SegShareEnclave& enclave) : enclave_(enclave) {}
+  explicit SegShareServer(SegShareEnclave& enclave) : enclave_(enclave) {
+    // The untrusted half keeps its own registry; attaching it lets a
+    // kStats snapshot cover both sides of the trust boundary.
+    enclave_.attach_untrusted_registry(&registry_);
+    pump_rounds_ = &registry_.counter("server.pump.rounds");
+    pump_dispatched_ = &registry_.counter("server.pump.dispatched");
+    pump_errors_ = &registry_.counter("server.pump.errors");
+    pump_suppressed_ = &registry_.counter("server.pump.suppressed_errors");
+    pump_last_error_connection_ =
+        &registry_.gauge("server.pump.last_error_connection");
+  }
 
   /// §IV-A setup: the CA attests the enclave (quote verification against
   /// the platform's attestation key and the expected measurement derived
@@ -60,13 +71,28 @@ class SegShareServer {
 
   SegShareEnclave& enclave() { return enclave_; }
 
+  /// Untrusted-side metrics (pump rounds, dispatches, errors — including
+  /// errors pump() suppresses after the first of a round, which used to
+  /// vanish silently). Exported through the enclave's merged snapshot.
+  telemetry::Registry& registry() { return registry_; }
+
  private:
   /// Forgets connections the enclave no longer tracks.
   void prune();
 
+  /// Accounts one pump-round error for `connection_id`. Must be invoked
+  /// from inside a catch handler (it rethrows to classify the exception).
+  void note_pump_error(std::uint64_t connection_id, bool suppressed);
+
   SegShareEnclave& enclave_;
   mutable std::mutex mutex_;  // guards connections_
   std::map<std::uint64_t, net::DuplexChannel*> connections_;
+  telemetry::Registry registry_;
+  telemetry::Counter* pump_rounds_ = nullptr;
+  telemetry::Counter* pump_dispatched_ = nullptr;
+  telemetry::Counter* pump_errors_ = nullptr;
+  telemetry::Counter* pump_suppressed_ = nullptr;
+  telemetry::Gauge* pump_last_error_connection_ = nullptr;
 };
 
 }  // namespace seg::core

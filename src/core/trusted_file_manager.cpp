@@ -287,13 +287,18 @@ void TrustedFileManager::Upload::finish() {
     const std::string hname = to_hex(dedup_mac_.finish());
     tfm_.with_dedup_index([&](DedupIndex& index) {
       const auto it = index.refcounts.find(hname);
+      const std::lock_guard<std::mutex> stats_lock(tfm_.dedup_stats_mutex_);
       if (it != index.refcounts.end()) {
         ++it->second;
         tfm_.dedup_fs_.remove_file(temp_name_);
+        ++tfm_.dedup_stats_.hits;
       } else {
         tfm_.dedup_fs_.rename_file(temp_name_, hname);
         index.refcounts[hname] = 1;
+        ++tfm_.dedup_stats_.stores;
+        ++tfm_.dedup_stats_.blobs;
       }
+      ++tfm_.dedup_stats_.refs;
       if (tfm_.config_.client_side_dedup) {
         // Remember the plaintext hash so later probes can hit.
         crypto::Sha256 copy = content_hash_;
@@ -333,6 +338,9 @@ bool TrustedFileManager::commit_by_hash(
     if (hit == index.client_index.end()) return false;
     hname = hit->second;
     ++index.refcounts[hname];
+    const std::lock_guard<std::mutex> stats_lock(dedup_stats_mutex_);
+    ++dedup_stats_.hits;
+    ++dedup_stats_.refs;
     return true;
   });
   if (!known) return false;
@@ -882,12 +890,16 @@ void TrustedFileManager::release_dedup_link(const std::string& logical) {
   with_dedup_index([&](DedupIndex& index) {
     const auto it = index.refcounts.find(hname);
     if (it == index.refcounts.end()) return false;
+    const std::lock_guard<std::mutex> stats_lock(dedup_stats_mutex_);
+    ++dedup_stats_.releases;
+    if (dedup_stats_.refs > 0) --dedup_stats_.refs;
     if (--it->second == 0) {
       index.refcounts.erase(it);
       dedup_fs_.remove_file(hname);
       std::erase_if(index.client_index, [&](const auto& entry) {
         return entry.second == hname;
       });
+      if (dedup_stats_.blobs > 0) --dedup_stats_.blobs;
     }
     return true;
   });
@@ -926,6 +938,11 @@ TrustedFileManager::CacheStats TrustedFileManager::cache_stats() const {
   const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
   return CacheStats{header_cache_.counters(), object_cache_.counters(),
                     dedup_index_counters_};
+}
+
+TrustedFileManager::DedupStats TrustedFileManager::dedup_stats() const {
+  const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
+  return dedup_stats_;
 }
 
 void TrustedFileManager::clear_caches() {

@@ -192,6 +192,17 @@ class TrustedFileManager {
   };
   CacheStats cache_stats() const;
 
+  /// Deduplication accounting (§V-A), maintained incrementally at
+  /// commit/release time so a stats export never has to load the index.
+  struct DedupStats {
+    std::uint64_t hits = 0;      // commits that matched existing content
+    std::uint64_t stores = 0;    // new unique blobs stored
+    std::uint64_t releases = 0;  // link releases (refcount decrements)
+    std::uint64_t refs = 0;      // live references to dedup blobs
+    std::uint64_t blobs = 0;     // live unique blobs
+  };
+  DedupStats dedup_stats() const;
+
   /// Re-derives and checks the group-store root hash after a restart; also
   /// primes the in-enclave group-record cache. Throws RollbackError if the
   /// guarded root does not match the stored state.
@@ -333,6 +344,7 @@ class TrustedFileManager {
   mutable std::mutex dedup_stats_mutex_;
   mutable std::optional<DedupIndex> dedup_index_resident_;
   mutable CacheCounters dedup_index_counters_;
+  DedupStats dedup_stats_;  // guarded by dedup_stats_mutex_
   std::uint64_t dedup_index_bytes_ = 0;  // platform-registered residency
 };
 

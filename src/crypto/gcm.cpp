@@ -9,6 +9,7 @@
 #endif
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace seg::crypto {
 
@@ -230,6 +231,10 @@ void AesGcm::ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const {
 
 Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
                    Tag& tag) const {
+  // Every AEAD operation (TLS records, PFS objects, sealing) funnels
+  // through seal/open, so this is the crypto-segment chokepoint for
+  // request tracing; nested timers no-op.
+  const telemetry::SegmentTimer timer(telemetry::Segment::kCrypto);
   Bytes ciphertext;
   ctr_crypt(iv, plaintext, ciphertext);
 
@@ -251,6 +256,7 @@ Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
 
 Bytes AesGcm::open(const Iv& iv, BytesView aad, BytesView ciphertext,
                    const Tag& tag) const {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kCrypto);
   std::uint8_t s[16];
   ghash(aad, ciphertext, s);
   std::uint8_t j0[16];

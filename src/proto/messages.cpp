@@ -39,6 +39,7 @@ const char* verb_name(Verb verb) {
     case Verb::kDeleteGroup: return "RMGROUP";
     case Verb::kStat: return "STAT";
     case Verb::kPutByHash: return "PUTBYHASH";
+    case Verb::kStats: return "STATS";
   }
   return "UNKNOWN";
 }
@@ -72,7 +73,7 @@ Request Request::parse(BytesView data) {
   Request req;
   std::size_t offset = 0;
   req.verb = static_cast<Verb>(data[offset++]);
-  if (req.verb < Verb::kPutFile || req.verb > Verb::kPutByHash)
+  if (req.verb < Verb::kPutFile || req.verb > Verb::kStats)
     throw ProtocolError("request: unknown verb");
   req.path = get_string(data, offset);
   req.target = get_string(data, offset);

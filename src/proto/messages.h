@@ -52,6 +52,8 @@ enum class Verb : std::uint8_t {
   kPutByHash = 16,        // client-side dedup probe (§V-A alternative):
                           // commit the file if content with this hash is
                           // already deduplicated, else ask for an upload
+  kStats = 17,            // telemetry snapshot (sanitized registry export);
+                          // response carries metric lines in `listing`
 };
 
 enum class Status : std::uint8_t {

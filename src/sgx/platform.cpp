@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "crypto/hmac.h"
 #include "crypto/sha2.h"
+#include "telemetry/trace.h"
 
 namespace seg::sgx {
 
@@ -71,6 +72,8 @@ std::uint64_t SgxPlatform::increment_monotonic_counter(std::uint64_t id) {
   ++it->second.increments;
   ++stats_.counter_increments;
   stats_.charged_ns += model_.counter_increment_ns;
+  telemetry::span_add(telemetry::Segment::kGuard, 0,
+                      model_.counter_increment_ns);
   return ++it->second.value;
 }
 
@@ -96,25 +99,35 @@ std::optional<Bytes> SgxPlatform::protected_get(const Measurement& measurement,
 }
 
 void SgxPlatform::charge_ecall(bool switchless) {
-  std::lock_guard lock(mutex_);
-  if (switchless) {
-    ++stats_.switchless_calls;
-    stats_.charged_ns += model_.switchless_call_ns;
-  } else {
-    ++stats_.ecalls;
-    stats_.charged_ns += model_.ecall_ns;
+  std::uint64_t charged = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (switchless) {
+      ++stats_.switchless_calls;
+      charged = model_.switchless_call_ns;
+    } else {
+      ++stats_.ecalls;
+      charged = model_.ecall_ns;
+    }
+    stats_.charged_ns += charged;
   }
+  telemetry::span_add(telemetry::Segment::kTransition, 0, charged);
 }
 
 void SgxPlatform::charge_ocall(bool switchless) {
-  std::lock_guard lock(mutex_);
-  if (switchless) {
-    ++stats_.switchless_calls;
-    stats_.charged_ns += model_.switchless_call_ns;
-  } else {
-    ++stats_.ocalls;
-    stats_.charged_ns += model_.ocall_ns;
+  std::uint64_t charged = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (switchless) {
+      ++stats_.switchless_calls;
+      charged = model_.switchless_call_ns;
+    } else {
+      ++stats_.ocalls;
+      charged = model_.ocall_ns;
+    }
+    stats_.charged_ns += charged;
   }
+  telemetry::span_add(telemetry::Segment::kTransition, 0, charged);
 }
 
 void SgxPlatform::adjust_epc_resident(std::int64_t delta) {
@@ -130,14 +143,20 @@ std::uint64_t SgxPlatform::epc_resident_bytes() const {
 
 void SgxPlatform::charge_epc_touch(std::uint64_t bytes_resident,
                                    std::uint64_t bytes_touched) {
-  std::lock_guard lock(mutex_);
-  if (bytes_resident + epc_resident_bytes_ > model_.epc_size_bytes) {
-    // Touching memory beyond the PRM forces page-ins; charge proportional
-    // to the touched range, 4 KiB at a time.
-    const std::uint64_t pages = (bytes_touched + 4095) / 4096;
-    stats_.epc_pages_in += pages;
-    stats_.charged_ns += pages * model_.epc_page_in_ns;
+  std::uint64_t charged = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (bytes_resident + epc_resident_bytes_ > model_.epc_size_bytes) {
+      // Touching memory beyond the PRM forces page-ins; charge proportional
+      // to the touched range, 4 KiB at a time.
+      const std::uint64_t pages = (bytes_touched + 4095) / 4096;
+      stats_.epc_pages_in += pages;
+      charged = pages * model_.epc_page_in_ns;
+      stats_.charged_ns += charged;
+    }
   }
+  if (charged != 0)
+    telemetry::span_add(telemetry::Segment::kEpcPaging, 0, charged);
 }
 
 }  // namespace seg::sgx

@@ -147,6 +147,13 @@ class SgxPlatform {
   std::uint64_t epc_resident_bytes() const;
 
   const CostModel& cost_model() const { return model_; }
+
+  /// Unlocked references — QUIESCENT USE ONLY. Contract: the caller must
+  /// guarantee no service thread (worker pool, concurrent pump) is
+  /// charging while the reference is read or reset — i.e. single-threaded
+  /// setup/teardown and benches that read between phases. Anything that
+  /// polls while workers run must use stats_snapshot(); the unlocked read
+  /// would be a data race (and TSan flags it).
   SgxStats& stats() { return stats_; }
   const SgxStats& stats() const { return stats_; }
 

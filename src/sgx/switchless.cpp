@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace seg::sgx {
 
 SwitchlessQueue::SwitchlessQueue(SgxPlatform& platform, std::size_t workers,
@@ -22,14 +24,27 @@ SwitchlessQueue::~SwitchlessQueue() {
   for (auto& w : workers_) w.join();
 }
 
+void SwitchlessQueue::attach_registry(telemetry::Registry& registry) {
+  const std::lock_guard lock(mutex_);
+  submitted_counter_ = &registry.counter("sgx.switchless.tasks_submitted");
+  depth_gauge_ = &registry.gauge("sgx.switchless.queue_depth");
+  queue_wait_hist_ = &registry.histogram("sgx.switchless.queue_wait_ns");
+}
+
 std::future<void> SwitchlessQueue::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+  Task packaged;
+  packaged.work = std::packaged_task<void()>(std::move(task));
+  packaged.enqueue_ns = telemetry::steady_now_ns();
+  auto future = packaged.work.get_future();
   {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [this] { return stopping_ || queue_.size() < capacity_; });
     queue_.push_back(std::move(packaged));
+    if (submitted_counter_ != nullptr) {
+      submitted_counter_->add();
+      depth_gauge_->set(queue_.size());
+    }
   }
   platform_.charge_ecall(/*switchless=*/true);
   cv_.notify_one();
@@ -42,7 +57,8 @@ void SwitchlessQueue::call(std::function<void()> task) {
 
 void SwitchlessQueue::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    Task task;
+    telemetry::Histogram* wait_hist = nullptr;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -50,9 +66,18 @@ void SwitchlessQueue::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       executed_.fetch_add(1, std::memory_order_relaxed);
+      if (depth_gauge_ != nullptr) depth_gauge_->set(queue_.size());
+      wait_hist = queue_wait_hist_;
     }
     not_full_.notify_one();
-    task();
+    const std::uint64_t wait_ns =
+        telemetry::steady_now_ns() - task.enqueue_ns;
+    if (wait_hist != nullptr) wait_hist->record(wait_ns);
+    // Park the measured buffer wait for the span this task is about to
+    // open (the enclave's per-message SpanScope claims it).
+    telemetry::set_pending_queue_wait(wait_ns);
+    task.work();
+    telemetry::take_pending_queue_wait();  // drop if the task opened no span
   }
 }
 

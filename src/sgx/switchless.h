@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sgx/platform.h"
+#include "telemetry/registry.h"
 
 namespace seg::sgx {
 
@@ -56,18 +57,36 @@ class SwitchlessQueue {
     return executed_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches a metrics registry: submissions count into
+  /// `sgx.switchless.tasks_submitted`, the buffer depth is tracked in
+  /// `sgx.switchless.queue_depth`, and per-task buffer wait lands in the
+  /// `sgx.switchless.queue_wait_ns` histogram. The registry must outlive
+  /// the queue. Workers also park each task's measured wait thread-locally
+  /// (telemetry::set_pending_queue_wait) so the request span the task
+  /// opens can claim it as its kQueueWait segment.
+  void attach_registry(telemetry::Registry& registry);
+
  private:
+  struct Task {
+    std::packaged_task<void()> work;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
   SgxPlatform& platform_;
   const std::size_t capacity_;
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Task> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable not_full_;
   bool stopping_ = false;
   std::atomic<std::uint64_t> executed_{0};
+  // Resolved metric handles; null until attach_registry().
+  telemetry::Counter* submitted_counter_ = nullptr;
+  telemetry::Gauge* depth_gauge_ = nullptr;
+  telemetry::Histogram* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace seg::sgx

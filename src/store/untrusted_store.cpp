@@ -4,18 +4,21 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace seg::store {
 
 // ----------------------------------------------------------- MemoryStore ---
 
 void MemoryStore::put(const std::string& name, BytesView data) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.puts;
   blobs_[name] = Bytes(data.begin(), data.end());
 }
 
 std::optional<Bytes> MemoryStore::get(const std::string& name) const {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.gets;
   const auto it = blobs_.find(name);
@@ -24,18 +27,21 @@ std::optional<Bytes> MemoryStore::get(const std::string& name) const {
 }
 
 bool MemoryStore::exists(const std::string& name) const {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.exists_checks;
   return blobs_.contains(name);
 }
 
 void MemoryStore::remove(const std::string& name) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.removes;
   blobs_.erase(name);
 }
 
 void MemoryStore::rename(const std::string& from, const std::string& to) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   const std::lock_guard<std::mutex> lock(mutex_);
   ++ops_.renames;
   const auto it = blobs_.find(from);
@@ -103,6 +109,7 @@ std::string DiskStore::path_for(const std::string& name) const {
 }
 
 void DiskStore::put(const std::string& name, BytesView data) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   std::ofstream out(path_for(name), std::ios::binary | std::ios::trunc);
   if (!out) throw StorageError("cannot open for write: " + name);
   out.write(reinterpret_cast<const char*>(data.data()),
@@ -111,6 +118,7 @@ void DiskStore::put(const std::string& name, BytesView data) {
 }
 
 std::optional<Bytes> DiskStore::get(const std::string& name) const {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   std::ifstream in(path_for(name), std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
   const std::streamsize size = in.tellg();
@@ -122,14 +130,17 @@ std::optional<Bytes> DiskStore::get(const std::string& name) const {
 }
 
 bool DiskStore::exists(const std::string& name) const {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   return std::filesystem::exists(path_for(name));
 }
 
 void DiskStore::remove(const std::string& name) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   std::filesystem::remove(path_for(name));
 }
 
 void DiskStore::rename(const std::string& from, const std::string& to) {
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
   std::error_code ec;
   std::filesystem::rename(path_for(from), path_for(to), ec);
   if (ec) throw StorageError("rename failed: " + from + " -> " + to);

@@ -1,0 +1,343 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace seg::telemetry {
+
+// ------------------------------------------------------------- histogram ---
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw Error("histogram bounds not ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<std::uint64_t>& default_latency_buckets_ns() {
+  static const std::vector<std::uint64_t> kBuckets = {
+      1'000,         2'000,         5'000,         10'000,
+      20'000,        50'000,        100'000,       200'000,
+      500'000,       1'000'000,     2'000'000,     5'000'000,
+      10'000'000,    20'000'000,    50'000'000,    100'000'000,
+      200'000'000,   500'000'000,   1'000'000'000, 2'000'000'000,
+      5'000'000'000, 10'000'000'000};
+  return kBuckets;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double pct) const {
+  if (count == 0) return 0;
+  const double rank = std::ceil(pct / 100.0 * static_cast<double>(count));
+  const auto target =
+      static_cast<std::uint64_t>(std::max(1.0, rank));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= target)
+      return i < bounds.size() ? bounds[i] : max;
+  }
+  return max;
+}
+
+// -------------------------------------------------------------- snapshot ---
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::uint64_t Snapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, value] : other.notes) notes[name] = value;
+  for (const auto& [name, hist] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, hist);
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.bounds != hist.bounds) continue;  // incompatible: first wins
+    for (std::size_t i = 0; i < mine.counts.size(); ++i)
+      mine.counts[i] += hist.counts[i];
+    mine.count += hist.count;
+    mine.sum += hist.sum;
+    mine.max = std::max(mine.max, hist.max);
+  }
+}
+
+namespace {
+
+std::string sanitize_note(const std::string& text) {
+  std::string out = text;
+  for (char& c : out)
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Snapshot::to_lines() const {
+  std::vector<std::string> lines;
+  lines.reserve(counters.size() + gauges.size() + histograms.size() +
+                notes.size());
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof buf, " %" PRIu64, value);
+    lines.push_back("c " + name + buf);
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof buf, " %" PRIu64, value);
+    lines.push_back("g " + name + buf);
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::string line = "h " + name;
+    std::snprintf(buf, sizeof buf, " %" PRIu64 " %" PRIu64 " %" PRIu64,
+                  hist.count, hist.sum, hist.max);
+    line += buf;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (hist.counts[i] == 0) continue;  // sparse: most buckets are empty
+      if (i < hist.bounds.size()) {
+        std::snprintf(buf, sizeof buf, " %" PRIu64 ":%" PRIu64,
+                      hist.bounds[i], hist.counts[i]);
+      } else {
+        std::snprintf(buf, sizeof buf, " inf:%" PRIu64, hist.counts[i]);
+      }
+      line += buf;
+    }
+    lines.push_back(std::move(line));
+  }
+  for (const auto& [name, value] : notes)
+    lines.push_back("n " + name + " " + sanitize_note(value));
+  return lines;
+}
+
+Snapshot Snapshot::from_lines(const std::vector<std::string>& lines) {
+  Snapshot snap;
+  for (const auto& line : lines) {
+    std::istringstream in(line);
+    std::string kind, name;
+    if (!(in >> kind >> name)) throw ProtocolError("telemetry: bad line");
+    if (kind == "c" || kind == "g") {
+      std::uint64_t value = 0;
+      if (!(in >> value)) throw ProtocolError("telemetry: bad value");
+      (kind == "c" ? snap.counters : snap.gauges)[name] = value;
+    } else if (kind == "h") {
+      HistogramSnapshot hist;
+      if (!(in >> hist.count >> hist.sum >> hist.max))
+        throw ProtocolError("telemetry: bad histogram header");
+      // Reconstruct over the default bounds; sparse buckets fill in.
+      hist.bounds = default_latency_buckets_ns();
+      hist.counts.assign(hist.bounds.size() + 1, 0);
+      std::string entry;
+      while (in >> entry) {
+        const auto colon = entry.find(':');
+        if (colon == std::string::npos)
+          throw ProtocolError("telemetry: bad bucket");
+        const std::string bound = entry.substr(0, colon);
+        const auto bucket_count =
+            static_cast<std::uint64_t>(std::stoull(entry.substr(colon + 1)));
+        if (bound == "inf") {
+          hist.counts.back() += bucket_count;
+          continue;
+        }
+        const std::uint64_t bound_value = std::stoull(bound);
+        const auto it = std::lower_bound(hist.bounds.begin(),
+                                         hist.bounds.end(), bound_value);
+        if (it != hist.bounds.end() && *it == bound_value) {
+          hist.counts[static_cast<std::size_t>(it - hist.bounds.begin())] +=
+              bucket_count;
+        } else {
+          hist.counts.back() += bucket_count;  // non-default bounds degrade
+        }
+      }
+      snap.histograms[name] = std::move(hist);
+    } else if (kind == "n") {
+      std::string rest;
+      std::getline(in, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      snap.notes[name] = rest;
+    } else {
+      throw ProtocolError("telemetry: unknown line kind");
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+void json_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{";
+  char buf[64];
+  const auto map_json = [&](const char* key,
+                            const std::map<std::string, std::uint64_t>& m) {
+    out += '"';
+    out += key;
+    out += "\":{";
+    bool first = true;
+    for (const auto& [name, value] : m) {
+      if (!first) out += ',';
+      first = false;
+      json_escape(out, name);
+      std::snprintf(buf, sizeof buf, ":%" PRIu64, value);
+      out += buf;
+    }
+    out += '}';
+  };
+  map_json("counters", counters);
+  out += ',';
+  map_json("gauges", gauges);
+  out += ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    json_escape(out, name);
+    std::snprintf(buf, sizeof buf,
+                  ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"max\":%" PRIu64,
+                  hist.count, hist.sum, hist.max);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
+                  ",\"p99\":%" PRIu64 "}",
+                  hist.percentile(50), hist.percentile(95),
+                  hist.percentile(99));
+    out += buf;
+  }
+  out += '}';
+  if (!notes.empty()) {
+    out += ",\"notes\":{";
+    first = true;
+    for (const auto& [name, value] : notes) {
+      if (!first) out += ',';
+      first = false;
+      json_escape(out, name);
+      out += ':';
+      json_escape(out, value);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+// -------------------------------------------------------------- registry ---
+
+bool Registry::valid_metric_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+void check_name(const std::string& name) {
+  if (!Registry::valid_metric_name(name))
+    throw Error("invalid metric name (must match [A-Za-z0-9._-]+): would "
+                "leak request data into exported metrics");
+}
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<std::uint64_t>& bounds) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void Registry::set_note(const std::string& name, const std::string& value) {
+  check_name(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  notes_[name] = sanitize_note(value);
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = hist->bounds();
+    h.counts.reserve(h.bounds.size() + 1);
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i)
+      h.counts.push_back(hist->bucket_count(i));
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.max = hist->max();
+    snap.histograms[name] = std::move(h);
+  }
+  snap.notes = notes_;
+  return snap;
+}
+
+}  // namespace seg::telemetry

@@ -1,0 +1,166 @@
+// Unified metrics registry (observability layer, DESIGN.md §8).
+//
+// One Registry instance lives inside the enclave (trusted metrics) and one
+// in the untrusted server; the enclave exports a merged, sanitized
+// Snapshot through an explicit boundary call (SegShareEnclave::
+// telemetry_snapshot / the kStats verb). Two rules keep the trust boundary
+// intact:
+//
+//  * Metric names are static program identifiers, never derived from
+//    request data. The registry enforces this structurally: names are
+//    restricted to [A-Za-z0-9._-], so a logical path ("/docs/a.bin"), a
+//    free-form group name or raw key material cannot even be registered.
+//  * Only aggregate numbers cross the boundary — counters, gauges and
+//    histogram buckets. No per-file or per-user breakdowns exist.
+//
+// Hot-path cost: record operations (Counter::add, Gauge::set,
+// Histogram::record) are relaxed atomics only — no locks, no allocation.
+// The registration path (counter()/gauge()/histogram()) is mutex-guarded
+// and returns references that stay valid for the registry's lifetime, so
+// callers resolve names once and keep the handle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace seg::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+/// ascending order, with an implicit +inf overflow bucket. Recording is a
+/// binary search plus three relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t value);
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Default latency bucket bounds: ~1 µs to 10 s, roughly 1-2-5 spaced.
+/// Suits both real nanoseconds and modeled (SimClock-style) nanoseconds.
+const std::vector<std::uint64_t>& default_latency_buckets_ns();
+
+/// Point-in-time copy of a histogram, with percentile estimation.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  /// Nearest-rank percentile estimated from the buckets (`pct` in
+  /// (0,100]); the overflow bucket degrades to max().
+  std::uint64_t percentile(double pct) const;
+};
+
+/// Consistent-enough copy of a registry (each metric is read atomically;
+/// the set is taken under the registration lock). Serializable both as
+/// text lines (the kStats wire form, carried in Response::listing) and as
+/// JSON (the BENCH_*.json form).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// Free-text annotations (e.g. last suppressed pump error). Only the
+  /// untrusted registry uses notes; the enclave exports none.
+  std::map<std::string, std::string> notes;
+
+  std::uint64_t counter(const std::string& name) const;
+  std::uint64_t gauge(const std::string& name) const;
+
+  /// Folds `other` in: counters add, gauges/notes overwrite, histograms
+  /// merge bucket-wise when the bounds agree (first one wins otherwise).
+  void merge(const Snapshot& other);
+
+  /// Text-line wire form, one metric per line:
+  ///   c <name> <value>
+  ///   g <name> <value>
+  ///   h <name> <count> <sum> <max> <bound>:<count>... inf:<count>
+  ///   n <name> <text...>
+  std::vector<std::string> to_lines() const;
+  static Snapshot from_lines(const std::vector<std::string>& lines);
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates; throws Error on a name outside [A-Za-z0-9._-]
+  /// (which is what keeps paths/group names out of exported metrics).
+  /// The returned reference is valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<std::uint64_t>& bounds =
+                           default_latency_buckets_ns());
+
+  /// Free-text annotation; the value is flattened to one line. The name
+  /// is validated like a metric name, the value is not (it is data, not a
+  /// metric identifier) — do not call this from trusted code.
+  void set_note(const std::string& name, const std::string& value);
+
+  Snapshot snapshot() const;
+
+  static bool valid_metric_name(const std::string& name);
+
+ private:
+  mutable std::mutex mutex_;  // registration + snapshot; never on record
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> notes_;
+};
+
+}  // namespace seg::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+
+namespace seg::telemetry {
+
+namespace {
+
+thread_local TraceSpan* g_active_span = nullptr;
+thread_local std::uint8_t g_segment_depth[kSegmentCount] = {};
+thread_local std::uint64_t g_pending_queue_wait_ns = 0;
+
+}  // namespace
+
+const char* segment_name(Segment segment) {
+  switch (segment) {
+    case Segment::kQueueWait: return "queue_wait";
+    case Segment::kLockWait: return "lock_wait";
+    case Segment::kTransition: return "transition";
+    case Segment::kEpcPaging: return "epc_paging";
+    case Segment::kGuard: return "guard";
+    case Segment::kCrypto: return "crypto";
+    case Segment::kStoreIo: return "store_io";
+    case Segment::kHandler: return "handler";
+  }
+  return "unknown";
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSpan* active_span() { return g_active_span; }
+
+void span_add(Segment segment, std::uint64_t real_ns, std::uint64_t sim_ns) {
+  TraceSpan* span = g_active_span;
+  if (span == nullptr) return;
+  const auto index = static_cast<std::size_t>(segment);
+  span->real_ns[index] += real_ns;
+  span->sim_ns[index] += sim_ns;
+  span->total_sim_ns += sim_ns;
+}
+
+void set_pending_queue_wait(std::uint64_t wait_ns) {
+  g_pending_queue_wait_ns = wait_ns;
+}
+
+std::uint64_t take_pending_queue_wait() {
+  const std::uint64_t wait = g_pending_queue_wait_ns;
+  g_pending_queue_wait_ns = 0;
+  return wait;
+}
+
+SpanScope::SpanScope(TraceSpan& span)
+    : span_(span), previous_(g_active_span), start_ns_(steady_now_ns()) {
+  g_active_span = &span_;
+  span_.real_ns[static_cast<std::size_t>(Segment::kQueueWait)] +=
+      take_pending_queue_wait();
+}
+
+SpanScope::~SpanScope() {
+  span_.total_real_ns = steady_now_ns() - start_ns_;
+  // The handler segment is the remainder of wall time not attributed to a
+  // measured segment. Queue wait happened *before* the span started, so
+  // it is excluded from the remainder arithmetic (end-to-end latency is
+  // queue_wait + total_real_ns).
+  std::uint64_t measured = 0;
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    if (i == static_cast<std::size_t>(Segment::kQueueWait) ||
+        i == static_cast<std::size_t>(Segment::kHandler))
+      continue;
+    measured += span_.real_ns[i];
+  }
+  span_.real_ns[static_cast<std::size_t>(Segment::kHandler)] =
+      span_.total_real_ns > measured ? span_.total_real_ns - measured : 0;
+  g_active_span = previous_;
+}
+
+SegmentTimer::SegmentTimer(Segment segment) : segment_(segment) {
+  if (g_active_span == nullptr) return;
+  const auto index = static_cast<std::size_t>(segment_);
+  counted_ = true;
+  if (g_segment_depth[index]++ > 0) return;  // nested: outer timer counts
+  active_ = true;
+  start_ns_ = steady_now_ns();
+}
+
+SegmentTimer::~SegmentTimer() {
+  if (!counted_) return;
+  --g_segment_depth[static_cast<std::size_t>(segment_)];
+  if (active_) span_add(segment_, steady_now_ns() - start_ns_, 0);
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::push(const TraceSpan& span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_ % capacity_] = span;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceSpan> TraceBuffer::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  return out;
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace seg::telemetry

@@ -1,0 +1,134 @@
+// Per-request tracing across the trust boundary (DESIGN.md §8).
+//
+// A TraceSpan follows one protocol message through server::pump() →
+// SwitchlessQueue → enclave worker → TrustedFileManager → UntrustedStore.
+// The span is installed as a thread-local "active span" for the duration
+// of the enclave's message handling (SpanScope), so instrumentation deep
+// in the stack — the SGX cost model, the AES-GCM chokepoint, the store
+// backends — can attribute time to the current request without threading
+// a context parameter through every signature.
+//
+// Each segment is accounted on two clocks:
+//  * real_ns — wall time measured with the monotonic clock (SegmentTimer),
+//  * sim_ns  — modeled nanoseconds charged by the SGX cost model
+//              (transitions, EPC paging, monotonic-counter guards), i.e.
+//              the SimClock-style virtual time of the simulation.
+//
+// Spans contain only non-secret fields: a server-assigned sequence number,
+// the protocol verb and response status, and per-segment durations. No
+// paths, group names or key material — the same sanitization rule the
+// metrics registry enforces for names.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace seg::telemetry {
+
+enum class Segment : std::uint8_t {
+  kQueueWait = 0,  // switchless task buffer wait before a worker picked up
+  kLockWait,       // file-system reader-writer lock acquisition
+  kTransition,     // modeled ecall/ocall/switchless transition cost
+  kEpcPaging,      // modeled EPC page-in cost
+  kGuard,          // modeled monotonic-counter increment cost (§V-E)
+  kCrypto,         // AES-GCM sealing/opening (records, PFS, sealing)
+  kStoreIo,        // untrusted store backend operations
+  kHandler,        // remainder: request handling outside the above
+};
+inline constexpr std::size_t kSegmentCount = 8;
+
+const char* segment_name(Segment segment);
+
+struct TraceSpan {
+  std::uint64_t request_id = 0;  // 0 = not a request (handshake, data frame)
+  std::uint8_t verb = 0;         // proto::Verb value; static, non-secret
+  std::uint8_t status = 0;       // proto::Status of the response
+  bool has_status = false;
+  std::uint64_t total_real_ns = 0;
+  std::uint64_t total_sim_ns = 0;  // modeled ns charged during the span
+  std::array<std::uint64_t, kSegmentCount> real_ns{};
+  std::array<std::uint64_t, kSegmentCount> sim_ns{};
+
+  std::uint64_t segment_real(Segment s) const {
+    return real_ns[static_cast<std::size_t>(s)];
+  }
+  std::uint64_t segment_sim(Segment s) const {
+    return sim_ns[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Monotonic-clock nanoseconds (std::chrono::steady_clock).
+std::uint64_t steady_now_ns();
+
+/// The span the current thread is recording into, or null.
+TraceSpan* active_span();
+
+/// Adds time to a segment of the active span; no-op without one.
+void span_add(Segment segment, std::uint64_t real_ns, std::uint64_t sim_ns);
+
+/// Queue-wait handoff: the switchless worker measures how long a task sat
+/// in the buffer and parks it thread-locally; the first span the task
+/// opens claims it (take clears). Keeps the queue unaware of spans.
+void set_pending_queue_wait(std::uint64_t wait_ns);
+std::uint64_t take_pending_queue_wait();
+
+/// RAII: installs `span` as the thread's active span, drains any pending
+/// queue wait into it, and on destruction finalizes total_real_ns and the
+/// kHandler remainder (total minus the measured real segments). Nests:
+/// the previous active span is restored.
+class SpanScope {
+ public:
+  explicit SpanScope(TraceSpan& span);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceSpan& span_;
+  TraceSpan* previous_;
+  std::uint64_t start_ns_;
+};
+
+/// RAII: measures real time into one segment of the active span. Cheap
+/// no-op when no span is active (one thread-local read, no clock access).
+/// Re-entrant per segment: a nested timer for the same segment (e.g.
+/// AES-GCM inside AES-GCM) records nothing, so time is never counted
+/// twice.
+class SegmentTimer {
+ public:
+  explicit SegmentTimer(Segment segment);
+  ~SegmentTimer();
+
+  SegmentTimer(const SegmentTimer&) = delete;
+  SegmentTimer& operator=(const SegmentTimer&) = delete;
+
+ private:
+  Segment segment_;
+  bool counted_ = false;  // bumped the per-segment nesting depth
+  bool active_ = false;   // outermost timer: actually measures
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Fixed-capacity ring of recently completed spans (debugging aid,
+/// retrievable via SegShareEnclave::recent_traces()).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(const TraceSpan& span);
+  /// Retained spans, oldest first.
+  std::vector<TraceSpan> recent() const;
+  std::uint64_t total_recorded() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace seg::telemetry

@@ -70,6 +70,7 @@ HttpResponse DavClient::execute(const HttpRequest& request) {
       response = inner_.delete_group(internal.group);
       break;
     case proto::Verb::kPutByHash:
+    case proto::Verb::kStats:
       // Not expressible in plain WebDAV; dedicated clients use the native
       // client API instead.
       response.status = proto::Status::kBadRequest;

@@ -151,6 +151,8 @@ HttpRequest to_http(const proto::Request& request, BytesView body) {
       break;
     case proto::Verb::kPutByHash:
       throw ProtocolError("webdav: PUTBYHASH has no WebDAV mapping");
+    case proto::Verb::kStats:
+      throw ProtocolError("webdav: STATS has no WebDAV mapping");
     case proto::Verb::kAddUserToGroup:
     case proto::Verb::kRemoveUserFromGroup:
     case proto::Verb::kAddGroupOwner:

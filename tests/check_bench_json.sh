@@ -1,0 +1,67 @@
+#!/bin/sh
+# Schema check for the structured bench reports (DESIGN.md §8).
+#
+# Usage: check_bench_json.sh <dir> [min_count]
+#
+# Validates every BENCH_*.json in <dir> against segshare-bench-v1:
+#   - parses as JSON
+#   - schema == "segshare-bench-v1", bench is a non-empty string,
+#     quick is a boolean, results is a list
+#   - every result has a string name, finite numeric value, string unit
+#   - no result name leaks path-like or key-like material (names must
+#     stay in the metric charset plus '.'-separated components)
+# and, when min_count is given, that at least that many reports exist.
+set -eu
+
+dir="${1:?usage: check_bench_json.sh <dir> [min_count]}"
+min_count="${2:-1}"
+
+python3 - "$dir" "$min_count" <<'EOF'
+import glob, json, os, re, sys
+
+directory, min_count = sys.argv[1], int(sys.argv[2])
+paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+if len(paths) < min_count:
+    sys.exit(f"FAIL: {len(paths)} reports in {directory}, expected >= {min_count}")
+
+name_re = re.compile(r"^[A-Za-z0-9._-]+$")
+failures = []
+for path in paths:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except ValueError as err:
+        failures.append(f"{path}: not valid JSON: {err}")
+        continue
+    def bad(msg):
+        failures.append(f"{path}: {msg}")
+    if doc.get("schema") != "segshare-bench-v1":
+        bad(f"schema is {doc.get('schema')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        bad("bench must be a non-empty string")
+    if not isinstance(doc.get("quick"), bool):
+        bad("quick must be a boolean")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        bad("results must be a list")
+        continue
+    if not results:
+        bad("results is empty")
+    for i, result in enumerate(results):
+        if not isinstance(result, dict):
+            bad(f"results[{i}] is not an object")
+            continue
+        name = result.get("name")
+        if not isinstance(name, str) or not name_re.match(name or ""):
+            bad(f"results[{i}].name {name!r} outside metric charset")
+        value = result.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            bad(f"results[{i}].value {value!r} is not a number")
+        if not isinstance(result.get("unit"), str):
+            bad(f"results[{i}].unit is not a string")
+
+if failures:
+    print("\n".join(failures))
+    sys.exit(f"FAIL: {len(failures)} schema violations")
+print(f"OK: {len(paths)} bench reports valid in {directory}")
+EOF

@@ -1,0 +1,334 @@
+// Observability layer (DESIGN.md §8): metrics registry correctness under
+// concurrency, trace-span accounting, the kStats wire round-trip, the
+// pump-error satellite counters, and the no-secrets export guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "fs/records.h"
+#include "segshare_test_util.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace seg {
+namespace {
+
+using testutil::Rig;
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, CountersGaugesHistogramsAcrossThreads) {
+  telemetry::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOpsEach = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Registration races with other threads (mutex-guarded); recording
+      // is lock-free relaxed atomics.
+      telemetry::Counter& shared = registry.counter("test.shared");
+      telemetry::Gauge& own =
+          registry.gauge("test.thread_" + std::to_string(t));
+      telemetry::Histogram& hist = registry.histogram("test.latency");
+      for (std::uint64_t i = 0; i < kOpsEach; ++i) {
+        shared.add();
+        own.set(i);
+        hist.record(i % 1000);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const telemetry::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("test.shared"), kThreads * kOpsEach);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(snap.gauge("test.thread_" + std::to_string(t)), kOpsEach - 1);
+  const auto& hist = snap.histograms.at("test.latency");
+  EXPECT_EQ(hist.count, kThreads * kOpsEach);
+  EXPECT_EQ(hist.max, 999u);
+}
+
+TEST(Registry, RejectsNamesOutsideMetricCharset) {
+  telemetry::Registry registry;
+  // The structural sanitization rule: request-derived strings (paths,
+  // group names, '/'-or-space-bearing data) cannot become metric names.
+  EXPECT_THROW(registry.counter("/docs/report.pdf"), Error);
+  EXPECT_THROW(registry.gauge("group name"), Error);
+  EXPECT_THROW(registry.histogram(""), Error);
+  EXPECT_THROW(registry.set_note("bad\nname", "x"), Error);
+  EXPECT_FALSE(telemetry::Registry::valid_metric_name("a/b"));
+  EXPECT_TRUE(telemetry::Registry::valid_metric_name("enclave.requests.GET"));
+  EXPECT_NO_THROW(registry.counter("ok.name-1_x"));
+}
+
+TEST(Registry, HistogramPercentilesAndBuckets) {
+  telemetry::Registry registry;
+  telemetry::Histogram& hist =
+      registry.histogram("test.h", {10, 100, 1000});
+  for (std::uint64_t v : {1u, 5u, 50u, 500u, 5000u}) hist.record(v);
+  const auto snap = registry.snapshot().histograms.at("test.h");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 5556u);
+  EXPECT_EQ(snap.max, 5000u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  // Nearest-rank from buckets: the 3rd of 5 samples (50) lands in the
+  // (10,100] bucket, reported as its upper bound; p99 falls in the
+  // overflow bucket, which degrades to max.
+  EXPECT_EQ(snap.percentile(50), 100u);
+  EXPECT_EQ(snap.percentile(99), 5000u);
+}
+
+TEST(Registry, SnapshotWireRoundTripAndMerge) {
+  telemetry::Registry registry;
+  registry.counter("a.count").add(7);
+  registry.gauge("b.depth").set(42);
+  // The wire form reconstructs histograms over the default bounds (the
+  // only ones the enclave exports), so use them here.
+  registry.histogram("c.lat").record(55);
+  registry.set_note("d.note", "last error: something went wrong");
+  const telemetry::Snapshot snap = registry.snapshot();
+
+  const telemetry::Snapshot back =
+      telemetry::Snapshot::from_lines(snap.to_lines());
+  EXPECT_EQ(back.counter("a.count"), 7u);
+  EXPECT_EQ(back.gauge("b.depth"), 42u);
+  ASSERT_TRUE(back.histograms.count("c.lat"));
+  EXPECT_EQ(back.histograms.at("c.lat").count, 1u);
+  EXPECT_EQ(back.histograms.at("c.lat").sum, 55u);
+  EXPECT_EQ(back.histograms.at("c.lat").bounds,
+            telemetry::default_latency_buckets_ns());
+  EXPECT_EQ(back.histograms.at("c.lat").percentile(50),
+            snap.histograms.at("c.lat").percentile(50));
+  ASSERT_TRUE(back.notes.count("d.note"));
+  EXPECT_EQ(back.notes.at("d.note"), "last error: something went wrong");
+
+  // merge: counters add, gauges overwrite, equal-bounds histograms fold.
+  telemetry::Snapshot merged = snap;
+  merged.merge(back);
+  EXPECT_EQ(merged.counter("a.count"), 14u);
+  EXPECT_EQ(merged.gauge("b.depth"), 42u);
+  EXPECT_EQ(merged.histograms.at("c.lat").count, 2u);
+
+  // JSON form parses as an object with all three metric kinds.
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ traces
+
+TEST(Traces, SegmentSumsMatchEndToEndLatency) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", rig.rng().bytes(64 << 10)).ok());
+  ASSERT_TRUE(alice.get_file("/f").first.ok());
+
+  const auto traces = rig.enclave().recent_traces();
+  ASSERT_FALSE(traces.empty());
+  bool saw_crypto = false, saw_store = false;
+  std::size_t with_status = 0;
+  for (const auto& span : traces) {
+    EXPECT_GT(span.request_id, 0u);
+    // A client-visible PUT is two spans (START + END) but one response,
+    // so only the END span carries a status.
+    if (span.has_status) ++with_status;
+    else EXPECT_EQ(span.verb, static_cast<std::uint8_t>(proto::Verb::kPutFile));
+    // kHandler is the unattributed remainder, so the segments excluding
+    // queue wait (which precedes the span) sum to the span's wall time
+    // exactly — unless clock granularity made the measured segments
+    // overshoot, in which case the sum may exceed it slightly.
+    std::uint64_t measured = 0;
+    for (std::size_t s = 0; s < telemetry::kSegmentCount; ++s)
+      if (s != static_cast<std::size_t>(telemetry::Segment::kQueueWait))
+        measured += span.real_ns[s];
+    EXPECT_GE(measured, span.total_real_ns);
+    EXPECT_LE(measured, span.total_real_ns + 2'000'000u);  // 2 ms slack
+    saw_crypto |= span.segment_real(telemetry::Segment::kCrypto) > 0;
+    saw_store |= span.segment_real(telemetry::Segment::kStoreIo) > 0;
+    // Modeled time: every request crosses the boundary at least twice.
+    EXPECT_GT(span.segment_sim(telemetry::Segment::kTransition), 0u);
+  }
+  EXPECT_TRUE(saw_crypto);
+  EXPECT_TRUE(saw_store);
+  EXPECT_EQ(with_status, 2u);  // one PUT response + one GET response
+}
+
+TEST(Traces, RingBufferKeepsMostRecent) {
+  core::EnclaveConfig config;
+  config.telemetry_trace_ring = 4;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(alice.get_file("/nope" + std::to_string(i)).first.status ==
+                proto::Status::kNotFound);
+  const auto traces = rig.enclave().recent_traces();
+  EXPECT_EQ(traces.size(), 4u);
+  // Oldest-first ordering with monotonically assigned ids.
+  for (std::size_t i = 1; i < traces.size(); ++i)
+    EXPECT_GT(traces[i].request_id, traces[i - 1].request_id);
+}
+
+// ------------------------------------------------------------------ kStats
+
+TEST(Stats, RoundTripReconcilesWithEnclaveCounters) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.mkdir("/dir/").ok());
+  ASSERT_TRUE(alice.put_file("/dir/a", to_bytes("one")).ok());
+  ASSERT_TRUE(alice.put_file("/dir/b", to_bytes("two")).ok());
+  ASSERT_TRUE(alice.get_file("/dir/a").first.ok());
+  ASSERT_TRUE(alice.get_file("/dir/b").first.ok());
+  ASSERT_TRUE(alice.get_file("/dir/a").first.ok());
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  // The snapshot is built before the STATS response is sent, so it covers
+  // exactly the six client-visible operations above plus the STATS
+  // request itself.
+  EXPECT_EQ(snap.counter("enclave.requests.MKCOL"), 1u);
+  EXPECT_EQ(snap.counter("enclave.requests.PUT"), 2u);
+  EXPECT_EQ(snap.counter("enclave.requests.GET"), 3u);
+  EXPECT_EQ(snap.counter("enclave.requests.STATS"), 1u);
+  EXPECT_EQ(snap.counter("enclave.requests"), 7u);
+  EXPECT_EQ(snap.counter("enclave.responses"), 6u);
+  EXPECT_EQ(snap.counter("enclave.responses.OK"), 6u);
+  EXPECT_GT(snap.counter("enclave.handshake_messages"), 0u);
+  EXPECT_GT(snap.counter("enclave.bytes_in"), 0u);
+  EXPECT_GT(snap.counter("enclave.bytes_out"), 0u);
+  EXPECT_EQ(snap.gauge("enclave.connections"), 1u);
+  // SGX accounting folded in as gauges (switchless mode replaces ecalls
+  // with switchless calls, so check their sum).
+  EXPECT_GT(snap.gauge("sgx.ecalls") + snap.gauge("sgx.switchless_calls"),
+            0u);
+  EXPECT_GT(snap.gauge("sgx.charged_ns"), 0u);
+  // Untrusted server registry merged into the same export.
+  EXPECT_GT(snap.counter("server.pump.rounds"), 0u);
+  EXPECT_GT(snap.counter("server.pump.dispatched"), 0u);
+  EXPECT_EQ(snap.counter("server.pump.errors"), 0u);
+
+  // Latency histograms saw every traced request (PUT = two spans).
+  ASSERT_TRUE(snap.histograms.count("enclave.request_real_ns"));
+  EXPECT_EQ(snap.histograms.at("enclave.request_real_ns").count, 8u);
+  EXPECT_EQ(snap.gauge("enclave.traces_recorded"), 8u);
+
+  // The wire snapshot agrees with what the enclave reports in-process
+  // (counters are monotonic; the in-process read happens later so it may
+  // only have grown — the pre-STATS ones must match exactly).
+  const telemetry::Snapshot direct = rig.enclave().telemetry_snapshot();
+  EXPECT_EQ(direct.counter("enclave.requests.GET"),
+            snap.counter("enclave.requests.GET"));
+  EXPECT_EQ(direct.counter("enclave.requests.PUT"),
+            snap.counter("enclave.requests.PUT"));
+  EXPECT_GE(direct.counter("enclave.responses"),
+            snap.counter("enclave.responses"));
+}
+
+TEST(Stats, ReconcilesCacheDedupAndSwitchlessCounters) {
+  core::EnclaveConfig config;
+  config.metadata_cache_bytes = 256 << 10;
+  config.deduplication = true;
+  config.service_threads = 2;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  const Bytes payload = rig.rng().bytes(8 << 10);
+  ASSERT_TRUE(alice.put_file("/a", payload).ok());
+  ASSERT_TRUE(alice.put_file("/b", payload).ok());  // same bytes: dedup hit
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(alice.get_file("/a").first.ok());
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  // The gauges in the export are the same numbers the in-process
+  // accessors report (no further operations ran in between).
+  const auto cache = rig.enclave().cache_stats();
+  EXPECT_EQ(snap.gauge("cache.headers.hits"), cache.headers.hits);
+  EXPECT_EQ(snap.gauge("cache.headers.misses"), cache.headers.misses);
+  EXPECT_EQ(snap.gauge("cache.dedup_index.hits"), cache.dedup_index.hits);
+  EXPECT_EQ(snap.gauge("tfm.dedup.hits"), 1u);
+  EXPECT_EQ(snap.gauge("tfm.dedup.blobs"), 1u);
+  EXPECT_GE(snap.gauge("tfm.dedup.refs"), 2u);
+  // Requests were serviced by the switchless worker pool.
+  EXPECT_GT(snap.gauge("sgx.switchless.tasks_executed"), 0u);
+}
+
+TEST(Stats, ExportNeverContainsRequestData) {
+  Rig rig;
+  auto& secret_user = rig.connect("zz-secret-user");
+  ASSERT_TRUE(
+      secret_user.put_file("/zz-secret-path", to_bytes("zz-secret-content"))
+          .ok());
+  ASSERT_TRUE(secret_user
+                  .add_user_to_group("zz-secret-member", "zz-secret-group")
+                  .ok());
+  ASSERT_TRUE(
+      secret_user.set_permission("/zz-secret-path", "zz-secret-group",
+                                 fs::kPermRead)
+          .ok());
+
+  const auto [response, snap] = secret_user.stats();
+  ASSERT_TRUE(response.ok());
+  for (const std::string& line : snap.to_lines())
+    EXPECT_EQ(line.find("zz-secret"), std::string::npos) << line;
+  EXPECT_EQ(snap.to_json().find("zz-secret"), std::string::npos);
+  // The in-enclave registry export is covered by the same guarantee.
+  EXPECT_EQ(rig.enclave().telemetry_snapshot().to_json().find("zz-secret"),
+            std::string::npos);
+}
+
+TEST(Stats, StatsVerbIsReadOnlyAndRepeatable) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  const auto first = alice.stats();
+  ASSERT_TRUE(first.first.ok());
+  const auto second = alice.stats();
+  ASSERT_TRUE(second.first.ok());
+  // Counters are monotonic between exports.
+  EXPECT_GT(second.second.counter("enclave.requests.STATS"),
+            first.second.counter("enclave.requests.STATS"));
+}
+
+// -------------------------------------------------- pump-error accounting
+
+TEST(PumpErrors, CountedAndExposedNotSilentlyDropped) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  auto& bob = rig.connect("bob");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+
+  // Inject garbage on both client->server directions: the TLS record
+  // layer rejects it, every connection in the round fails. The first
+  // error rethrows (old contract), the second used to vanish — now both
+  // are accounted.
+  rig.channel(0).a().send(to_bytes("garbage-not-a-tls-record"));
+  rig.channel(1).a().send(to_bytes("more-garbage"));
+  EXPECT_THROW(rig.server().pump(), std::exception);
+
+  const telemetry::Snapshot snap = rig.server().registry().snapshot();
+  EXPECT_EQ(snap.counter("server.pump.errors"), 2u);
+  EXPECT_EQ(snap.counter("server.pump.suppressed_errors"), 1u);
+  EXPECT_EQ(snap.gauge("server.pump.last_error_connection"), 2u);
+  ASSERT_TRUE(snap.notes.count("server.pump.last_error"));
+  EXPECT_FALSE(snap.notes.at("server.pump.last_error").empty());
+}
+
+TEST(PumpErrors, PumpConnectionRethrowsButStillCounts) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.put_file("/f", to_bytes("x")).ok());
+  rig.channel(0).a().send(to_bytes("garbage-not-a-tls-record"));
+  EXPECT_THROW(rig.server().pump_connection(1), std::exception);
+  const telemetry::Snapshot snap = rig.server().registry().snapshot();
+  EXPECT_EQ(snap.counter("server.pump.errors"), 1u);
+  EXPECT_EQ(snap.counter("server.pump.suppressed_errors"), 0u);
+}
+
+}  // namespace
+}  // namespace seg
