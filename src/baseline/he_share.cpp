@@ -60,16 +60,18 @@ Bytes HeShare::download(const std::string& name,
 
 std::uint64_t HeShare::revoke_member(const std::string& member) {
   std::uint64_t rewritten = 0;
+  Bytes plaintext;  // scratch reused across files in the rekey sweep
   for (auto& [name, file] : files_) {
     const auto wrap = file.wraps.find(member);
     if (wrap == file.wraps.end()) continue;
     // The revoked member knew the file key: decrypt with any remaining
     // wrap... the server in HE designs holds no key, so in practice a
     // client re-uploads; we model the crypto cost server-side.
-    const Bytes old_key = unwrap_key(wrap->second, member);
-    const Bytes plaintext = crypto::pae_decrypt(old_key, file.ciphertext);
+    const crypto::AesGcm old_gcm(unwrap_key(wrap->second, member));
+    crypto::pae_open_into(old_gcm, file.ciphertext, {}, plaintext);
     const Bytes new_key = rng_.bytes(16);
-    file.ciphertext = crypto::pae_encrypt(new_key, rng_, plaintext);
+    const crypto::AesGcm new_gcm(new_key);
+    file.ciphertext = crypto::pae_encrypt_with(new_gcm, rng_, plaintext);
     rewritten += file.ciphertext.size();
     stats_.bytes_reencrypted += file.ciphertext.size();
     file.wraps.erase(wrap);

@@ -48,6 +48,20 @@ struct EnclaveConfig {
   /// run in parallel under the trusted file manager's reader–writer
   /// locks, while each TLS session keeps at most one request in flight.
   std::size_t service_threads = 1;
+  /// In-enclave crypto worker threads for the per-file data path. Chunks
+  /// are independent under the position-bound AAD design, so seal/open and
+  /// Merkle-level tag computation for one file fan out across this pool.
+  /// 0 keeps the original serial path (and bit-identical store traffic);
+  /// any value produces bit-identical stored blobs because IVs are drawn
+  /// in chunk order on the submitting thread before the fan-out.
+  std::size_t crypto_threads = 0;
+  /// Byte budget for the in-enclave decrypted-content chunk cache (the
+  /// data-path sibling of `metadata_cache_bytes`). Entries are keyed by
+  /// (file, chunk index, expected GCM tag), so a hit is exactly as fresh
+  /// as the root-verified tag tree demands; see DESIGN.md §7.2. Cached
+  /// bytes count against the simulated EPC. 0 disables the cache and the
+  /// sequential-read prefetcher that feeds it.
+  std::size_t content_cache_bytes = 0;
   /// Byte budget for the in-enclave metadata cache (hash-header sidecars,
   /// decrypted ACL/directory records, resident dedup index). 0 disables
   /// caching entirely, which keeps behaviour bit-identical to the

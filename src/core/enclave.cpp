@@ -1048,6 +1048,18 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
     tier("objects", cache.objects);
     tier("dedup_index", cache.dedup_index);
 
+    const pfs::ContentCache::Stats cc = tfm_->content_cache_stats();
+    snap.gauges["pfs.content_cache.hits"] = cc.hits;
+    snap.gauges["pfs.content_cache.misses"] = cc.misses;
+    snap.gauges["pfs.content_cache.evictions"] = cc.evictions;
+    snap.gauges["pfs.content_cache.bytes"] = cc.resident_bytes;
+    snap.gauges["pfs.content_cache.budget_bytes"] = cc.budget_bytes;
+
+    const pfs::CryptoPool& pool = tfm_->crypto_pool();
+    snap.gauges["pfs.crypto_pool.threads"] = pool.threads();
+    snap.gauges["pfs.crypto_pool.tasks"] = pool.tasks_executed();
+    snap.gauges["pfs.crypto_pool.queue_depth"] = pool.max_queue_depth();
+
     const TrustedFileManager::DedupStats dedup = tfm_->dedup_stats();
     snap.gauges["tfm.dedup.hits"] = dedup.hits;
     snap.gauges["tfm.dedup.stores"] = dedup.stores;

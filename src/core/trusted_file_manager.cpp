@@ -99,15 +99,24 @@ TrustedFileManager::TrustedFileManager(Stores stores, BytesView root_key,
       content_store_(stores.content),
       group_store_(stores.group),
       dedup_store_(stores.dedup),
+      crypto_pool_(std::make_unique<pfs::CryptoPool>(config.crypto_threads)),
+      content_cache_(std::make_unique<pfs::ContentCache>(
+          config.content_cache_bytes, platform)),
       content_fs_(stores.content,
                   crypto::hkdf({}, root_key, to_bytes("content-fs"), 16), rng,
-                  platform, config.switchless),
+                  platform, config.switchless,
+                  pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
+                                 "c:"}),
       group_fs_(stores.group,
                 crypto::hkdf({}, root_key, to_bytes("group-fs"), 16), rng,
-                platform, config.switchless),
+                platform, config.switchless,
+                pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
+                               "g:"}),
       dedup_fs_(stores.dedup,
                 crypto::hkdf({}, root_key, to_bytes("dedup-fs"), 16), rng,
-                platform, config.switchless),
+                platform, config.switchless,
+                pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
+                               "d:"}),
       header_key_(crypto::hkdf({}, root_key, to_bytes("hash-headers"), 16)),
       header_gcm_(header_key_),
       name_key_(crypto::hkdf({}, root_key, to_bytes("name-hiding"), 32)),
@@ -948,6 +957,7 @@ TrustedFileManager::DedupStats TrustedFileManager::dedup_stats() const {
 void TrustedFileManager::clear_caches() {
   header_cache_.clear();
   object_cache_.clear();
+  content_cache_->clear();
   dedup_index_resident_.reset();
   if (dedup_index_bytes_ != 0 && platform_ != nullptr)
     platform_->adjust_epc_resident(-static_cast<std::int64_t>(dedup_index_bytes_));

@@ -192,6 +192,13 @@ class TrustedFileManager {
   };
   CacheStats cache_stats() const;
 
+  /// Data-path accelerators (DESIGN.md §7.1/§7.2): stats exported via
+  /// telemetry_snapshot() as pfs.crypto_pool.* / pfs.content_cache.*.
+  const pfs::CryptoPool& crypto_pool() const { return *crypto_pool_; }
+  pfs::ContentCache::Stats content_cache_stats() const {
+    return content_cache_->stats();
+  }
+
   /// Deduplication accounting (§V-A), maintained incrementally at
   /// commit/release time so a stats export never has to load the index.
   struct DedupStats {
@@ -313,6 +320,12 @@ class TrustedFileManager {
   store::UntrustedStore& content_store_;
   store::UntrustedStore& group_store_;
   store::UntrustedStore& dedup_store_;
+  // Data-path acceleration shared by all three file systems (declared
+  // before them: they capture raw pointers at construction). The pool is
+  // always constructed — zero config threads makes it a disabled inline
+  // executor; the cache likewise disables itself on a zero budget.
+  std::unique_ptr<pfs::CryptoPool> crypto_pool_;
+  std::unique_ptr<pfs::ContentCache> content_cache_;
   pfs::ProtectedFs content_fs_;
   pfs::ProtectedFs group_fs_;
   pfs::ProtectedFs dedup_fs_;

@@ -200,7 +200,7 @@ void AesGcm::ghash(BytesView aad, BytesView data, std::uint8_t out[16]) const {
   std::memcpy(out, y, 16);
 }
 
-void AesGcm::ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const {
+void AesGcm::ctr_crypt(const Iv& iv, BytesView in, std::uint8_t* out) const {
   std::uint8_t counter[16];
   std::memcpy(counter, iv.data(), 12);
   counter[12] = 0;
@@ -208,7 +208,6 @@ void AesGcm::ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const {
   counter[14] = 0;
   counter[15] = 1;  // J0; first data block uses inc32(J0)
 
-  out.resize(in.size());
   std::size_t pos = 0;
   // Batch the keystream generation so hardware AES can pipeline.
   constexpr std::size_t kBatchBlocks = 64;
@@ -229,17 +228,16 @@ void AesGcm::ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const {
   }
 }
 
-Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
-                   Tag& tag) const {
+void AesGcm::seal_to(const Iv& iv, BytesView aad, BytesView plaintext,
+                     Tag& tag, std::uint8_t* out) const {
   // Every AEAD operation (TLS records, PFS objects, sealing) funnels
   // through seal/open, so this is the crypto-segment chokepoint for
   // request tracing; nested timers no-op.
   const telemetry::SegmentTimer timer(telemetry::Segment::kCrypto);
-  Bytes ciphertext;
-  ctr_crypt(iv, plaintext, ciphertext);
+  ctr_crypt(iv, plaintext, out);
 
   std::uint8_t s[16];
-  ghash(aad, ciphertext, s);
+  ghash(aad, BytesView(out, plaintext.size()), s);
 
   // Tag = E(K, J0) ^ GHASH
   std::uint8_t j0[16];
@@ -251,11 +249,17 @@ Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
   std::uint8_t ekj0[16];
   aes_.encrypt_block(j0, ekj0);
   for (int i = 0; i < 16; ++i) tag[static_cast<std::size_t>(i)] = s[i] ^ ekj0[i];
+}
+
+Bytes AesGcm::seal(const Iv& iv, BytesView aad, BytesView plaintext,
+                   Tag& tag) const {
+  Bytes ciphertext(plaintext.size());
+  seal_to(iv, aad, plaintext, tag, ciphertext.data());
   return ciphertext;
 }
 
-Bytes AesGcm::open(const Iv& iv, BytesView aad, BytesView ciphertext,
-                   const Tag& tag) const {
+void AesGcm::open_to(const Iv& iv, BytesView aad, BytesView ciphertext,
+                     const Tag& tag, std::uint8_t* out) const {
   const telemetry::SegmentTimer timer(telemetry::Segment::kCrypto);
   std::uint8_t s[16];
   ghash(aad, ciphertext, s);
@@ -272,26 +276,28 @@ Bytes AesGcm::open(const Iv& iv, BytesView aad, BytesView ciphertext,
   if (!constant_time_equal(BytesView(expected, 16), tag))
     throw IntegrityError("AES-GCM tag mismatch");
 
-  Bytes plaintext;
-  ctr_crypt(iv, ciphertext, plaintext);
+  ctr_crypt(iv, ciphertext, out);
+}
+
+Bytes AesGcm::open(const Iv& iv, BytesView aad, BytesView ciphertext,
+                   const Tag& tag) const {
+  Bytes plaintext(ciphertext.size());
+  open_to(iv, aad, ciphertext, tag, plaintext.data());
   return plaintext;
 }
 
-Bytes pae_encrypt_with(const AesGcm& gcm, RandomSource& rng,
-                       BytesView plaintext, BytesView aad) {
-  AesGcm::Iv iv;
-  rng.fill(iv);
+void pae_seal_into(const AesGcm& gcm, const AesGcm::Iv& iv,
+                   BytesView plaintext, BytesView aad, Bytes& sealed) {
+  sealed.resize(plaintext.size() + pae_overhead());
+  std::memcpy(sealed.data(), iv.data(), iv.size());
   AesGcm::Tag tag;
-  const Bytes ciphertext = gcm.seal(iv, aad, plaintext, tag);
-  Bytes out;
-  out.reserve(iv.size() + ciphertext.size() + tag.size());
-  append(out, iv);
-  append(out, ciphertext);
-  append(out, tag);
-  return out;
+  gcm.seal_to(iv, aad, plaintext, tag, sealed.data() + iv.size());
+  std::memcpy(sealed.data() + iv.size() + plaintext.size(), tag.data(),
+              tag.size());
 }
 
-Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed, BytesView aad) {
+void pae_open_into(const AesGcm& gcm, BytesView sealed, BytesView aad,
+                   Bytes& plaintext) {
   if (sealed.size() < pae_overhead())
     throw IntegrityError("PAE ciphertext truncated");
   AesGcm::Iv iv;
@@ -301,7 +307,23 @@ Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed, BytesView aad) {
               tag.size());
   const BytesView ciphertext =
       sealed.subspan(iv.size(), sealed.size() - pae_overhead());
-  return gcm.open(iv, aad, ciphertext, tag);
+  plaintext.resize(ciphertext.size());
+  gcm.open_to(iv, aad, ciphertext, tag, plaintext.data());
+}
+
+Bytes pae_encrypt_with(const AesGcm& gcm, RandomSource& rng,
+                       BytesView plaintext, BytesView aad) {
+  AesGcm::Iv iv;
+  rng.fill(iv);
+  Bytes out;
+  pae_seal_into(gcm, iv, plaintext, aad, out);
+  return out;
+}
+
+Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed, BytesView aad) {
+  Bytes plaintext;
+  pae_open_into(gcm, sealed, aad, plaintext);
+  return plaintext;
 }
 
 Bytes pae_encrypt(BytesView key, RandomSource& rng, BytesView plaintext,

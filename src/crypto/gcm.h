@@ -37,10 +37,18 @@ class AesGcm {
   Bytes open(const Iv& iv, BytesView aad, BytesView ciphertext,
              const Tag& tag) const;
 
+  /// seal/open writing into caller-owned storage (`out` must hold
+  /// plaintext.size() / ciphertext.size() bytes and must not alias the
+  /// input): the zero-allocation variants for per-chunk hot loops.
+  void seal_to(const Iv& iv, BytesView aad, BytesView plaintext, Tag& tag,
+               std::uint8_t* out) const;
+  void open_to(const Iv& iv, BytesView aad, BytesView ciphertext,
+               const Tag& tag, std::uint8_t* out) const;
+
  private:
   void ghash_tables_init(const std::uint8_t h[16]);
   void ghash(BytesView aad, BytesView data, std::uint8_t out[16]) const;
-  void ctr_crypt(const Iv& iv, BytesView in, Bytes& out) const;
+  void ctr_crypt(const Iv& iv, BytesView in, std::uint8_t* out) const;
 
   Aes aes_;
   // GHASH key H = E_K(0^128); used directly by the PCLMUL fast path.
@@ -64,6 +72,17 @@ Bytes pae_encrypt_with(const AesGcm& gcm, RandomSource& rng,
                        BytesView plaintext, BytesView aad = {});
 Bytes pae_decrypt_with(const AesGcm& gcm, BytesView sealed,
                        BytesView aad = {});
+
+/// PAE with a caller-supplied IV, sealing into a reusable buffer. The
+/// parallel chunk pipeline pre-draws IVs in serial chunk order on the
+/// submitting thread and hands each worker its IV, so the stored bytes
+/// are bit-identical to the serial path regardless of worker interleaving.
+/// `sealed` is resized to plaintext.size() + pae_overhead().
+void pae_seal_into(const AesGcm& gcm, const AesGcm::Iv& iv,
+                   BytesView plaintext, BytesView aad, Bytes& sealed);
+/// Inverse of pae_seal_into; decrypts into a reusable buffer.
+void pae_open_into(const AesGcm& gcm, BytesView sealed, BytesView aad,
+                   Bytes& plaintext);
 
 /// Size of pae_encrypt output for a given plaintext size.
 constexpr std::size_t pae_overhead() {

@@ -1,0 +1,194 @@
+// In-enclave decrypted-content chunk cache (DESIGN.md §7.2) — the
+// data-path sibling of the core metadata cache.
+//
+// Read paths re-fetch and re-decrypt hot chunks from the untrusted store
+// on every access. This cache keeps decrypted 4 KiB chunks resident
+// inside the enclave, keyed by (file, chunk index, expected GCM tag). The
+// tag in the key is the freshness argument: a reader only looks up the
+// tag its root-verified tree level demands, so a hit is exactly as fresh
+// as the tree — a rolled-back or tampered store copy has a different tag
+// and simply misses. Invalidation on write/remove/rename is therefore
+// memory hygiene (reclaiming budget from unreachable tags), not a
+// correctness requirement.
+//
+// Enclave memory is not free: residency is registered with the
+// SgxPlatform EPC accounting and every touch is charged, so oversizing
+// the budget shows up as paging cost. A zero budget disables the cache
+// (get always misses, put is a no-op) and keeps the uncached code paths
+// exact.
+//
+// Thread safety: mutex-guarded map + LRU list, copy-out get; hit/miss
+// counters are atomics so concurrent readers under the shared fs lock
+// never take a second lock for accounting.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "sgx/platform.h"
+
+namespace seg::pfs {
+
+class ContentCache {
+ public:
+  using Tag = std::array<std::uint8_t, 16>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t budget_bytes = 0;
+  };
+
+  ContentCache(std::size_t budget_bytes, sgx::SgxPlatform* platform)
+      : platform_(platform), budget_bytes_(budget_bytes) {}
+  ~ContentCache() { clear(); }
+  ContentCache(const ContentCache&) = delete;
+  ContentCache& operator=(const ContentCache&) = delete;
+
+  bool enabled() const { return budget_bytes_ != 0; }
+
+  /// Copy of the cached decrypted chunk, or nullopt. `file` is the
+  /// namespaced pfs file name (one cache is shared by the content, group
+  /// and dedup file systems); `tag` must be the blob tag the caller's
+  /// verified tree expects for this index.
+  std::optional<Bytes> get(const std::string& file, std::uint64_t index,
+                           const Tag& tag) {
+    if (!enabled()) return std::nullopt;
+    std::unique_lock lock(mutex_);
+    const auto it = entries_.find(key_of(file, index, tag));
+    if (it == entries_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    const std::uint64_t bytes = it->second.bytes;
+    Bytes chunk = it->second.chunk;
+    lock.unlock();
+    touch(bytes);
+    return chunk;
+  }
+
+  void put(const std::string& file, std::uint64_t index, const Tag& tag,
+           BytesView chunk) {
+    if (!enabled()) return;
+    std::string key = key_of(file, index, tag);
+    const std::uint64_t bytes = chunk.size() + key.size();
+    if (bytes > budget_bytes_) return;
+    const std::lock_guard lock(mutex_);
+    erase_locked(key);
+    while (resident_bytes_ + bytes > budget_bytes_) evict_oldest();
+    lru_.push_front(key);
+    entries_.emplace(std::move(key),
+                     Entry{Bytes(chunk.begin(), chunk.end()), bytes,
+                           lru_.begin()});
+    adjust_resident(static_cast<std::int64_t>(bytes));
+    touch(bytes);
+  }
+
+  /// Drops every chunk of `file` (all indices, all tags) — called on
+  /// write/remove/rename so superseded tags stop pinning budget.
+  void invalidate_file(const std::string& file) {
+    if (!enabled()) return;
+    const std::lock_guard lock(mutex_);
+    const std::string prefix = file + '\0';
+    auto it = entries_.lower_bound(prefix);
+    while (it != entries_.end() && it->first.compare(0, prefix.size(),
+                                                     prefix) == 0) {
+      adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+      lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+    }
+  }
+
+  /// Drops everything but keeps the hit/miss history (restart semantics:
+  /// the enclave revalidates from the store, same as the metadata cache).
+  void clear() {
+    const std::lock_guard lock(mutex_);
+    adjust_resident(-static_cast<std::int64_t>(resident_bytes_));
+    entries_.clear();
+    lru_.clear();
+  }
+
+  Stats stats() const {
+    const std::lock_guard lock(mutex_);
+    Stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_;
+    out.resident_bytes = resident_bytes_;
+    out.budget_bytes = budget_bytes_;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Bytes chunk;
+    std::uint64_t bytes;
+    std::list<std::string>::iterator lru;
+  };
+
+  /// file + '\0' + index(be64) + tag: '\0' terminates the file component
+  /// so invalidate_file's prefix range cannot swallow a longer name, and
+  /// the ordered map makes that range one lower_bound walk.
+  static std::string key_of(const std::string& file, std::uint64_t index,
+                            const Tag& tag) {
+    std::string key;
+    key.reserve(file.size() + 1 + 8 + tag.size());
+    key += file;
+    key += '\0';
+    for (int shift = 56; shift >= 0; shift -= 8)
+      key += static_cast<char>((index >> shift) & 0xff);
+    key.append(reinterpret_cast<const char*>(tag.data()), tag.size());
+    return key;
+  }
+
+  void erase_locked(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+  }
+
+  void evict_oldest() {
+    const auto it = entries_.find(lru_.back());
+    adjust_resident(-static_cast<std::int64_t>(it->second.bytes));
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+
+  void adjust_resident(std::int64_t delta) {
+    if (delta == 0) return;
+    resident_bytes_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(resident_bytes_) + delta);
+    if (platform_ != nullptr) platform_->adjust_epc_resident(delta);
+  }
+
+  void touch(std::uint64_t bytes) {
+    if (platform_ != nullptr) platform_->charge_epc_touch(0, bytes);
+  }
+
+  sgx::SgxPlatform* platform_;
+  const std::uint64_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t evictions_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace seg::pfs

@@ -1,0 +1,85 @@
+#include "pfs/crypto_pool.h"
+
+namespace seg::pfs {
+
+CryptoPool::CryptoPool(std::size_t threads, std::size_t queue_capacity) {
+  if (threads == 0) return;
+  queue_capacity_ = queue_capacity != 0 ? queue_capacity : threads * 4;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+CryptoPool::~CryptoPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void CryptoPool::execute(const Task& task) {
+  Batch& batch = *task.batch;
+  try {
+    (*batch.fn)(task.index);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(batch.mutex);
+    if (!batch.first_error) batch.first_error = std::current_exception();
+  }
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Notify under the batch lock: the batch lives on the submitter's
+    // stack, and the submitter can only return once it reacquires the
+    // lock — i.e. after this worker is done touching the batch.
+    const std::lock_guard<std::mutex> lock(batch.mutex);
+    if (--batch.remaining != 0) return;
+    batch.done_cv.notify_all();
+  }
+}
+
+void CryptoPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    execute(task);
+  }
+}
+
+void CryptoPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (!enabled()) {
+    // Disabled pool: execute inline so callers keep one code path.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    tasks_executed_.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.remaining = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(Task{&batch, i});
+    const auto depth = static_cast<std::uint64_t>(queue_.size());
+    if (depth > max_queue_depth_.load(std::memory_order_relaxed))
+      max_queue_depth_.store(depth, std::memory_order_relaxed);
+    lock.unlock();
+    task_cv_.notify_one();
+  }
+
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+}  // namespace seg::pfs

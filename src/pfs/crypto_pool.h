@@ -1,0 +1,89 @@
+// In-enclave crypto worker pool for the per-file data path (DESIGN.md
+// §7.1).
+//
+// Chunks of a Protected-FS file are independent under the position-bound
+// AAD design, so one large GET/PUT can fan its AES-GCM seal/open and
+// Merkle-level tag computation out across workers. The pool deliberately
+// does NOT decide ordering: callers pre-draw IVs in serial chunk order,
+// hand each task its index, and collect results into index-addressed
+// slots, so the stored bytes are bit-identical to the serial path for any
+// worker count.
+//
+// The task queue is bounded (like the switchless call pool models the
+// SDK's fixed task buffer): run() blocks while the queue is full, which
+// bounds the number of in-flight chunk buffers an upload can pin in
+// enclave memory. Workers stay inside the enclave for their lifetime —
+// they are extra TCS slots entered once, not transition traffic — so
+// tasks are charged no ecall/ocall cost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seg::pfs {
+
+class CryptoPool {
+ public:
+  /// `threads` == 0 builds a disabled pool (run() executes inline).
+  /// `queue_capacity` bounds queued-but-unclaimed tasks; 0 picks
+  /// 4 × threads.
+  explicit CryptoPool(std::size_t threads, std::size_t queue_capacity = 0);
+  ~CryptoPool();
+  CryptoPool(const CryptoPool&) = delete;
+  CryptoPool& operator=(const CryptoPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+  bool enabled() const { return !workers_.empty(); }
+
+  /// Runs fn(0) .. fn(count-1) across the workers and blocks until every
+  /// call returned. fn must write its result into a caller-owned,
+  /// index-addressed slot (no two indices may share state). The first
+  /// exception any task throws is rethrown here after the batch drains;
+  /// remaining tasks still run so slot lifetimes stay simple.
+  /// Reentrant from multiple submitter threads; not from inside a task.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Total tasks executed by workers (inline fallback runs count too).
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of queued-but-unclaimed tasks — how close the
+  /// pipeline came to the backpressure bound.
+  std::uint64_t max_queue_depth() const {
+    return max_queue_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+  struct Task {
+    Batch* batch;
+    std::size_t index;
+  };
+
+  void worker_loop();
+  void execute(const Task& task);
+
+  std::vector<std::thread> workers_;
+  std::size_t queue_capacity_ = 0;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;   // workers wait for tasks
+  std::condition_variable space_cv_;  // submitters wait for queue space
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+};
+
+}  // namespace seg::pfs

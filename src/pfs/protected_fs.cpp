@@ -1,5 +1,6 @@
 #include "pfs/protected_fs.h"
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 
@@ -13,9 +14,23 @@ namespace {
 
 constexpr std::size_t kTagSize = 16;
 
+/// Builds (or re-patches) a chunk AAD in a reusable buffer: the
+/// "pfs-chunk:<name>:" prefix is written once, only the trailing 8-byte
+/// big-endian index changes per chunk — the hot loops allocate nothing.
+void chunk_aad_into(const std::string& name, std::uint64_t index, Bytes& aad) {
+  if (aad.empty()) {
+    aad = to_bytes("pfs-chunk:" + name + ":");
+    aad.resize(aad.size() + 8);
+  }
+  const std::size_t off = aad.size() - 8;
+  for (int i = 0; i < 8; ++i)
+    aad[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(index >> (56 - 8 * i));
+}
+
 Bytes chunk_aad(const std::string& name, std::uint64_t index) {
-  Bytes aad = to_bytes("pfs-chunk:" + name + ":");
-  put_u64_be(aad, index);
+  Bytes aad;
+  chunk_aad_into(name, index, aad);
   return aad;
 }
 
@@ -85,12 +100,13 @@ std::vector<std::string> blobs_for(const std::string& name,
 
 ProtectedFs::ProtectedFs(store::UntrustedStore& store, BytesView key,
                          RandomSource& rng, sgx::SgxPlatform* platform,
-                         bool switchless_io)
+                         bool switchless_io, PfsTuning tuning)
     : store_(store),
       master_key_(key.begin(), key.end()),
       rng_(rng),
       platform_(platform),
-      switchless_io_(switchless_io) {
+      switchless_io_(switchless_io),
+      tuning_(std::move(tuning)) {
   if (master_key_.size() != 16 && master_key_.size() != 32)
     throw CryptoError("pfs: master key must be 16 or 32 bytes");
 }
@@ -114,6 +130,15 @@ Bytes ProtectedFs::file_key(const std::string& name) const {
                       master_key_.size());
 }
 
+ProtectedFs::MetaInfo ProtectedFs::load_meta(const std::string& name) const {
+  // One cipher context for the whole lookup (the one-shot pae_decrypt
+  // overload would re-expand the AES key schedule per call).
+  const crypto::AesGcm gcm(file_key(name));
+  const Meta meta = Meta::parse(
+      crypto::pae_decrypt_with(gcm, store_get(meta_blob(name)), meta_aad(name)));
+  return MetaInfo{meta.size, meta.chunk_count, meta.levels};
+}
+
 void ProtectedFs::charge_io() const {
   if (platform_ != nullptr) platform_->charge_ocall(switchless_io_);
 }
@@ -130,19 +155,28 @@ Bytes ProtectedFs::store_get(const std::string& blob) const {
   return std::move(*data);
 }
 
+void ProtectedFs::invalidate_cache(const std::string& name) const {
+  if (tuning_.cache != nullptr)
+    tuning_.cache->invalidate_file(tuning_.cache_ns + name);
+}
+
 // ------------------------------------------------------------------ Writer ---
 
 ProtectedFs::Writer::Writer(ProtectedFs& fs, std::string name)
     : fs_(fs), name_(std::move(name)), gcm_(fs.file_key(name_)) {
   buffer_.reserve(kChunkSize);
   level_tags_.emplace_back();  // level 0: chunk tags
+  const CryptoPool* pool = fs_.tuning_.pool;
+  if (pool != nullptr && pool->enabled()) {
+    // Two chunks per worker so the pool always has a full wave queued
+    // while the previous wave drains; bounds the buffered plaintext.
+    batch_chunks_ = pool->threads() * 2;
+  }
   // Capture the previous geometry so close() can garbage-collect blobs a
   // smaller replacement no longer covers.
   if (fs_.exists(name_)) {
     try {
-      const Bytes key = fs_.file_key(name_);
-      const Meta old = Meta::parse(crypto::pae_decrypt(
-          key, fs_.store_get(meta_blob(name_)), meta_aad(name_)));
+      const MetaInfo old = fs_.load_meta(name_);
       old_chunk_count_ = old.chunk_count;
       old_levels_ = old.levels;
     } catch (const Error&) {
@@ -174,38 +208,95 @@ void ProtectedFs::Writer::append(BytesView data) {
 }
 
 void ProtectedFs::Writer::flush_chunk() {
-  const Bytes sealed = crypto::pae_encrypt_with(
-      gcm_, fs_.rng_, buffer_, chunk_aad(name_, chunk_index_));
-  fs_.store_put(chunk_blob(name_, chunk_index_), sealed);
-  level_tags_[0].push_back(blob_tag(sealed));
   total_size_ += buffer_.size();
-  buffer_.clear();
+  pending_.push_back(std::move(buffer_));
+  if (!spare_.empty()) {
+    buffer_ = std::move(spare_.back());
+    spare_.pop_back();
+    buffer_.clear();
+  } else {
+    buffer_ = Bytes();
+    buffer_.reserve(kChunkSize);
+  }
   ++chunk_index_;
+  if (pending_.size() >= batch_chunks_) flush_batch();
+}
+
+void ProtectedFs::Writer::flush_batch() {
+  const std::size_t n = pending_.size();
+  if (n == 0) return;
+  if (sealed_.size() < n) sealed_.resize(n);
+  if (aads_.size() < n) aads_.resize(n);
+  ivs_.resize(n);
+  // IVs are drawn serially in chunk order on this thread BEFORE the
+  // fan-out, so the RNG stream — and with it every stored byte — is
+  // bit-identical to the serial path for any worker count.
+  for (std::size_t i = 0; i < n; ++i) fs_.rng_.fill(ivs_[i]);
+  for (std::size_t i = 0; i < n; ++i)
+    chunk_aad_into(name_, batch_base_ + i, aads_[i]);
+  const auto seal_one = [this](std::size_t i) {
+    crypto::pae_seal_into(gcm_, ivs_[i], pending_[i], aads_[i], sealed_[i]);
+  };
+  CryptoPool* pool = fs_.tuning_.pool;
+  if (pool != nullptr && pool->enabled() && n > 1) {
+    pool->run(n, seal_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) seal_one(i);
+  }
+  // Results land in index order regardless of which worker sealed what.
+  for (std::size_t i = 0; i < n; ++i) {
+    fs_.store_put(chunk_blob(name_, batch_base_ + i), sealed_[i]);
+    level_tags_[0].push_back(blob_tag(sealed_[i]));
+    spare_.push_back(std::move(pending_[i]));
+  }
+  pending_.clear();
+  batch_base_ += n;
 }
 
 void ProtectedFs::Writer::close() {
   if (closed_) return;
   if (!buffer_.empty()) flush_chunk();
+  flush_batch();
 
-  // Build the tag tree bottom-up.
+  // Build the tag tree bottom-up; within a level the node seals are
+  // independent, so they fan out across the pool with pre-drawn IVs (same
+  // determinism argument as flush_batch).
   Meta meta;
   meta.size = total_size_;
   meta.chunk_count = chunk_index_;
+  CryptoPool* pool = fs_.tuning_.pool;
   std::size_t level = 1;
   while (level_tags_[level - 1].size() > 1) {
     level_tags_.emplace_back();  // may reallocate: take references after
     const auto& below = level_tags_[level - 1];
     auto& current = level_tags_[level];
-    for (std::size_t node = 0; node * kNodeFanout < below.size(); ++node) {
-      Bytes content;
+    const std::size_t node_count =
+        (below.size() + kNodeFanout - 1) / kNodeFanout;
+    std::vector<Bytes> contents(node_count);
+    for (std::size_t node = 0; node < node_count; ++node) {
+      Bytes& content = contents[node];
       const std::size_t begin = node * kNodeFanout;
       const std::size_t end = std::min(begin + kNodeFanout, below.size());
       content.reserve((end - begin) * kTagSize);
       for (std::size_t i = begin; i < end; ++i) seg::append(content, below[i]);
-      const Bytes sealed = crypto::pae_encrypt_with(
-          gcm_, fs_.rng_, content, node_aad(name_, level, node));
-      fs_.store_put(node_blob(name_, level, node), sealed);
-      current.push_back(blob_tag(sealed));
+    }
+    std::vector<crypto::AesGcm::Iv> node_ivs(node_count);
+    for (std::size_t node = 0; node < node_count; ++node)
+      fs_.rng_.fill(node_ivs[node]);
+    std::vector<Bytes> node_sealed(node_count);
+    const std::size_t lvl = level;
+    const auto seal_node = [&](std::size_t node) {
+      crypto::pae_seal_into(gcm_, node_ivs[node], contents[node],
+                            node_aad(name_, lvl, node), node_sealed[node]);
+    };
+    if (pool != nullptr && pool->enabled() && node_count > 1) {
+      pool->run(node_count, seal_node);
+    } else {
+      for (std::size_t node = 0; node < node_count; ++node) seal_node(node);
+    }
+    for (std::size_t node = 0; node < node_count; ++node) {
+      fs_.store_put(node_blob(name_, level, node), node_sealed[node]);
+      current.push_back(blob_tag(node_sealed[node]));
     }
     ++level;
   }
@@ -229,6 +320,10 @@ void ProtectedFs::Writer::close() {
     }
   }
 
+  // Chunks cached under superseded tags can never be hit again (the tag
+  // is part of the key); dropping them just reclaims budget promptly.
+  fs_.invalidate_cache(name_);
+
   closed_ = true;
   {
     const std::lock_guard<std::mutex> lock(fs_.writers_mutex_);
@@ -239,7 +334,10 @@ void ProtectedFs::Writer::close() {
 // ------------------------------------------------------------------ Reader ---
 
 ProtectedFs::Reader::Reader(const ProtectedFs& fs, std::string name)
-    : fs_(fs), name_(std::move(name)), gcm_(fs.file_key(name_)) {
+    : fs_(fs),
+      name_(std::move(name)),
+      cache_name_(fs.tuning_.cache_ns + name_),
+      gcm_(fs.file_key(name_)) {
   const Bytes sealed_meta = fs_.store_get(meta_blob(name_));
   const Meta meta =
       Meta::parse(crypto::pae_decrypt_with(gcm_, sealed_meta, meta_aad(name_)));
@@ -249,19 +347,41 @@ ProtectedFs::Reader::Reader(const ProtectedFs& fs, std::string name)
 
   // Walk the tree top-down, verifying each node's blob tag against the tag
   // recorded in its parent (root tag lives in the metadata).
+  const CryptoPool* pool = fs_.tuning_.pool;
   Bytes expected;  // tags expected for the nodes of the current level
   expected.assign(meta.root_tag.begin(), meta.root_tag.end());
   for (std::size_t level = meta.levels; level >= 1; --level) {
     Bytes below;
     const std::size_t node_count = expected.size() / kTagSize;
-    for (std::size_t node = 0; node < node_count; ++node) {
-      const Bytes sealed = fs_.store_get(node_blob(name_, level, node));
-      const auto tag = blob_tag(sealed);
-      if (!constant_time_equal(
-              tag, BytesView(expected.data() + node * kTagSize, kTagSize)))
-        throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
-      append(below, crypto::pae_decrypt_with(gcm_, sealed,
-                                             node_aad(name_, level, node)));
+    if (pool != nullptr && pool->enabled() && node_count > 1) {
+      // Fetch + tag-verify serially (store order unchanged), then open
+      // the level's nodes in parallel into index-addressed slots.
+      std::vector<Bytes> sealed(node_count);
+      for (std::size_t node = 0; node < node_count; ++node) {
+        sealed[node] = fs_.store_get(node_blob(name_, level, node));
+        if (!constant_time_equal(
+                blob_tag(sealed[node]),
+                BytesView(expected.data() + node * kTagSize, kTagSize)))
+          throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
+      }
+      std::vector<Bytes> plain(node_count);
+      const std::size_t lvl = level;
+      fs_.tuning_.pool->run(node_count, [&](std::size_t node) {
+        crypto::pae_open_into(gcm_, sealed[node], node_aad(name_, lvl, node),
+                              plain[node]);
+      });
+      for (std::size_t node = 0; node < node_count; ++node)
+        append(below, plain[node]);
+    } else {
+      for (std::size_t node = 0; node < node_count; ++node) {
+        const Bytes sealed = fs_.store_get(node_blob(name_, level, node));
+        const auto tag = blob_tag(sealed);
+        if (!constant_time_equal(
+                tag, BytesView(expected.data() + node * kTagSize, kTagSize)))
+          throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
+        append(below, crypto::pae_decrypt_with(gcm_, sealed,
+                                               node_aad(name_, level, node)));
+      }
     }
     expected = std::move(below);
   }
@@ -272,14 +392,98 @@ ProtectedFs::Reader::Reader(const ProtectedFs& fs, std::string name)
 
 ProtectedFs::Reader::~Reader() = default;
 
-Bytes ProtectedFs::Reader::read_chunk(std::uint64_t index) const {
-  if (index >= chunk_count_) throw StorageError("pfs: chunk out of range");
+bool ProtectedFs::Reader::prefetch_enabled() const {
+  if (fs_.tuning_.prefetch_chunks <= 1) return false;
+  const CryptoPool* pool = fs_.tuning_.pool;
+  const ContentCache* cache = fs_.tuning_.cache;
+  // Without a pool or a cache the lookahead would change the store access
+  // pattern for no benefit — plain deployments keep the original path.
+  return (pool != nullptr && pool->enabled()) ||
+         (cache != nullptr && cache->enabled());
+}
+
+ContentCache::Tag ProtectedFs::Reader::expected_tag(
+    std::uint64_t index) const {
+  ContentCache::Tag tag;
+  std::memcpy(tag.data(), levels_.back().data() + index * kTagSize, kTagSize);
+  return tag;
+}
+
+Bytes ProtectedFs::Reader::fetch_chunk(std::uint64_t index,
+                                       Bytes& aad_scratch) const {
   const Bytes sealed = fs_.store_get(chunk_blob(name_, index));
   const auto tag = blob_tag(sealed);
   const BytesView expected(levels_.back().data() + index * kTagSize, kTagSize);
   if (!constant_time_equal(tag, expected))
     throw IntegrityError("pfs: chunk tag mismatch (tamper/rollback)");
-  return crypto::pae_decrypt_with(gcm_, sealed, chunk_aad(name_, index));
+  chunk_aad_into(name_, index, aad_scratch);
+  Bytes plain;
+  crypto::pae_open_into(gcm_, sealed, aad_scratch, plain);
+  return plain;
+}
+
+Bytes ProtectedFs::Reader::read_chunk(std::uint64_t index) const {
+  if (index >= chunk_count_) throw StorageError("pfs: chunk out of range");
+  // 1. Lookahead window (chunks a previous sequential batch decrypted).
+  if (const auto it = window_.find(index); it != window_.end()) {
+    Bytes out = std::move(it->second);
+    window_.erase(it);
+    last_read_ = index;
+    return out;
+  }
+  // 2. Shared content cache, keyed by the tag the verified tree expects
+  // for this position — a hit is exactly as fresh as the tree demands.
+  ContentCache* cache = fs_.tuning_.cache;
+  const bool cached = cache != nullptr && cache->enabled();
+  if (cached) {
+    if (auto hit = cache->get(cache_name_, index, expected_tag(index))) {
+      last_read_ = index;
+      return std::move(*hit);
+    }
+  }
+  // 3. Store fetch; sequential readers (second consecutive index) batch
+  // N chunks ahead so the pool has a wave of opens to fan out.
+  const bool sequential = last_read_.has_value() && index == *last_read_ + 1;
+  std::uint64_t lookahead = 1;
+  if (sequential && prefetch_enabled()) {
+    lookahead = std::min<std::uint64_t>(
+        std::max<std::size_t>(fs_.tuning_.prefetch_chunks, 1),
+        chunk_count_ - index);
+  }
+  last_read_ = index;
+  if (lookahead <= 1) {
+    Bytes chunk = fetch_chunk(index, aad_scratch_);
+    if (cached) cache->put(cache_name_, index, expected_tag(index), chunk);
+    return chunk;
+  }
+
+  const std::size_t n = static_cast<std::size_t>(lookahead);
+  std::vector<Bytes> sealed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sealed[i] = fs_.store_get(chunk_blob(name_, index + i));
+    const BytesView want(levels_.back().data() + (index + i) * kTagSize,
+                         kTagSize);
+    if (!constant_time_equal(blob_tag(sealed[i]), want))
+      throw IntegrityError("pfs: chunk tag mismatch (tamper/rollback)");
+  }
+  std::vector<Bytes> plain(n);
+  const auto open_one = [&](std::size_t i) {
+    crypto::pae_open_into(gcm_, sealed[i], chunk_aad(name_, index + i),
+                          plain[i]);
+  };
+  const CryptoPool* pool = fs_.tuning_.pool;
+  if (pool != nullptr && pool->enabled()) {
+    fs_.tuning_.pool->run(n, open_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) open_one(i);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (cached)
+      cache->put(cache_name_, index + i, expected_tag(index + i), plain[i]);
+    window_.emplace(index + i, std::move(plain[i]));
+  }
+  if (cached) cache->put(cache_name_, index, expected_tag(index), plain[0]);
+  return std::move(plain[0]);
 }
 
 // -------------------------------------------------------------- ProtectedFs ---
@@ -322,17 +526,13 @@ bool ProtectedFs::exists(const std::string& name) const {
 }
 
 std::uint64_t ProtectedFs::file_size(const std::string& name) const {
-  const Bytes key = file_key(name);
-  const Bytes sealed_meta = store_get(meta_blob(name));
-  return Meta::parse(crypto::pae_decrypt(key, sealed_meta, meta_aad(name)))
-      .size;
+  return load_meta(name).size;
 }
 
 void ProtectedFs::remove_file(const std::string& name) {
+  invalidate_cache(name);
   try {
-    const Bytes key = file_key(name);
-    const Meta meta = Meta::parse(
-        crypto::pae_decrypt(key, store_get(meta_blob(name)), meta_aad(name)));
+    const MetaInfo meta = load_meta(name);
     for (const auto& blob : blobs_for(name, meta.chunk_count, meta.levels)) {
       charge_io();
       store_.remove(blob);
@@ -368,9 +568,7 @@ void ProtectedFs::rename_file(const std::string& from, const std::string& to) {
 }
 
 std::uint64_t ProtectedFs::stored_bytes(const std::string& name) const {
-  const Bytes key = file_key(name);
-  const Meta meta = Meta::parse(
-      crypto::pae_decrypt(key, store_get(meta_blob(name)), meta_aad(name)));
+  const MetaInfo meta = load_meta(name);
   std::uint64_t total = 0;
   for (const auto& blob : blobs_for(name, meta.chunk_count, meta.levels)) {
     if (const auto data = store_.get(blob)) total += data->size();

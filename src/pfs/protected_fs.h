@@ -11,12 +11,22 @@
 //    transplanted between files or offsets,
 //  * at most one open write handle per file, any number of readers.
 //
+// Data-path acceleration (DESIGN.md §7.1/§7.2): chunks are independent
+// under the position-bound AAD design, so a PfsTuning can attach a
+// CryptoPool that fans seal/open and tree-level tag computation of a
+// single file across workers (stored bytes stay bit-identical to the
+// serial path: IVs are pre-drawn in chunk order on the submitting
+// thread), and a ContentCache that keeps decrypted chunks resident keyed
+// by their root-verified tag, fed by a sequential-read prefetcher.
+//
 // What it deliberately does NOT protect — faithful to the real library —
 // is a consistent rollback of *all* blobs of a file to an older version;
 // that is exactly the gap SeGShare's §V-D extension closes one level up.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,6 +37,8 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "crypto/gcm.h"
+#include "pfs/content_cache.h"
+#include "pfs/crypto_pool.h"
 #include "sgx/platform.h"
 #include "store/untrusted_store.h"
 
@@ -36,6 +48,19 @@ constexpr std::size_t kChunkSize = 4096;
 /// Child tags per tree node: a 4 KiB node holds 256 16-byte GCM tags.
 constexpr std::size_t kNodeFanout = kChunkSize / 16;
 
+/// Optional data-path acceleration shared across ProtectedFs instances.
+/// Both pointers may be null (serial, uncached — the original behavior).
+/// `cache_ns` namespaces this file system's entries inside a shared
+/// ContentCache; `prefetch_chunks` is the sequential-read lookahead
+/// (active only when a pool or an enabled cache is attached, so plain
+/// deployments keep the exact original store access pattern).
+struct PfsTuning {
+  CryptoPool* pool = nullptr;
+  ContentCache* cache = nullptr;
+  std::string cache_ns;
+  std::size_t prefetch_chunks = 8;
+};
+
 class ProtectedFs {
  public:
   /// `key` is the file-system master key (16 or 32 bytes): either caller
@@ -43,7 +68,8 @@ class ProtectedFs {
   /// If `platform` is set, every untrusted-store access is charged as an
   /// ocall (switchless when `switchless_io` is true).
   ProtectedFs(store::UntrustedStore& store, BytesView key, RandomSource& rng,
-              sgx::SgxPlatform* platform = nullptr, bool switchless_io = true);
+              sgx::SgxPlatform* platform = nullptr, bool switchless_io = true,
+              PfsTuning tuning = {});
 
   // --- whole-file API ------------------------------------------------------
 
@@ -61,8 +87,10 @@ class ProtectedFs {
   // --- streaming API -------------------------------------------------------
 
   /// Streaming writer: append in arbitrary increments, then close().
-  /// Mirrors the constant-buffer streaming of the prototype (§VI): only
-  /// one chunk is held in enclave memory at a time.
+  /// Serial mode holds one chunk in enclave memory at a time, mirroring
+  /// the constant-buffer streaming of the prototype (§VI); with a crypto
+  /// pool attached, up to one seal batch of chunks is buffered so the
+  /// fan-out has work (still a small, fixed bound).
   class Writer {
    public:
     ~Writer();
@@ -78,6 +106,7 @@ class ProtectedFs {
     Writer(ProtectedFs& fs, std::string name);
 
     void flush_chunk();
+    void flush_batch();
 
     ProtectedFs& fs_;
     std::string name_;
@@ -89,8 +118,20 @@ class ProtectedFs {
     std::uint64_t old_chunk_count_ = 0;  // geometry being replaced (GC)
     std::uint32_t old_levels_ = 0;
     bool closed_ = false;
+    // Seal batch (index-addressed slots, buffers reused across batches so
+    // the steady-state chunk loop performs no heap allocation).
+    std::size_t batch_chunks_ = 1;
+    std::uint64_t batch_base_ = 0;  // chunk index of pending_[0]
+    std::vector<Bytes> pending_;
+    std::vector<Bytes> spare_;  // chunk-buffer freelist
+    std::vector<Bytes> sealed_;
+    std::vector<Bytes> aads_;
+    std::vector<crypto::AesGcm::Iv> ivs_;
   };
 
+  /// A Reader instance is single-consumer: read_chunk keeps sequential-
+  /// read prefetch state (open one Reader per concurrent stream; the
+  /// shared ContentCache underneath is thread-safe).
   class Reader {
    public:
     ~Reader();
@@ -107,13 +148,23 @@ class ProtectedFs {
     friend class ProtectedFs;
     Reader(const ProtectedFs& fs, std::string name);
 
+    bool prefetch_enabled() const;
+    ContentCache::Tag expected_tag(std::uint64_t index) const;
+    Bytes fetch_chunk(std::uint64_t index, Bytes& aad_scratch) const;
+
     const ProtectedFs& fs_;
     std::string name_;
-    crypto::AesGcm gcm_;  // per-file cipher context, built once
+    std::string cache_name_;  // tuning.cache_ns + name_
+    crypto::AesGcm gcm_;      // per-file cipher context, built once
     std::uint64_t size_ = 0;
     std::uint64_t chunk_count_ = 0;
     // Decrypted tree levels, bottom (level 1, over chunks) first.
     std::vector<Bytes> levels_;
+    // Sequential-read prefetch state (mutable: read_chunk is logically
+    // const but maintains the lookahead window).
+    mutable std::optional<std::uint64_t> last_read_;
+    mutable std::map<std::uint64_t, Bytes> window_;
+    mutable Bytes aad_scratch_;  // reused chunk-AAD buffer (satellite of §7.1)
   };
 
   /// Throws ProtocolError if a writer is already open for `name`.
@@ -125,9 +176,17 @@ class ProtectedFs {
   friend class Reader;
 
   Bytes file_key(const std::string& name) const;
+  /// Decrypts and parses the metadata node with a one-off cipher context.
+  struct MetaInfo {
+    std::uint64_t size;
+    std::uint64_t chunk_count;
+    std::uint32_t levels;
+  };
+  MetaInfo load_meta(const std::string& name) const;
   void store_put(const std::string& blob, BytesView data);
   Bytes store_get(const std::string& blob) const;
   void charge_io() const;
+  void invalidate_cache(const std::string& name) const;
 
   static std::string meta_blob(const std::string& name);
   static std::string chunk_blob(const std::string& name, std::uint64_t index);
@@ -139,6 +198,7 @@ class ProtectedFs {
   RandomSource& rng_;
   sgx::SgxPlatform* platform_;
   bool switchless_io_;
+  PfsTuning tuning_;
   // Writer-exclusivity registry; its own mutex because writers on
   // *different* files open and close concurrently (e.g. parallel PUT
   // uploads staging to distinct temp names).

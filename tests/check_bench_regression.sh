@@ -1,0 +1,96 @@
+#!/bin/sh
+# Perf-regression gate for the structured bench reports (DESIGN.md §8).
+#
+# Usage: check_bench_regression.sh <fresh_dir> <baseline_dir> [tolerance_pct]
+#
+# Compares every BENCH_*.json in <fresh_dir> against the committed
+# baseline of the same name in <baseline_dir> (bench/baselines/). A
+# metric regresses when it moves past the tolerance in its unit's
+# "bad" direction:
+#   ms / us / ns / s ......... higher is worse
+#   MB/s, ops/s, x ........... lower is worse
+#   everything else .......... informational only (reported, never fails)
+# Metrics present on only one side are reported but never fail — full
+# and smoke workloads legitimately emit different sweep points.
+#
+# With SEGSHARE_BENCH_SMOKE=1 in the environment the check is
+# informational: regressions are printed but the exit code stays 0
+# (smoke workloads finish in seconds and jitter accordingly; the
+# enforced comparison is the full-size run). The default tolerance is
+# 50%, deliberately loose — this gate exists to catch order-of-magnitude
+# cliffs from an accidental serial fallback or cache bypass, not to
+# litigate scheduler noise.
+#
+# Refreshing baselines after an intentional perf change:
+#   ctest -L bench-smoke && cp build/bench_json/BENCH_*.json bench/baselines/
+set -eu
+
+fresh="${1:?usage: check_bench_regression.sh <fresh_dir> <baseline_dir> [tolerance_pct]}"
+base="${2:?usage: check_bench_regression.sh <fresh_dir> <baseline_dir> [tolerance_pct]}"
+tol="${3:-50}"
+informational="${SEGSHARE_BENCH_SMOKE:-0}"
+
+python3 - "$fresh" "$base" "$tol" "$informational" <<'EOF'
+import glob, json, os, sys
+
+fresh_dir, base_dir, tol_pct, informational = sys.argv[1:5]
+tol = float(tol_pct) / 100.0
+informational = informational not in ("", "0")
+
+LOWER_IS_BETTER = {"ms", "us", "ns", "s"}
+HIGHER_IS_BETTER = {"MB/s", "ops/s", "x"}
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    return {r["name"]: (float(r["value"]), r["unit"]) for r in doc["results"]}
+
+
+fresh_paths = sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json")))
+if not fresh_paths:
+    sys.exit(f"FAIL: no BENCH_*.json reports in {fresh_dir}")
+
+regressions, notes, compared = [], [], 0
+for path in fresh_paths:
+    name = os.path.basename(path)
+    base_path = os.path.join(base_dir, name)
+    if not os.path.exists(base_path):
+        notes.append(f"{name}: no committed baseline (new bench?)")
+        continue
+    fresh, base = load(path), load(base_path)
+    for metric in sorted(set(fresh) | set(base)):
+        if metric not in base:
+            notes.append(f"{name}: {metric} is new (not in baseline)")
+            continue
+        if metric not in fresh:
+            notes.append(f"{name}: {metric} missing from fresh run")
+            continue
+        (fv, fu), (bv, bu) = fresh[metric], base[metric]
+        if fu != bu:
+            regressions.append(f"{name}: {metric} unit changed {bu!r} -> {fu!r}")
+            continue
+        compared += 1
+        if bv == 0:
+            continue
+        delta = (fv - bv) / abs(bv)
+        if fu in LOWER_IS_BETTER and delta > tol:
+            regressions.append(
+                f"{name}: {metric} {bv:g}{fu} -> {fv:g}{fu} (+{delta:.0%}, worse)")
+        elif fu in HIGHER_IS_BETTER and -delta > tol:
+            regressions.append(
+                f"{name}: {metric} {bv:g}{fu} -> {fv:g}{fu} ({delta:.0%}, worse)")
+
+for note in notes:
+    print(f"note: {note}")
+for reg in regressions:
+    print(f"REGRESSION: {reg}")
+verdict = (f"{compared} metrics compared vs {base_dir}, "
+           f"{len(regressions)} past {tol:.0%} tolerance")
+if regressions and not informational:
+    sys.exit(f"FAIL: {verdict}")
+if regressions:
+    print(f"WARN (informational, smoke mode): {verdict}")
+else:
+    print(f"OK: {verdict}")
+EOF

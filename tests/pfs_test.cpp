@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <utility>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "crypto/sha2.h"
 #include "pfs/protected_fs.h"
 #include "store/untrusted_store.h"
 
@@ -240,6 +245,317 @@ INSTANTIATE_TEST_SUITE_P(
                       kNodeFanout * kChunkSize,        // exactly one full node
                       kNodeFanout * kChunkSize + 1,    // spills to 2nd node
                       (kNodeFanout + 3) * kChunkSize));
+
+// ---------------------------------------------------------- crypto pool ---
+
+TEST(CryptoPoolTest, DisabledPoolRunsInline) {
+  CryptoPool pool(0);
+  EXPECT_FALSE(pool.enabled());
+  std::vector<int> hits(5, 0);
+  pool.run(5, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 5);
+  EXPECT_EQ(pool.tasks_executed(), 5u);
+}
+
+TEST(CryptoPoolTest, RunsEveryIndexExactlyOnce) {
+  CryptoPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.tasks_executed(), 1000u);
+  EXPECT_GT(pool.max_queue_depth(), 0u);
+}
+
+TEST(CryptoPoolTest, FirstExceptionRethrownAfterBatchDrains) {
+  CryptoPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(64,
+                        [&](std::size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 3) throw CryptoError("task failed");
+                        }),
+               CryptoError);
+  // Remaining tasks still ran, so caller-owned slots stayed valid.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(CryptoPoolTest, ConcurrentSubmittersShareTheWorkers) {
+  CryptoPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t)
+    submitters.emplace_back(
+        [&] { pool.run(50, [&](std::size_t) { total.fetch_add(1); }); });
+  for (auto& s : submitters) s.join();
+  EXPECT_EQ(total.load(), 200);
+}
+
+// -------------------------------------------------------- content cache ---
+
+TEST(ContentCacheTest, TagIsPartOfTheKey) {
+  ContentCache cache(1 << 20, nullptr);
+  const ContentCache::Tag tag1{{1}};
+  const ContentCache::Tag tag2{{2}};
+  cache.put("f", 0, tag1, to_bytes("chunk"));
+  EXPECT_EQ(cache.get("f", 0, tag1), to_bytes("chunk"));
+  // Same position, different (e.g. rolled-back) tag: a clean miss.
+  EXPECT_FALSE(cache.get("f", 0, tag2).has_value());
+  EXPECT_FALSE(cache.get("f", 1, tag1).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ContentCacheTest, ZeroBudgetDisables) {
+  ContentCache cache(0, nullptr);
+  EXPECT_FALSE(cache.enabled());
+  cache.put("f", 0, ContentCache::Tag{}, to_bytes("chunk"));
+  EXPECT_FALSE(cache.get("f", 0, ContentCache::Tag{}).has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled gets are not counted
+}
+
+TEST(ContentCacheTest, EvictsLruUnderBudget) {
+  // Budget fits roughly two entries (key ~25 bytes + 100-byte chunks).
+  ContentCache cache(260, nullptr);
+  const ContentCache::Tag tag{};
+  cache.put("f", 0, tag, Bytes(100, 0));
+  cache.put("f", 1, tag, Bytes(100, 1));
+  EXPECT_TRUE(cache.get("f", 0, tag).has_value());  // 0 now most recent
+  cache.put("f", 2, tag, Bytes(100, 2));            // evicts 1
+  EXPECT_TRUE(cache.get("f", 0, tag).has_value());
+  EXPECT_FALSE(cache.get("f", 1, tag).has_value());
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().resident_bytes, 260u);
+}
+
+TEST(ContentCacheTest, InvalidateFileDoesNotSwallowLongerNames) {
+  ContentCache cache(1 << 20, nullptr);
+  const ContentCache::Tag tag{};
+  cache.put("a", 0, tag, to_bytes("one"));
+  cache.put("ab", 0, tag, to_bytes("two"));
+  cache.invalidate_file("a");
+  EXPECT_FALSE(cache.get("a", 0, tag).has_value());
+  EXPECT_EQ(cache.get("ab", 0, tag), to_bytes("two"));
+}
+
+TEST(ContentCacheTest, EpcResidencyRegisteredAndReleased) {
+  TestRng rng(1);
+  sgx::SgxPlatform platform(rng);
+  {
+    ContentCache cache(1 << 20, &platform);
+    cache.put("f", 0, ContentCache::Tag{}, Bytes(4096, 9));
+    EXPECT_GT(platform.epc_resident_bytes(), 4096u);
+  }
+  // Destruction returns the budget.
+  EXPECT_EQ(platform.epc_resident_bytes(), 0u);
+}
+
+// ------------------------------------------- pipeline + cache data path ---
+
+/// Digest over every stored blob (name and content), order-independent.
+std::string store_digest(store::UntrustedStore& store) {
+  crypto::Sha256 hasher;
+  auto blobs = store.list();
+  std::sort(blobs.begin(), blobs.end());
+  for (const auto& blob : blobs) {
+    hasher.update(to_bytes(blob));
+    hasher.update(*store.get(blob));
+  }
+  return to_hex(hasher.finish());
+}
+
+/// Serial-mode goldens captured from the pre-pipeline implementation: the
+/// default configuration must keep producing bit-identical blobs.
+TEST(PfsPipelineTest, SerialModeMatchesPrePipelineGoldens) {
+  const std::pair<std::size_t, const char*> goldens[] = {
+      {0, "074efdf5873968a90e2d1a34e647948aa9ecd6e52a574073d940c3e0dc8a3f42"},
+      {1, "fae7073ecbca7ccef7aaebfc646c5effbb6a0a4abb26051fca1887d206cd12e0"},
+      {4096, "7a5463bde8d9d7ec1427187c46784bc2595b7b622a15d9336f243da252cd0b7a"},
+      {4097, "87f895bb34361b852ecfa7e0c4eed9cfeb353c0ef2c4c1f46182b70178d701cc"},
+      {12388,
+       "be92cff799b8c8941f453a186effe128225352f5d1459ddcd464b4925c5283cd"},
+      {1228800,
+       "6ccf97b2824efdb71f84172693d6bfad401a319792fb21ca0739ba54ff363d28"},
+  };
+  for (const auto& [size, expected] : goldens) {
+    store::MemoryStore store;
+    TestRng rng(99);
+    ProtectedFs fs(store, Bytes(16, 0x42), rng);
+    TestRng content_rng(size + 7);
+    fs.write_file("golden", content_rng.bytes(size));
+    EXPECT_EQ(store_digest(store), expected) << "size " << size;
+  }
+}
+
+/// The pipeline contract: stored bytes are bit-identical for any worker
+/// count and cache setting (IVs pre-drawn in chunk order, puts in order).
+TEST(PfsPipelineTest, StoredBlobsBitIdenticalAcrossThreadAndCacheConfigs) {
+  const std::size_t sizes[] = {0, 1, kChunkSize, kChunkSize + 1,
+                               10 * kChunkSize + 5,
+                               (kNodeFanout + 3) * kChunkSize};
+  for (const std::size_t size : sizes) {
+    TestRng content_rng(size + 7);
+    const Bytes content = content_rng.bytes(size);
+    std::optional<std::string> reference;
+    for (const std::size_t threads : {0u, 1u, 4u}) {
+      for (const bool cached : {false, true}) {
+        store::MemoryStore store;
+        TestRng rng(99);
+        CryptoPool pool(threads);
+        ContentCache cache(cached ? (1u << 20) : 0u, nullptr);
+        ProtectedFs fs(store, Bytes(16, 0x42), rng, nullptr, true,
+                       PfsTuning{&pool, &cache, ""});
+        fs.write_file("golden", content);
+        EXPECT_EQ(fs.read_file("golden"), content)
+            << "size " << size << " threads " << threads;
+        const std::string digest = store_digest(store);
+        if (!reference) reference = digest;
+        EXPECT_EQ(digest, *reference)
+            << "size " << size << " threads " << threads << " cached "
+            << cached;
+      }
+    }
+  }
+}
+
+class PfsPipelined : public ::testing::Test {
+ protected:
+  PfsPipelined()
+      : rng_(99),
+        pool_(4),
+        cache_(1 << 20, nullptr),
+        fs_(store_, Bytes(16, 0x42), rng_, nullptr, true,
+            PfsTuning{&pool_, &cache_, "c:"}) {}
+
+  store::MemoryStore store_;
+  TestRng rng_;
+  CryptoPool pool_;
+  ContentCache cache_;
+  ProtectedFs fs_;
+};
+
+TEST_F(PfsPipelined, EdgeGeometriesRoundtrip) {
+  // Zero-length, short final chunk, exactly-one-chunk.
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, kChunkSize - 1, kChunkSize,
+        kChunkSize + 1, 7 * kChunkSize + 9}) {
+    TestRng content_rng(size + 7);
+    const Bytes content = content_rng.bytes(size);
+    const std::string name = "f" + std::to_string(size);
+    fs_.write_file(name, content);
+    EXPECT_EQ(fs_.read_file(name), content) << "size " << size;
+    EXPECT_EQ(fs_.file_size(name), size);
+  }
+}
+
+TEST_F(PfsPipelined, WarmReadsServeFromCache) {
+  const Bytes content = rng_.bytes(20 * kChunkSize + 11);
+  fs_.write_file("f", content);
+  EXPECT_EQ(fs_.read_file("f"), content);  // cold: fills the cache
+  const auto cold = cache_.stats();
+  EXPECT_GT(cold.resident_bytes, 0u);
+  EXPECT_EQ(fs_.read_file("f"), content);  // warm
+  const auto warm = cache_.stats();
+  EXPECT_GE(warm.hits - cold.hits, 20u);  // every full chunk from cache
+}
+
+TEST_F(PfsPipelined, TamperAfterCachingServesTrueBytesThenDetects) {
+  const Bytes content = rng_.bytes(3 * kChunkSize);
+  fs_.write_file("f", content);
+  EXPECT_EQ(fs_.read_file("f"), content);  // cache warm
+  // Replace a chunk blob with one validly sealed for the same key, file
+  // and position but different content (an ideal substitution attack).
+  store::MemoryStore other_store;
+  TestRng other_rng(5);
+  ProtectedFs other(other_store, Bytes(16, 0x42), other_rng);
+  other.write_file("f", Bytes(3 * kChunkSize, 0xEE));
+  store_.put("f.c1", *other_store.get("f.c1"));
+  // Warm read: the cache entry is keyed by the tag the verified tree
+  // expects, so it still serves the ORIGINAL bytes — never the imposter.
+  EXPECT_EQ(fs_.read_file("f"), content);
+  // Cold read must hit the store and reject the substituted blob.
+  cache_.clear();
+  EXPECT_THROW(fs_.read_file("f"), IntegrityError);
+}
+
+TEST_F(PfsPipelined, RenameInvalidatesCachedChunks) {
+  const Bytes content = rng_.bytes(6 * kChunkSize + 3);
+  fs_.write_file("old", content);
+  EXPECT_EQ(fs_.read_file("old"), content);
+  EXPECT_GT(cache_.stats().resident_bytes, 0u);
+  fs_.rename_file("old", "new");
+  // Every entry cached under the old name (and any staged under the new
+  // one) was dropped: the rename left no stale budget pinned.
+  EXPECT_EQ(cache_.stats().resident_bytes, 0u);
+  EXPECT_EQ(fs_.read_file("new"), content);
+}
+
+TEST_F(PfsPipelined, RemoveInvalidatesCachedChunks) {
+  fs_.write_file("f", rng_.bytes(4 * kChunkSize));
+  fs_.read_file("f");
+  EXPECT_GT(cache_.stats().resident_bytes, 0u);
+  fs_.remove_file("f");
+  EXPECT_EQ(cache_.stats().resident_bytes, 0u);
+}
+
+TEST_F(PfsPipelined, OverwriteInvalidatesSupersededTags) {
+  fs_.write_file("f", rng_.bytes(4 * kChunkSize));
+  fs_.read_file("f");
+  const Bytes second = rng_.bytes(2 * kChunkSize + 5);
+  fs_.write_file("f", second);
+  // Old-tag entries were dropped at close; fresh read returns new content.
+  EXPECT_EQ(fs_.read_file("f"), second);
+}
+
+TEST_F(PfsPipelined, RandomAccessAfterSequentialKeepsIntegrity) {
+  const Bytes content = rng_.bytes(30 * kChunkSize + 100);
+  fs_.write_file("f", content);
+  const auto reader = fs_.open_reader("f");
+  // Sequential warm-up engages the prefetcher...
+  Bytes head;
+  for (std::uint64_t i = 0; i < 5; ++i) append(head, reader->read_chunk(i));
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), content.begin()));
+  // ...then jumps (backwards, repeat, far forward) must stay exact.
+  for (const std::uint64_t i : {2ull, 2ull, 29ull, 0ull, 30ull, 7ull}) {
+    const Bytes chunk = reader->read_chunk(i);
+    const std::size_t off = i * kChunkSize;
+    ASSERT_LE(off + chunk.size(), content.size());
+    EXPECT_TRUE(std::equal(chunk.begin(), chunk.end(), content.begin() + off))
+        << "chunk " << i;
+  }
+}
+
+TEST(PfsPipelineTest, ConcurrentFilesShareThePool) {
+  // Several writer/reader threads on distinct files all funnel through the
+  // same CryptoPool and ContentCache — the TSan target for the pipeline.
+  store::MemoryStore store;
+  TestRng base_rng(99);
+  LockedRandomSource rng(base_rng);
+  CryptoPool pool(4);
+  ContentCache cache(1 << 20, nullptr);
+  ProtectedFs fs(store, Bytes(16, 0x42), rng, nullptr, true,
+                 PfsTuning{&pool, &cache, "c:"});
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        TestRng content_rng(static_cast<std::uint64_t>(t));
+        const Bytes content =
+            content_rng.bytes(8 * kChunkSize + static_cast<std::size_t>(t));
+        const std::string name = "t" + std::to_string(t);
+        fs.write_file(name, content);
+        for (int round = 0; round < 3; ++round)
+          if (fs.read_file(name) != content) failures.fetch_add(1);
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(pool.tasks_executed(), 0u);
+}
 
 }  // namespace
 }  // namespace seg::pfs

@@ -259,6 +259,42 @@ TEST(Stats, ReconcilesCacheDedupAndSwitchlessCounters) {
   EXPECT_GT(snap.gauge("sgx.switchless.tasks_executed"), 0u);
 }
 
+TEST(Stats, ExportsContentCacheAndCryptoPoolGauges) {
+  core::EnclaveConfig config;
+  config.crypto_threads = 2;
+  config.content_cache_bytes = 1 << 20;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  const Bytes payload = rig.rng().bytes(64 << 10);  // multi-chunk
+  ASSERT_TRUE(alice.put_file("/a", payload).ok());
+  ASSERT_TRUE(alice.get_file("/a").first.ok());  // cold: misses, fills
+  ASSERT_TRUE(alice.get_file("/a").first.ok());  // warm: hits
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(snap.gauge("pfs.content_cache.hits"), 0u);
+  EXPECT_GT(snap.gauge("pfs.content_cache.misses"), 0u);
+  EXPECT_GT(snap.gauge("pfs.content_cache.bytes"), 0u);
+  EXPECT_EQ(snap.gauge("pfs.content_cache.budget_bytes"), 1u << 20);
+  EXPECT_EQ(snap.gauge("pfs.crypto_pool.threads"), 2u);
+  EXPECT_GT(snap.gauge("pfs.crypto_pool.tasks"), 0u);
+  EXPECT_GT(snap.gauge("pfs.crypto_pool.queue_depth"), 0u);
+  // The cached chunks are charged against the EPC budget model.
+  EXPECT_GE(snap.gauge("sgx.epc_resident_bytes"),
+            snap.gauge("pfs.content_cache.bytes"));
+
+  // Serial deployments export the gauges as zeros (pool disabled, cache
+  // off) rather than omitting them — dashboards keep a stable schema.
+  Rig serial;
+  auto& bob = serial.connect("bob");
+  ASSERT_TRUE(bob.put_file("/b", to_bytes("x")).ok());
+  const auto [response2, snap2] = bob.stats();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_EQ(snap2.gauge("pfs.content_cache.hits"), 0u);
+  EXPECT_EQ(snap2.gauge("pfs.content_cache.budget_bytes"), 0u);
+  EXPECT_EQ(snap2.gauge("pfs.crypto_pool.threads"), 0u);
+}
+
 TEST(Stats, ExportNeverContainsRequestData) {
   Rig rig;
   auto& secret_user = rig.connect("zz-secret-user");
