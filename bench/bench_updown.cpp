@@ -6,7 +6,10 @@
 // Apache 4.74 s / 2.62 s, nginx 1.84 s / 0.93 s. Expected shape: nginx
 // fastest, SeGShare close behind, Apache slowest.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -55,6 +58,37 @@ struct PlainRig {
                                             compute_ms + storage_ms,
                                             /*pipelined=*/false);
   }
+};
+
+/// DiskStore with modeled per-op device latency on top of the real file
+/// I/O — the disk-backed async sweep pads tmpfs-fast CI disks up to a
+/// cloud/remote-volume class. Still device_backed: it carries its own
+/// latency, so the StoreIoPool charges no additional modeled cost.
+class SlowDisk final : public store::UntrustedStore {
+ public:
+  static constexpr std::chrono::microseconds kOpLatency{40};
+  explicit SlowDisk(const std::string& dir) : inner_(dir) {}
+  void put(const std::string& name, BytesView data) override {
+    std::this_thread::sleep_for(kOpLatency);
+    inner_.put(name, data);
+  }
+  std::optional<Bytes> get(const std::string& name) const override {
+    std::this_thread::sleep_for(kOpLatency);
+    return inner_.get(name);
+  }
+  bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  void remove(const std::string& name) override { inner_.remove(name); }
+  void rename(const std::string& from, const std::string& to) override {
+    inner_.rename(from, to);
+  }
+  std::vector<std::string> list() const override { return inner_.list(); }
+  std::uint64_t total_bytes() const override { return inner_.total_bytes(); }
+  bool device_backed() const override { return true; }
+
+ private:
+  store::DiskStore inner_;
 };
 
 }  // namespace
@@ -265,6 +299,79 @@ int main() {
     report.add("cache.get_warm_ms", warm_ms, "ms");
     report.add("cache.warm_speedup_x", cold_ms / warm_ms, "x");
     report.add("cache.hit_rate", hit_rate, "ratio");
+  }
+
+  // --- disk-backed async store I/O sweep (DESIGN.md §7.3) -------------------
+  //
+  // The store half of the data path: single-file PUT/GET on a DiskStore
+  // whose per-op latency is padded to a cloud/remote-volume class (a fixed
+  // sleep per operation — robust even on 1-core hosts, since sleeping
+  // submitters don't need cores, and it keeps tmpfs CI from measuring
+  // pure memcpy). Sync (io0) issues every put/get inline; io4 overlaps
+  // them through a 4-worker StoreIoPool, so the wall clock drops toward
+  // latency/queue_depth.
+  {
+    std::size_t disk_mb = 8;
+    if (quick_mode()) disk_mb = 4;
+    if (smoke_mode()) disk_mb = 1;
+    const int runs = smoke_mode() ? 1 : 3;
+    TestRng content_rng(0xd15c);
+    const Bytes content = content_rng.bytes(disk_mb << 20);
+    const Bytes key(16, 0x42);
+
+    const auto root = std::filesystem::temp_directory_path() /
+                      ("segshare_bench_disk_" + std::to_string(::getpid()));
+    struct DiskPoint {
+      double put_ms = 0, get_ms = 0;
+    };
+    const auto run_point = [&](std::size_t io_threads) {
+      std::filesystem::remove_all(root);
+      SlowDisk store(root.string());
+      TestRng rng(0x5eed);
+      store::StoreIoPool io(store::StoreIoPool::Options{io_threads, 64});
+      pfs::PfsTuning tuning;
+      tuning.io = &io;
+      pfs::ProtectedFs fs(store, key, rng, nullptr, true, tuning);
+      fs.write_file("disk", content);  // warm-up (dirents, allocator)
+      DiskPoint point;
+      for (int i = 0; i < runs; ++i) {
+        Stopwatch watch;
+        fs.write_file("disk", content);
+        point.put_ms += watch.elapsed_ms() / runs;
+      }
+      for (int i = 0; i < runs; ++i) {
+        Stopwatch watch;
+        const Bytes back = fs.read_file("disk");
+        point.get_ms += watch.elapsed_ms() / runs;
+        if (back.size() != content.size()) std::abort();
+      }
+      return point;
+    };
+
+    const DiskPoint sync = run_point(0);
+    const DiskPoint async = run_point(4);
+    std::filesystem::remove_all(root);
+    const double content_mb = static_cast<double>(content.size()) / (1 << 20);
+
+    std::printf("\ndisk-backed async I/O sweep (%zu MB, +%lld us/op modeled "
+                "device latency):\n",
+                disk_mb, static_cast<long long>(SlowDisk::kOpLatency.count()));
+    std::printf("  io0  put %8.1f ms (%6.1f MB/s)   get %8.1f ms (%6.1f MB/s)\n",
+                sync.put_ms, content_mb * 1000.0 / sync.put_ms, sync.get_ms,
+                content_mb * 1000.0 / sync.get_ms);
+    std::printf("  io4  put %8.1f ms (%6.1f MB/s)   get %8.1f ms (%6.1f MB/s)\n",
+                async.put_ms, content_mb * 1000.0 / async.put_ms, async.get_ms,
+                content_mb * 1000.0 / async.get_ms);
+    std::printf("  overlap speedup: put %.2fx  get %.2fx\n",
+                sync.put_ms / async.put_ms, sync.get_ms / async.get_ms);
+
+    const std::string d = "disk." + std::to_string(disk_mb) + "mb";
+    report.add(d + ".io0.put_ms", sync.put_ms, "ms");
+    report.add(d + ".io0.get_ms", sync.get_ms, "ms");
+    report.add(d + ".io4.put_ms", async.put_ms, "ms");
+    report.add(d + ".io4.get_ms", async.get_ms, "ms");
+    report.add(d + ".put_speedup_x", sync.put_ms / async.put_ms, "x");
+    report.add(d + ".get_speedup_x", sync.get_ms / async.get_ms, "x");
   }
   report.write();
 

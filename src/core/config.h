@@ -55,6 +55,18 @@ struct EnclaveConfig {
   /// any value produces bit-identical stored blobs because IVs are drawn
   /// in chunk order on the submitting thread before the fan-out.
   std::size_t crypto_threads = 0;
+  /// Untrusted-side store I/O worker threads (the completion half of the
+  /// async store pipeline, DESIGN.md §7.3). 0 keeps every store_put/
+  /// store_get synchronous on the submitting thread — bit-identical
+  /// traffic and accounting to the pre-async path. >0 lets Protected-FS
+  /// writers issue chunk puts as they seal and readers prefetch gets
+  /// ahead of decrypt; stored blobs stay bit-identical because all bytes
+  /// are computed before submission (only completion order may differ).
+  std::size_t store_io_threads = 0;
+  /// Bounded in-flight window of the store submission queue: submit
+  /// blocks once this many operations are in flight, so a fast writer
+  /// cannot pin unbounded ciphertext in the untrusted queue.
+  std::size_t store_queue_depth = 64;
   /// Byte budget for the in-enclave decrypted-content chunk cache (the
   /// data-path sibling of `metadata_cache_bytes`). Entries are keyed by
   /// (file, chunk index, expected GCM tag), so a hit is exactly as fresh

@@ -1060,6 +1060,18 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
     snap.gauges["pfs.crypto_pool.tasks"] = pool.tasks_executed();
     snap.gauges["pfs.crypto_pool.queue_depth"] = pool.max_queue_depth();
 
+    const store::StoreIoPool::Stats io = tfm_->store_io_stats();
+    snap.gauges["store.async.threads"] = tfm_->store_io().threads();
+    snap.gauges["store.async.submitted"] = io.submitted;
+    snap.gauges["store.async.completed"] = io.completed;
+    snap.gauges["store.async.failed"] = io.failed;
+    snap.gauges["store.async.inline_ops"] = io.inline_ops;
+    snap.gauges["store.async.max_queue_depth"] = io.max_queue_depth;
+    snap.gauges["store.async.max_in_flight"] = io.max_in_flight;
+    snap.gauges["store.async.batches"] = io.batches;
+    snap.gauges["store.async.completion_wait_ns"] = io.completion_wait_ns;
+    snap.gauges["sgx.store_ops"] = sgx_stats.store_ops;
+
     const TrustedFileManager::DedupStats dedup = tfm_->dedup_stats();
     snap.gauges["tfm.dedup.hits"] = dedup.hits;
     snap.gauges["tfm.dedup.stores"] = dedup.stores;

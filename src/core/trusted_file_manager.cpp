@@ -102,21 +102,31 @@ TrustedFileManager::TrustedFileManager(Stores stores, BytesView root_key,
       crypto_pool_(std::make_unique<pfs::CryptoPool>(config.crypto_threads)),
       content_cache_(std::make_unique<pfs::ContentCache>(
           config.content_cache_bytes, platform)),
+      store_io_(std::make_unique<store::StoreIoPool>(
+          store::StoreIoPool::Options{config.store_io_threads,
+                                      config.store_queue_depth},
+          platform)),
       content_fs_(stores.content,
                   crypto::hkdf({}, root_key, to_bytes("content-fs"), 16), rng,
                   platform, config.switchless,
-                  pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
-                                 "c:"}),
+                  pfs::PfsTuning{.pool = crypto_pool_.get(),
+                                 .cache = content_cache_.get(),
+                                 .cache_ns = "c:",
+                                 .io = store_io_.get()}),
       group_fs_(stores.group,
                 crypto::hkdf({}, root_key, to_bytes("group-fs"), 16), rng,
                 platform, config.switchless,
-                pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
-                               "g:"}),
+                pfs::PfsTuning{.pool = crypto_pool_.get(),
+                               .cache = content_cache_.get(),
+                               .cache_ns = "g:",
+                               .io = store_io_.get()}),
       dedup_fs_(stores.dedup,
                 crypto::hkdf({}, root_key, to_bytes("dedup-fs"), 16), rng,
                 platform, config.switchless,
-                pfs::PfsTuning{crypto_pool_.get(), content_cache_.get(),
-                               "d:"}),
+                pfs::PfsTuning{.pool = crypto_pool_.get(),
+                               .cache = content_cache_.get(),
+                               .cache_ns = "d:",
+                               .io = store_io_.get()}),
       header_key_(crypto::hkdf({}, root_key, to_bytes("hash-headers"), 16)),
       header_gcm_(header_key_),
       name_key_(crypto::hkdf({}, root_key, to_bytes("name-hiding"), 32)),

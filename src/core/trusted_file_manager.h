@@ -41,6 +41,7 @@
 #include "mset/mset_hash.h"
 #include "pfs/protected_fs.h"
 #include "sgx/platform.h"
+#include "store/async_store.h"
 #include "store/untrusted_store.h"
 
 namespace seg::core {
@@ -198,6 +199,12 @@ class TrustedFileManager {
   pfs::ContentCache::Stats content_cache_stats() const {
     return content_cache_->stats();
   }
+  /// Async store I/O pool (DESIGN.md §7.3): stats exported via
+  /// telemetry_snapshot() as store.async.*.
+  const store::StoreIoPool& store_io() const { return *store_io_; }
+  store::StoreIoPool::Stats store_io_stats() const {
+    return store_io_->stats();
+  }
 
   /// Deduplication accounting (§V-A), maintained incrementally at
   /// commit/release time so a stats export never has to load the index.
@@ -321,11 +328,12 @@ class TrustedFileManager {
   store::UntrustedStore& group_store_;
   store::UntrustedStore& dedup_store_;
   // Data-path acceleration shared by all three file systems (declared
-  // before them: they capture raw pointers at construction). The pool is
-  // always constructed — zero config threads makes it a disabled inline
-  // executor; the cache likewise disables itself on a zero budget.
+  // before them: they capture raw pointers at construction). The pools
+  // are always constructed — zero config threads makes each a disabled
+  // inline executor; the cache likewise disables itself on a zero budget.
   std::unique_ptr<pfs::CryptoPool> crypto_pool_;
   std::unique_ptr<pfs::ContentCache> content_cache_;
+  std::unique_ptr<store::StoreIoPool> store_io_;
   pfs::ProtectedFs content_fs_;
   pfs::ProtectedFs group_fs_;
   pfs::ProtectedFs dedup_fs_;

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
+#include "telemetry/trace.h"
 
 namespace seg::pfs {
 
@@ -106,7 +107,8 @@ ProtectedFs::ProtectedFs(store::UntrustedStore& store, BytesView key,
       rng_(rng),
       platform_(platform),
       switchless_io_(switchless_io),
-      tuning_(std::move(tuning)) {
+      tuning_(std::move(tuning)),
+      async_store_(store_, tuning_.io) {
   if (master_key_.size() != 16 && master_key_.size() != 32)
     throw CryptoError("pfs: master key must be 16 or 32 bytes");
 }
@@ -155,6 +157,30 @@ Bytes ProtectedFs::store_get(const std::string& blob) const {
   return std::move(*data);
 }
 
+void ProtectedFs::store_get_many(const std::vector<std::string>& blobs,
+                                 std::vector<Bytes>& out) const {
+  out.resize(blobs.size());
+  if (!async_io()) {
+    for (std::size_t i = 0; i < blobs.size(); ++i) out[i] = store_get(blobs[i]);
+    return;
+  }
+  // Submit every get (each a switchless handoff), then complete in index
+  // order — the untrusted workers fetch in parallel while earlier
+  // results are already being consumed.
+  std::vector<store::AsyncStore::Ticket> tickets;
+  tickets.reserve(blobs.size());
+  for (const auto& blob : blobs) {
+    charge_io();
+    tickets.push_back(async_store_.submit_get(blob));
+  }
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    auto data = async_store_.complete_get(std::move(tickets[i]));
+    if (!data) throw StorageError("pfs: missing blob " + blobs[i]);
+    out[i] = std::move(*data);
+  }
+}
+
 void ProtectedFs::invalidate_cache(const std::string& name) const {
   if (tuning_.cache != nullptr)
     tuning_.cache->invalidate_file(tuning_.cache_ns + name);
@@ -188,10 +214,46 @@ ProtectedFs::Writer::Writer(ProtectedFs& fs, std::string name)
 
 ProtectedFs::Writer::~Writer() {
   if (!closed_) {
-    // Abandoned writer: release the exclusivity slot but leave no file.
+    // Abandoned writer: settle any in-flight puts (their buffers are
+    // owned by the ops, but a deterministic teardown keeps tests and
+    // store op-counts stable), then release the exclusivity slot. The
+    // file stays invisible — its metadata blob was never published.
+    try {
+      drain_puts();
+    } catch (...) {
+      // Abandonment already discards the file; errors carry no news.
+    }
     const std::lock_guard<std::mutex> lock(fs_.writers_mutex_);
     fs_.open_writers_.erase(name_);
   }
+}
+
+void ProtectedFs::Writer::issue_put(const std::string& blob, Bytes& sealed) {
+  if (fs_.async_io()) {
+    // The submission is the switchless handoff; the payload moves into
+    // the op (the copy an ocall would marshal anyway) so `sealed` is
+    // immediately reusable by the next batch.
+    fs_.charge_io();
+    put_tickets_.push_back(fs_.async_store_.submit_put(blob, std::move(sealed)));
+    sealed = Bytes();
+  } else {
+    fs_.store_put(blob, sealed);
+  }
+}
+
+void ProtectedFs::Writer::drain_puts() {
+  if (put_tickets_.empty()) return;
+  const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  std::exception_ptr first_error;
+  for (auto& ticket : put_tickets_) {
+    try {
+      fs_.async_store_.complete_put(std::move(ticket));
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  put_tickets_.clear();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ProtectedFs::Writer::append(BytesView data) {
@@ -244,9 +306,11 @@ void ProtectedFs::Writer::flush_batch() {
     for (std::size_t i = 0; i < n; ++i) seal_one(i);
   }
   // Results land in index order regardless of which worker sealed what.
+  // Puts are issued in index order too; on the async path they are only
+  // *submitted* here — the next batch seals while these complete.
   for (std::size_t i = 0; i < n; ++i) {
-    fs_.store_put(chunk_blob(name_, batch_base_ + i), sealed_[i]);
     level_tags_[0].push_back(blob_tag(sealed_[i]));
+    issue_put(chunk_blob(name_, batch_base_ + i), sealed_[i]);
     spare_.push_back(std::move(pending_[i]));
   }
   pending_.clear();
@@ -295,13 +359,18 @@ void ProtectedFs::Writer::close() {
       for (std::size_t node = 0; node < node_count; ++node) seal_node(node);
     }
     for (std::size_t node = 0; node < node_count; ++node) {
-      fs_.store_put(node_blob(name_, level, node), node_sealed[node]);
       current.push_back(blob_tag(node_sealed[node]));
+      issue_put(node_blob(name_, level, node), node_sealed[node]);
     }
     ++level;
   }
   meta.levels = static_cast<std::uint32_t>(level - 1);
   if (!level_tags_.back().empty()) meta.root_tag = level_tags_.back()[0];
+
+  // Publication barrier: every chunk and tree-node put must have
+  // completed before the metadata blob makes the file visible — readers
+  // (and a crash) never observe metadata pointing at missing blobs.
+  drain_puts();
 
   const Bytes sealed_meta =
       crypto::pae_encrypt_with(gcm_, fs_.rng_, meta.serialize(), meta_aad(name_));
@@ -353,36 +422,34 @@ ProtectedFs::Reader::Reader(const ProtectedFs& fs, std::string name)
   for (std::size_t level = meta.levels; level >= 1; --level) {
     Bytes below;
     const std::size_t node_count = expected.size() / kTagSize;
-    if (pool != nullptr && pool->enabled() && node_count > 1) {
-      // Fetch + tag-verify serially (store order unchanged), then open
-      // the level's nodes in parallel into index-addressed slots.
-      std::vector<Bytes> sealed(node_count);
-      for (std::size_t node = 0; node < node_count; ++node) {
-        sealed[node] = fs_.store_get(node_blob(name_, level, node));
-        if (!constant_time_equal(
-                blob_tag(sealed[node]),
-                BytesView(expected.data() + node * kTagSize, kTagSize)))
-          throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
-      }
-      std::vector<Bytes> plain(node_count);
-      const std::size_t lvl = level;
-      fs_.tuning_.pool->run(node_count, [&](std::size_t node) {
-        crypto::pae_open_into(gcm_, sealed[node], node_aad(name_, lvl, node),
-                              plain[node]);
-      });
-      for (std::size_t node = 0; node < node_count; ++node)
-        append(below, plain[node]);
-    } else {
-      for (std::size_t node = 0; node < node_count; ++node) {
-        const Bytes sealed = fs_.store_get(node_blob(name_, level, node));
-        const auto tag = blob_tag(sealed);
-        if (!constant_time_equal(
-                tag, BytesView(expected.data() + node * kTagSize, kTagSize)))
-          throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
-        append(below, crypto::pae_decrypt_with(gcm_, sealed,
-                                               node_aad(name_, level, node)));
-      }
+    // Fetch the level's nodes (overlapped through the async store when
+    // attached), tag-verify serially against the parent level, then open
+    // — in parallel across the crypto pool when one is attached.
+    std::vector<std::string> blobs;
+    blobs.reserve(node_count);
+    for (std::size_t node = 0; node < node_count; ++node)
+      blobs.push_back(node_blob(name_, level, node));
+    std::vector<Bytes> sealed;
+    fs_.store_get_many(blobs, sealed);
+    for (std::size_t node = 0; node < node_count; ++node) {
+      if (!constant_time_equal(
+              blob_tag(sealed[node]),
+              BytesView(expected.data() + node * kTagSize, kTagSize)))
+        throw IntegrityError("pfs: tree node tag mismatch (tamper/rollback)");
     }
+    std::vector<Bytes> plain(node_count);
+    const std::size_t lvl = level;
+    const auto open_node = [&](std::size_t node) {
+      crypto::pae_open_into(gcm_, sealed[node], node_aad(name_, lvl, node),
+                            plain[node]);
+    };
+    if (pool != nullptr && pool->enabled() && node_count > 1) {
+      fs_.tuning_.pool->run(node_count, open_node);
+    } else {
+      for (std::size_t node = 0; node < node_count; ++node) open_node(node);
+    }
+    for (std::size_t node = 0; node < node_count; ++node)
+      append(below, plain[node]);
     expected = std::move(below);
   }
   if (expected.size() != chunk_count_ * kTagSize)
@@ -396,10 +463,11 @@ bool ProtectedFs::Reader::prefetch_enabled() const {
   if (fs_.tuning_.prefetch_chunks <= 1) return false;
   const CryptoPool* pool = fs_.tuning_.pool;
   const ContentCache* cache = fs_.tuning_.cache;
-  // Without a pool or a cache the lookahead would change the store access
-  // pattern for no benefit — plain deployments keep the original path.
+  // Without a pool, a cache or an async I/O pool the lookahead would
+  // change the store access pattern for no benefit — plain deployments
+  // keep the original path.
   return (pool != nullptr && pool->enabled()) ||
-         (cache != nullptr && cache->enabled());
+         (cache != nullptr && cache->enabled()) || fs_.async_io();
 }
 
 ContentCache::Tag ProtectedFs::Reader::expected_tag(
@@ -458,9 +526,13 @@ Bytes ProtectedFs::Reader::read_chunk(std::uint64_t index) const {
   }
 
   const std::size_t n = static_cast<std::size_t>(lookahead);
-  std::vector<Bytes> sealed(n);
+  std::vector<std::string> blobs;
+  blobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    blobs.push_back(chunk_blob(name_, index + i));
+  std::vector<Bytes> sealed;
+  fs_.store_get_many(blobs, sealed);
   for (std::size_t i = 0; i < n; ++i) {
-    sealed[i] = fs_.store_get(chunk_blob(name_, index + i));
     const BytesView want(levels_.back().data() + (index + i) * kTagSize,
                          kTagSize);
     if (!constant_time_equal(blob_tag(sealed[i]), want))

@@ -40,6 +40,7 @@
 #include "pfs/content_cache.h"
 #include "pfs/crypto_pool.h"
 #include "sgx/platform.h"
+#include "store/async_store.h"
 #include "store/untrusted_store.h"
 
 namespace seg::pfs {
@@ -59,6 +60,11 @@ struct PfsTuning {
   ContentCache* cache = nullptr;
   std::string cache_ns;
   std::size_t prefetch_chunks = 8;
+  /// Async store I/O pool (DESIGN.md §7.3). Null or disabled keeps every
+  /// store access synchronous on the submitting thread; attached, writers
+  /// issue chunk puts as they seal and readers prefetch gets ahead of
+  /// decrypt, with stored bytes bit-identical either way.
+  store::StoreIoPool* io = nullptr;
 };
 
 class ProtectedFs {
@@ -107,6 +113,13 @@ class ProtectedFs {
 
     void flush_chunk();
     void flush_batch();
+    /// Issues one sealed blob to the store: asynchronously (ticket kept
+    /// for drain_puts) when an I/O pool is attached, synchronously
+    /// otherwise.
+    void issue_put(const std::string& blob, Bytes& sealed);
+    /// Completes every outstanding async put; rethrows the first error
+    /// after all tickets resolved (slot lifetimes stay simple).
+    void drain_puts();
 
     ProtectedFs& fs_;
     std::string name_;
@@ -127,6 +140,8 @@ class ProtectedFs {
     std::vector<Bytes> sealed_;
     std::vector<Bytes> aads_;
     std::vector<crypto::AesGcm::Iv> ivs_;
+    // Outstanding async chunk/node puts (empty on the synchronous path).
+    std::vector<store::AsyncStore::Ticket> put_tickets_;
   };
 
   /// A Reader instance is single-consumer: read_chunk keeps sequential-
@@ -185,6 +200,12 @@ class ProtectedFs {
   MetaInfo load_meta(const std::string& name) const;
   void store_put(const std::string& blob, BytesView data);
   Bytes store_get(const std::string& blob) const;
+  /// Fetches blobs[i] into out[i]; with an async I/O pool attached all
+  /// gets are submitted up front and completed in index order, so the
+  /// fetches overlap each other (and the caller's decrypt work).
+  void store_get_many(const std::vector<std::string>& blobs,
+                      std::vector<Bytes>& out) const;
+  bool async_io() const { return async_store_.async(); }
   void charge_io() const;
   void invalidate_cache(const std::string& name) const;
 
@@ -199,6 +220,10 @@ class ProtectedFs {
   sgx::SgxPlatform* platform_;
   bool switchless_io_;
   PfsTuning tuning_;
+  // Submission/completion facade over store_ (mutable: submissions from
+  // logically-const readers advance pool statistics). Declared after
+  // tuning_ — its constructor reads tuning_.io.
+  mutable store::AsyncStore async_store_;
   // Writer-exclusivity registry; its own mutex because writers on
   // *different* files open and close concurrently (e.g. parallel PUT
   // uploads staging to distinct temp names).

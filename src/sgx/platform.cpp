@@ -130,6 +130,17 @@ void SgxPlatform::charge_ocall(bool switchless) {
   telemetry::span_add(telemetry::Segment::kTransition, 0, charged);
 }
 
+void SgxPlatform::charge_store_op() {
+  std::uint64_t charged = 0;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.store_ops;
+    charged = model_.store_op_ns;
+    stats_.charged_ns += charged;
+  }
+  telemetry::span_add(telemetry::Segment::kStoreIo, 0, charged);
+}
+
 void SgxPlatform::adjust_epc_resident(std::int64_t delta) {
   std::lock_guard lock(mutex_);
   epc_resident_bytes_ = static_cast<std::uint64_t>(

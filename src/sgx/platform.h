@@ -45,6 +45,12 @@ struct CostModel {
   std::uint64_t epc_page_in_ns = 40'000;     // page fault + decrypt + verify
   std::uint64_t counter_increment_ns = 100'000'000;  // SGX counters are slow
   std::uint64_t epc_size_bytes = 128ull << 20;       // PRM size (§II-A)
+  /// Modeled latency of one untrusted-store operation on a disk-class
+  /// backend (NVMe-read order of magnitude). Charged only by the async
+  /// store I/O pool for memory-backed stores (DESIGN.md §7.3); real
+  /// devices carry their own latency and synchronous deployments keep
+  /// their original accounting.
+  std::uint64_t store_op_ns = 25'000;
 };
 
 /// Aggregate accounting of simulated SGX costs.
@@ -54,6 +60,7 @@ struct SgxStats {
   std::uint64_t switchless_calls = 0;
   std::uint64_t epc_pages_in = 0;
   std::uint64_t counter_increments = 0;
+  std::uint64_t store_ops = 0;   // async store ops with modeled latency
   std::uint64_t charged_ns = 0;  // total modeled latency
 
   void reset() { *this = SgxStats{}; }
@@ -134,6 +141,10 @@ class SgxPlatform {
 
   void charge_ecall(bool switchless);
   void charge_ocall(bool switchless);
+  /// Charges one modeled untrusted-store operation (store_op_ns). Called
+  /// by StoreIoPool workers completing ops against memory-backed stores,
+  /// so the virtual-time meter shows disk-class completion latency.
+  void charge_store_op();
   /// Registers `bytes` of enclave heap use; pages beyond the EPC size are
   /// charged paging cost on touch. `bytes_resident` is the caller's
   /// transient working set; long-lived residency registered via

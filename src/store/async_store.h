@@ -1,0 +1,173 @@
+// Asynchronous store I/O: submission/completion queues over an
+// UntrustedStore (DESIGN.md §7.3).
+//
+// The chunk-crypto pipeline (§7.1) parallelised sealing, but every
+// store_put/store_get still ran synchronously on the submitting thread,
+// so on disk-backed deployments fetch latency — not AES-GCM — dominated.
+// A StoreIoPool is the untrusted half of the fix: enclave threads submit
+// operations (a switchless-style handoff, no thread ever leaves the
+// enclave to do I/O) and a pool of untrusted worker threads drains the
+// submission queue in batches, io_uring-style — one queue lock
+// acquisition claims up to a whole batch of operations. Completion is
+// explicit: submit() returns a ticket, complete() blocks until that
+// ticket's operation finished and surfaces its result or error.
+//
+// Contract:
+//  * Operations on DISTINCT names are unordered with respect to each
+//    other; completion order may differ from submission order.
+//  * Ordering between operations on the SAME name is the caller's
+//    responsibility (ProtectedFs drains all content puts before it
+//    publishes the metadata blob, so a file is never visible before its
+//    chunks are durable).
+//  * The in-flight window is bounded (`queue_depth`): submit() blocks
+//    while the window is full, so a fast producer cannot pin unbounded
+//    ciphertext in the queue.
+//  * With `threads == 0` the pool is disabled and submissions execute
+//    inline on the caller — byte- and accounting-identical to the
+//    synchronous path.
+//
+// Modeled latency: real devices (DiskStore) have physical latency; a
+// MemoryStore completes in nanoseconds, which would make overlap
+// pointless to measure. When a platform is attached, workers charge the
+// cost model's per-operation store latency for every completed op on a
+// backend that is not device-backed, so benches see the cost structure
+// of a disk-class deployment on the virtual-time meter.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sgx/platform.h"
+#include "store/untrusted_store.h"
+
+namespace seg::store {
+
+class AsyncStore;
+
+/// Untrusted-side worker pool draining one shared submission queue.
+/// Shared by every AsyncStore facade of a deployment (the three stores
+/// of an enclave multiplex onto one pool, like one io_uring instance
+/// serving several files).
+class StoreIoPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 disables the pool (submissions run inline).
+    std::size_t threads = 0;
+    /// Bounded in-flight window: submitted-but-not-completed operations.
+    std::size_t queue_depth = 64;
+  };
+
+  /// Counters, taken as a consistent snapshot via stats().
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;       // completed with a captured error
+    std::uint64_t inline_ops = 0;   // executed on the caller (pool disabled)
+    std::uint64_t max_queue_depth = 0;  // queued-unclaimed high-water
+    std::uint64_t max_in_flight = 0;    // in-flight-window high-water
+    std::uint64_t batches = 0;          // worker batch drains (≥1 op each)
+    std::uint64_t completion_wait_ns = 0;  // caller time blocked in complete
+  };
+
+  explicit StoreIoPool(Options options, sgx::SgxPlatform* platform = nullptr);
+  ~StoreIoPool();
+  StoreIoPool(const StoreIoPool&) = delete;
+  StoreIoPool& operator=(const StoreIoPool&) = delete;
+
+  bool enabled() const { return !workers_.empty(); }
+  std::size_t threads() const { return workers_.size(); }
+  std::size_t queue_depth() const { return options_.queue_depth; }
+  Stats stats() const;
+
+ private:
+  friend class AsyncStore;
+
+  /// One submitted operation; owns copies of its name and payload so the
+  /// submitter's buffers are free the moment submit() returns (the copy
+  /// is the marshalling a real ocall would do anyway).
+  struct Op {
+    UntrustedStore* store = nullptr;
+    bool is_put = false;
+    std::string name;
+    Bytes data;                   // put payload
+    std::optional<Bytes> result;  // get result
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+  };
+
+  std::shared_ptr<Op> submit(UntrustedStore& store, bool is_put,
+                             std::string name, Bytes data);
+  /// Blocks until `op` completed; accounts the wait in Stats.
+  void await(Op& op);
+
+  void worker_loop();
+  void execute(Op& op);
+  void finish(const std::shared_ptr<Op>& op);
+
+  Options options_;
+  sgx::SgxPlatform* platform_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_cv_;   // workers wait for submissions
+  std::condition_variable space_cv_;  // submitters wait for window space
+  std::deque<std::shared_ptr<Op>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+/// Submission/completion facade binding one UntrustedStore to a (possibly
+/// shared, possibly disabled) StoreIoPool.
+class AsyncStore {
+ public:
+  /// Move-only completion handle for one submitted operation.
+  class Ticket {
+   public:
+    Ticket() = default;
+    bool valid() const { return op_ != nullptr; }
+
+   private:
+    friend class AsyncStore;
+    explicit Ticket(std::shared_ptr<StoreIoPool::Op> op) : op_(std::move(op)) {}
+    std::shared_ptr<StoreIoPool::Op> op_;
+  };
+
+  /// `pool` may be null or disabled: every submission then executes
+  /// inline and complete() returns without blocking.
+  AsyncStore(UntrustedStore& store, StoreIoPool* pool)
+      : store_(store), pool_(pool) {}
+
+  /// True when submissions actually overlap with the caller.
+  bool async() const { return pool_ != nullptr && pool_->enabled(); }
+
+  Ticket submit_put(const std::string& name, Bytes data);
+  Ticket submit_get(const std::string& name);
+
+  /// Blocks until the put finished; rethrows its StorageError, if any.
+  void complete_put(Ticket ticket);
+  /// Blocks until the get finished; nullopt for a missing blob, rethrows
+  /// any other captured error.
+  std::optional<Bytes> complete_get(Ticket ticket);
+
+ private:
+  /// Inline fallback when no pool is attached (keeps one code path for
+  /// callers; the disabled case costs one Op allocation per op).
+  std::shared_ptr<StoreIoPool::Op> run_inline(bool is_put, std::string name,
+                                              Bytes data);
+
+  UntrustedStore& store_;
+  StoreIoPool* pool_;
+};
+
+}  // namespace seg::store

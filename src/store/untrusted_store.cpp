@@ -46,6 +46,9 @@ void MemoryStore::rename(const std::string& from, const std::string& to) {
   ++ops_.renames;
   const auto it = blobs_.find(from);
   if (it == blobs_.end()) throw StorageError("rename: missing blob " + from);
+  // Self-rename is a no-op; without the guard the self-move below would
+  // empty the mapped value and erase(from) would then delete the blob.
+  if (from == to) return;
   blobs_[to] = std::move(it->second);
   blobs_.erase(from);
 }
@@ -67,8 +70,26 @@ std::uint64_t MemoryStore::total_bytes() const {
 
 // ------------------------------------------------------------- DiskStore ---
 
+namespace {
+constexpr const char* kTempPrefix = "#tmp.";
+}
+
+bool DiskStore::is_temp_file(const std::string& file) {
+  return file.starts_with(kTempPrefix);
+}
+
 DiskStore::DiskStore(std::string directory) : directory_(std::move(directory)) {
   std::filesystem::create_directories(directory_);
+  // Crash recovery: a put interrupted before its rename leaves only a
+  // temp file; the published blobs are all intact, so the leftovers are
+  // garbage to sweep.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (entry.is_regular_file() &&
+        is_temp_file(entry.path().filename().string())) {
+      std::error_code ec;
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
 }
 
 std::string DiskStore::encode(const std::string& name) {
@@ -90,16 +111,25 @@ std::string DiskStore::encode(const std::string& name) {
   return out;
 }
 
-std::string DiskStore::decode(const std::string& file) {
+std::optional<std::string> DiskStore::decode(const std::string& file) {
+  const auto hex_value = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
   std::string out;
   for (std::size_t i = 0; i < file.size(); ++i) {
-    if (file[i] == '%' && i + 2 < file.size()) {
-      out.push_back(static_cast<char>(
-          std::stoi(file.substr(i + 1, 2), nullptr, 16)));
-      i += 2;
-    } else {
+    if (file[i] != '%') {
       out.push_back(file[i]);
+      continue;
     }
+    if (i + 2 >= file.size()) return std::nullopt;  // truncated escape
+    const int hi = hex_value(file[i + 1]);
+    const int lo = hex_value(file[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;  // "%zz" and friends
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
   }
   return out;
 }
@@ -110,15 +140,40 @@ std::string DiskStore::path_for(const std::string& name) const {
 
 void DiskStore::put(const std::string& name, BytesView data) {
   const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
-  std::ofstream out(path_for(name), std::ios::binary | std::ios::trunc);
-  if (!out) throw StorageError("cannot open for write: " + name);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) throw StorageError("short write: " + name);
+  const std::shared_lock<std::shared_mutex> lock(scan_mutex_);
+  count(&OpCounts::puts);
+  // Crash atomicity: write + flush a uniquely-named temp file, then
+  // atomically rename it over the target. Readers (and a crash at any
+  // point) see either the complete old blob or the complete new one,
+  // never a truncated write.
+  const std::string temp =
+      directory_ + "/" + kTempPrefix +
+      std::to_string(temp_seq_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StorageError("cannot open for write: " + name);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      throw StorageError("short write: " + name);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path_for(name), ec);
+  if (ec) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(temp, cleanup_ec);
+    throw StorageError("publish failed: " + name + " (" + ec.message() + ")");
+  }
 }
 
 std::optional<Bytes> DiskStore::get(const std::string& name) const {
   const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  const std::shared_lock<std::shared_mutex> lock(scan_mutex_);
+  count(&OpCounts::gets);
   std::ifstream in(path_for(name), std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
   const std::streamsize size = in.tellg();
@@ -131,34 +186,59 @@ std::optional<Bytes> DiskStore::get(const std::string& name) const {
 
 bool DiskStore::exists(const std::string& name) const {
   const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  const std::shared_lock<std::shared_mutex> lock(scan_mutex_);
+  count(&OpCounts::exists_checks);
   return std::filesystem::exists(path_for(name));
 }
 
 void DiskStore::remove(const std::string& name) {
   const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  const std::shared_lock<std::shared_mutex> lock(scan_mutex_);
+  count(&OpCounts::removes);
   std::filesystem::remove(path_for(name));
 }
 
 void DiskStore::rename(const std::string& from, const std::string& to) {
   const telemetry::SegmentTimer timer(telemetry::Segment::kStoreIo);
+  const std::shared_lock<std::shared_mutex> lock(scan_mutex_);
+  count(&OpCounts::renames);
+  if (from == to) {  // same no-op guard as MemoryStore::rename
+    if (!std::filesystem::exists(path_for(from)))
+      throw StorageError("rename: missing blob " + from);
+    return;
+  }
   std::error_code ec;
   std::filesystem::rename(path_for(from), path_for(to), ec);
-  if (ec) throw StorageError("rename failed: " + from + " -> " + to);
+  if (ec)
+    throw StorageError("rename failed: " + from + " -> " + to + " (" +
+                       ec.message() + ")");
 }
 
 std::vector<std::string> DiskStore::list() const {
+  const std::lock_guard<std::shared_mutex> lock(scan_mutex_);
   std::vector<std::string> names;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
-    if (entry.is_regular_file())
-      names.push_back(decode(entry.path().filename().string()));
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (is_temp_file(file)) continue;  // in-progress / crashed put
+    if (auto name = decode(file)) {
+      names.push_back(std::move(*name));
+    } else {
+      count(&OpCounts::rejected_names);
+    }
   }
   return names;
 }
 
 std::uint64_t DiskStore::total_bytes() const {
+  const std::lock_guard<std::shared_mutex> lock(scan_mutex_);
   std::uint64_t total = 0;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
-    if (entry.is_regular_file()) total += entry.file_size();
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    // Unpublished temp files and adversary-planted junk are not blobs.
+    if (is_temp_file(file) || !decode(file)) continue;
+    total += entry.file_size();
   }
   return total;
 }

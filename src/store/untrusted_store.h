@@ -8,18 +8,34 @@
 // state and asserts that the enclave detects it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 
 namespace seg::store {
+
+/// Operation counts since construction / reset. Tests and benches use
+/// these to assert how many untrusted-store round trips an enclave
+/// operation costs (e.g. the bounded logical_size probe, cache
+/// cold-vs-warm ablations); `rejected_names` counts directory entries an
+/// adversary planted that fail percent-decoding (DiskStore only).
+struct OpCounts {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t exists_checks = 0;
+  std::uint64_t rejected_names = 0;
+};
 
 /// Flat key→blob storage. Names are opaque strings (the enclave decides
 /// the naming scheme; with the filename-hiding extension they are HMAC
@@ -37,25 +53,20 @@ class UntrustedStore {
 
   /// Total bytes currently stored (for the storage-overhead experiment E6).
   virtual std::uint64_t total_bytes() const = 0;
+
+  /// True when operations hit a real device (DiskStore) and therefore
+  /// carry physical latency. Memory-backed stores return false so the
+  /// async I/O pool can charge the cost model's per-op store latency
+  /// instead (see store/async_store.h).
+  virtual bool device_backed() const { return false; }
 };
 
 /// In-memory store; the default for tests, benches and examples.
 /// Internally mutex-guarded so concurrent enclave service threads can
-/// read and write blobs in parallel (DiskStore stays single-threaded;
-/// the concurrent pipeline is exercised against memory stores).
+/// read and write blobs in parallel.
 class MemoryStore final : public UntrustedStore {
  public:
-  /// Operation counts since construction / reset_op_counts(). Tests and
-  /// benches use these to assert how many untrusted-store round trips an
-  /// enclave operation costs (e.g. the bounded logical_size probe, cache
-  /// cold-vs-warm ablations).
-  struct OpCounts {
-    std::uint64_t gets = 0;
-    std::uint64_t puts = 0;
-    std::uint64_t removes = 0;
-    std::uint64_t renames = 0;
-    std::uint64_t exists_checks = 0;
-  };
+  using OpCounts = store::OpCounts;
 
   void put(const std::string& name, BytesView data) override;
   std::optional<Bytes> get(const std::string& name) const override;
@@ -87,6 +98,19 @@ class MemoryStore final : public UntrustedStore {
 
 /// Store backed by a directory on disk. Blob names are percent-encoded
 /// into file names.
+///
+/// Thread-safe under the multi-threaded request pipeline and the async
+/// I/O pool: per-blob operations take a shared lock (distinct files
+/// proceed in parallel; same-name races are resolved by the atomic
+/// temp-file + rename publish below), directory-wide scans (list,
+/// total_bytes) take the exclusive lock so they see a quiescent store.
+///
+/// Crash-atomic puts: every put writes to a "#tmp.<seq>" file in the
+/// store directory, flushes, and renames over the target. '#' can never
+/// appear in an encoded blob name (unsafe bytes are %-escaped), so temp
+/// files are unambiguous; a crash mid-put leaves at worst a stale temp
+/// file — never a truncated blob that a later PAE decryption would
+/// misreport as tampering — and construction sweeps such leftovers.
 class DiskStore final : public UntrustedStore {
  public:
   explicit DiskStore(std::string directory);
@@ -98,13 +122,38 @@ class DiskStore final : public UntrustedStore {
   void rename(const std::string& from, const std::string& to) override;
   std::vector<std::string> list() const override;
   std::uint64_t total_bytes() const override;
+  bool device_backed() const override { return true; }
+
+  /// Consistent copy (by value: counters advance concurrently).
+  OpCounts op_counts() const {
+    const std::lock_guard<std::mutex> lock(ops_mutex_);
+    return ops_;
+  }
+  void reset_op_counts() {
+    const std::lock_guard<std::mutex> lock(ops_mutex_);
+    ops_ = OpCounts{};
+  }
 
  private:
   std::string path_for(const std::string& name) const;
   static std::string encode(const std::string& name);
-  static std::string decode(const std::string& file);
+  /// Strict percent-decoding: nullopt for a malformed escape ("%zz", a
+  /// truncated "%a") — adversary-planted directory entries (§III-B) are
+  /// skipped and counted, never fed to std::stoi to throw uncaught.
+  static std::optional<std::string> decode(const std::string& file);
+  static bool is_temp_file(const std::string& file);
+
+  void count(std::uint64_t OpCounts::* field) const {
+    const std::lock_guard<std::mutex> lock(ops_mutex_);
+    ++(ops_.*field);
+  }
 
   std::string directory_;
+  // Shared: per-blob ops (atomic at the fs level). Exclusive: scans.
+  mutable std::shared_mutex scan_mutex_;
+  mutable std::mutex ops_mutex_;
+  mutable OpCounts ops_;
+  mutable std::atomic<std::uint64_t> temp_seq_{0};
 };
 
 /// Malicious wrapper: behaves like the wrapped store but lets tests and

@@ -387,8 +387,40 @@ TEST(PfsPipelineTest, SerialModeMatchesPrePipelineGoldens) {
   }
 }
 
+/// The async store path must also reproduce the serial goldens exactly:
+/// every blob byte is computed before submission (IVs pre-drawn in chunk
+/// order), so overlapping the puts/gets changes completion order only.
+TEST(PfsPipelineTest, AsyncStoreIoMatchesPrePipelineGoldens) {
+  const std::pair<std::size_t, const char*> goldens[] = {
+      {0, "074efdf5873968a90e2d1a34e647948aa9ecd6e52a574073d940c3e0dc8a3f42"},
+      {1, "fae7073ecbca7ccef7aaebfc646c5effbb6a0a4abb26051fca1887d206cd12e0"},
+      {4096, "7a5463bde8d9d7ec1427187c46784bc2595b7b622a15d9336f243da252cd0b7a"},
+      {4097, "87f895bb34361b852ecfa7e0c4eed9cfeb353c0ef2c4c1f46182b70178d701cc"},
+      {12388,
+       "be92cff799b8c8941f453a186effe128225352f5d1459ddcd464b4925c5283cd"},
+      {1228800,
+       "6ccf97b2824efdb71f84172693d6bfad401a319792fb21ca0739ba54ff363d28"},
+  };
+  store::StoreIoPool io(store::StoreIoPool::Options{3, 16});
+  PfsTuning tuning;
+  tuning.io = &io;
+  for (const auto& [size, expected] : goldens) {
+    store::MemoryStore store;
+    TestRng rng(99);
+    ProtectedFs fs(store, Bytes(16, 0x42), rng, nullptr, true, tuning);
+    TestRng content_rng(size + 7);
+    const Bytes content = content_rng.bytes(size);
+    fs.write_file("golden", content);
+    EXPECT_EQ(store_digest(store), expected) << "size " << size;
+    EXPECT_EQ(fs.read_file("golden"), content) << "size " << size;
+  }
+  EXPECT_GT(io.stats().submitted, 0u);
+  EXPECT_EQ(io.stats().inline_ops, 0u);
+}
+
 /// The pipeline contract: stored bytes are bit-identical for any worker
-/// count and cache setting (IVs pre-drawn in chunk order, puts in order).
+/// count, I/O-thread count and cache setting (IVs pre-drawn in chunk
+/// order; the writer drains its puts before publishing the metadata).
 TEST(PfsPipelineTest, StoredBlobsBitIdenticalAcrossThreadAndCacheConfigs) {
   const std::size_t sizes[] = {0, 1, kChunkSize, kChunkSize + 1,
                                10 * kChunkSize + 5,
@@ -398,21 +430,25 @@ TEST(PfsPipelineTest, StoredBlobsBitIdenticalAcrossThreadAndCacheConfigs) {
     const Bytes content = content_rng.bytes(size);
     std::optional<std::string> reference;
     for (const std::size_t threads : {0u, 1u, 4u}) {
-      for (const bool cached : {false, true}) {
-        store::MemoryStore store;
-        TestRng rng(99);
-        CryptoPool pool(threads);
-        ContentCache cache(cached ? (1u << 20) : 0u, nullptr);
-        ProtectedFs fs(store, Bytes(16, 0x42), rng, nullptr, true,
-                       PfsTuning{&pool, &cache, ""});
-        fs.write_file("golden", content);
-        EXPECT_EQ(fs.read_file("golden"), content)
-            << "size " << size << " threads " << threads;
-        const std::string digest = store_digest(store);
-        if (!reference) reference = digest;
-        EXPECT_EQ(digest, *reference)
-            << "size " << size << " threads " << threads << " cached "
-            << cached;
+      for (const std::size_t io_threads : {0u, 2u}) {
+        for (const bool cached : {false, true}) {
+          store::MemoryStore store;
+          TestRng rng(99);
+          CryptoPool pool(threads);
+          ContentCache cache(cached ? (1u << 20) : 0u, nullptr);
+          store::StoreIoPool io(store::StoreIoPool::Options{io_threads, 16});
+          ProtectedFs fs(store, Bytes(16, 0x42), rng, nullptr, true,
+                         PfsTuning{&pool, &cache, "", 8, &io});
+          fs.write_file("golden", content);
+          EXPECT_EQ(fs.read_file("golden"), content)
+              << "size " << size << " threads " << threads << " io "
+              << io_threads;
+          const std::string digest = store_digest(store);
+          if (!reference) reference = digest;
+          EXPECT_EQ(digest, *reference)
+              << "size " << size << " threads " << threads << " io "
+              << io_threads << " cached " << cached;
+        }
       }
     }
   }

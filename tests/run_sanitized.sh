@@ -5,8 +5,10 @@
 # Usage: run_sanitized.sh [asan|tsan|all]   (default: all)
 #   asan — ASan + UBSan  (preset "asan-ubsan", build dir build-asan/)
 #   tsan — ThreadSanitizer (preset "tsan",     build dir build-tsan/);
-#          exercises the concurrent request pipeline in concurrency_test
-#          and the switchless worker pool in sgx_test.
+#          exercises the concurrent request pipeline in concurrency_test,
+#          the switchless worker pool in sgx_test, the async store I/O
+#          pool in store_test/pfs_test, and the threaded pipeline on a
+#          real DiskStore in disk_integration_test.
 set -eu
 
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "sgx/platform.h"
+#include "store/async_store.h"
 #include "store/untrusted_store.h"
 
 namespace seg::store {
@@ -77,6 +84,17 @@ TEST_P(StoreConformanceTest, RenameMoves) {
 
 TEST_P(StoreConformanceTest, RenameMissingThrows) {
   EXPECT_THROW(store_->rename("ghost", "b"), StorageError);
+}
+
+// Regression: rename(a, a) used to self-move the blob's buffer and then
+// erase the (single) map entry, destroying the blob entirely.
+TEST_P(StoreConformanceTest, RenameToSelfKeepsBlob) {
+  store_->put("a", to_bytes("survives"));
+  store_->rename("a", "a");
+  ASSERT_TRUE(store_->exists("a"));
+  EXPECT_EQ(*store_->get("a"), to_bytes("survives"));
+  // Renaming a missing blob onto itself is still an error.
+  EXPECT_THROW(store_->rename("ghost", "ghost"), StorageError);
 }
 
 TEST_P(StoreConformanceTest, ListReturnsAllNames) {
@@ -161,6 +179,246 @@ TEST(AdversaryStore, FullRollback) {
 TEST(AdversaryStore, FullRollbackWithoutSnapshotThrows) {
   AdversaryStore store(std::make_unique<MemoryStore>());
   EXPECT_THROW(store.rollback_all(), StorageError);
+}
+
+// --- DiskStore: crash atomicity, adversarial names, thread safety ---
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  DiskStoreTest()
+      : dir_(std::filesystem::temp_directory_path() /
+             ("seg_disk_test_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~DiskStoreTest() override { std::filesystem::remove_all(dir_); }
+
+  void plant(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ / file, std::ios::binary);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskStoreTest, StaleTempFilesSweptAtConstruction) {
+  // A crash between temp write and rename leaves "#tmp.<seq>" files; the
+  // published blob set is intact, so construction sweeps the leftovers.
+  plant("#tmp.0", "half-written");
+  plant("#tmp.17", "");
+  plant("survivor", "kept");
+  DiskStore store(dir_.string());
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "#tmp.0"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "#tmp.17"));
+  EXPECT_EQ(store.list(), std::vector<std::string>{"survivor"});
+  EXPECT_EQ(store.total_bytes(), 4u);
+}
+
+TEST_F(DiskStoreTest, InFlightTempFilesInvisibleToScans) {
+  DiskStore store(dir_.string());
+  store.put("published", Bytes(10, 1));
+  // Simulates another thread's put between temp write and rename.
+  plant("#tmp.999", "in flight");
+  EXPECT_EQ(store.list(), std::vector<std::string>{"published"});
+  EXPECT_EQ(store.total_bytes(), 10u);
+  EXPECT_FALSE(store.exists("#tmp.999"));
+}
+
+TEST_F(DiskStoreTest, MalformedEscapesSkippedAndCounted) {
+  DiskStore store(dir_.string());
+  store.put("good name", to_bytes("v"));  // encodes the space as %20
+  // Adversary-planted directory entries (§III-B): a non-hex escape, a
+  // truncated escape, and a bare '%'. These used to feed std::stoi and
+  // throw (or worse, alias a valid name); now they are skipped + counted.
+  plant("%zz-junk", "x");
+  plant("trailing%a", "x");
+  plant("%", "x");
+  EXPECT_EQ(store.list(), std::vector<std::string>{"good name"});
+  EXPECT_EQ(store.total_bytes(), 1u);
+  EXPECT_EQ(store.op_counts().rejected_names, 3u);
+}
+
+TEST_F(DiskStoreTest, RenameErrorIncludesSystemReason) {
+  DiskStore store(dir_.string());
+  try {
+    store.rename("ghost-a", "ghost-b");
+    FAIL() << "rename of a missing blob must throw";
+  } catch (const StorageError& e) {
+    // The OS-level reason (ENOENT here) is part of the message, so an
+    // operator can tell a missing blob from EXDEV or a permission issue.
+    EXPECT_NE(std::string(e.what()).find("ghost-a"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("No such file"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DiskStoreTest, ConcurrentOverwritesNeverTearABlob) {
+  DiskStore store(dir_.string());
+  const Bytes a(32 << 10, 0xaa);
+  const Bytes b(32 << 10, 0xbb);
+  store.put("hot", a);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) store.put("hot", i % 2 == 0 ? b : a);
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop) {
+      const auto got = store.get("hot");
+      // Atomic temp+rename publish: a reader sees a complete old or a
+      // complete new blob, never a truncated or mixed one.
+      if (!got || (*got != a && *got != b)) ++failures;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto final_blob = store.get("hot");
+  ASSERT_TRUE(final_blob.has_value());
+  EXPECT_TRUE(*final_blob == a || *final_blob == b);
+}
+
+// --- async store I/O (submission/completion queues) ---
+
+/// Store whose puts always fail: error-propagation fixture.
+class FailingStore final : public UntrustedStore {
+ public:
+  void put(const std::string& name, BytesView) override {
+    throw StorageError("injected put failure: " + name);
+  }
+  std::optional<Bytes> get(const std::string& name) const override {
+    return inner_.get(name);
+  }
+  bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  void remove(const std::string& name) override { inner_.remove(name); }
+  void rename(const std::string& from, const std::string& to) override {
+    inner_.rename(from, to);
+  }
+  std::vector<std::string> list() const override { return inner_.list(); }
+  std::uint64_t total_bytes() const override { return inner_.total_bytes(); }
+
+ private:
+  MemoryStore inner_;
+};
+
+TEST(AsyncStore, InlineFallbackWithoutPool) {
+  MemoryStore store;
+  AsyncStore async(store, nullptr);
+  EXPECT_FALSE(async.async());
+  async.complete_put(async.submit_put("a", to_bytes("inline")));
+  EXPECT_EQ(*store.get("a"), to_bytes("inline"));
+  EXPECT_EQ(async.complete_get(async.submit_get("a")), to_bytes("inline"));
+  EXPECT_EQ(async.complete_get(async.submit_get("missing")), std::nullopt);
+}
+
+TEST(AsyncStore, DisabledPoolCountsInlineOps) {
+  MemoryStore store;
+  StoreIoPool pool(StoreIoPool::Options{0, 8});
+  EXPECT_FALSE(pool.enabled());
+  AsyncStore async(store, &pool);
+  EXPECT_FALSE(async.async());
+  async.complete_put(async.submit_put("a", to_bytes("x")));
+  EXPECT_EQ(async.complete_get(async.submit_get("a")), to_bytes("x"));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.inline_ops, 2u);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(AsyncStore, AsyncRoundtripManyOps) {
+  MemoryStore store;
+  StoreIoPool pool(StoreIoPool::Options{3, 16});
+  ASSERT_TRUE(pool.enabled());
+  AsyncStore async(store, &pool);
+  ASSERT_TRUE(async.async());
+
+  constexpr int kOps = 100;
+  std::vector<AsyncStore::Ticket> puts;
+  for (int i = 0; i < kOps; ++i)
+    puts.push_back(
+        async.submit_put("blob" + std::to_string(i), Bytes(100 + i, 7)));
+  for (auto& ticket : puts) async.complete_put(std::move(ticket));
+
+  std::vector<AsyncStore::Ticket> gets;
+  for (int i = 0; i < kOps; ++i)
+    gets.push_back(async.submit_get("blob" + std::to_string(i)));
+  for (int i = 0; i < kOps; ++i) {
+    const auto got = async.complete_get(std::move(gets[i]));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(got->size(), 100u + i);
+  }
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 2u * kOps);
+  EXPECT_EQ(stats.completed, 2u * kOps);
+  EXPECT_EQ(stats.inline_ops, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+TEST(AsyncStore, InFlightWindowIsBounded) {
+  MemoryStore store;
+  constexpr std::size_t kDepth = 4;
+  StoreIoPool pool(StoreIoPool::Options{2, kDepth});
+  AsyncStore async(store, &pool);
+  std::vector<AsyncStore::Ticket> tickets;
+  for (int i = 0; i < 64; ++i)
+    tickets.push_back(
+        async.submit_put("w" + std::to_string(i), Bytes(4096, 3)));
+  for (auto& ticket : tickets) async.complete_put(std::move(ticket));
+  const auto stats = pool.stats();
+  // submit() blocks while the window is full, so the high-water mark can
+  // never exceed the configured depth.
+  EXPECT_LE(stats.max_in_flight, kDepth);
+  EXPECT_GT(stats.max_in_flight, 0u);
+  EXPECT_LE(stats.max_queue_depth, kDepth);
+  EXPECT_EQ(store.list().size(), 64u);
+}
+
+TEST(AsyncStore, ErrorsSurfaceAtCompletion) {
+  FailingStore store;
+  StoreIoPool pool(StoreIoPool::Options{2, 8});
+  AsyncStore async(store, &pool);
+  auto ticket = async.submit_put("doomed", to_bytes("x"));
+  EXPECT_THROW(async.complete_put(std::move(ticket)), StorageError);
+  EXPECT_EQ(pool.stats().failed, 1u);
+  // A missing blob is not an error: nullopt, like the synchronous get.
+  EXPECT_EQ(async.complete_get(async.submit_get("absent")), std::nullopt);
+}
+
+TEST(AsyncStore, ModeledLatencyChargedForMemoryBackedOnly) {
+  TestRng rng(7);
+  sgx::SgxPlatform platform(rng);
+
+  MemoryStore memory;
+  {
+    StoreIoPool pool(StoreIoPool::Options{2, 8}, &platform);
+    AsyncStore async(memory, &pool);
+    for (int i = 0; i < 4; ++i)
+      async.complete_put(async.submit_put("m" + std::to_string(i), Bytes(8, 1)));
+  }
+  const auto after_memory = platform.stats_snapshot();
+  EXPECT_EQ(after_memory.store_ops, 4u);
+  EXPECT_GE(after_memory.charged_ns,
+            4u * platform.cost_model().store_op_ns);
+
+  // A device-backed store carries its own physical latency: not charged.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("seg_async_disk_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    DiskStore disk(dir.string());
+    StoreIoPool pool(StoreIoPool::Options{2, 8}, &platform);
+    AsyncStore async(disk, &pool);
+    for (int i = 0; i < 4; ++i)
+      async.complete_put(async.submit_put("d" + std::to_string(i), Bytes(8, 2)));
+  }
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(platform.stats_snapshot().store_ops, 4u);
 }
 
 }  // namespace

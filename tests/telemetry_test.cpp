@@ -295,6 +295,43 @@ TEST(Stats, ExportsContentCacheAndCryptoPoolGauges) {
   EXPECT_EQ(snap2.gauge("pfs.crypto_pool.threads"), 0u);
 }
 
+TEST(Stats, ExportsAsyncStoreIoGauges) {
+  core::EnclaveConfig config;
+  config.store_io_threads = 2;
+  config.store_queue_depth = 8;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  const Bytes payload = rig.rng().bytes(64 << 10);  // multi-chunk
+  ASSERT_TRUE(alice.put_file("/a", payload).ok());
+  ASSERT_TRUE(alice.get_file("/a").first.ok());
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(snap.gauge("store.async.threads"), 2u);
+  EXPECT_GT(snap.gauge("store.async.submitted"), 0u);
+  EXPECT_EQ(snap.gauge("store.async.submitted"),
+            snap.gauge("store.async.completed"));
+  EXPECT_EQ(snap.gauge("store.async.failed"), 0u);
+  EXPECT_EQ(snap.gauge("store.async.inline_ops"), 0u);
+  EXPECT_GT(snap.gauge("store.async.batches"), 0u);
+  EXPECT_LE(snap.gauge("store.async.max_in_flight"), 8u);
+  // The rig's stores are memory-backed, so every pool-completed op is
+  // charged the cost model's disk-class store latency.
+  EXPECT_EQ(snap.gauge("sgx.store_ops"), snap.gauge("store.async.completed") -
+                                             snap.gauge("store.async.inline_ops"));
+  EXPECT_GT(snap.gauge("sgx.charged_ns"), 0u);
+
+  // Synchronous deployments export the schema as zeros.
+  Rig serial;
+  auto& bob = serial.connect("bob");
+  ASSERT_TRUE(bob.put_file("/b", to_bytes("x")).ok());
+  const auto [response2, snap2] = bob.stats();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_EQ(snap2.gauge("store.async.threads"), 0u);
+  EXPECT_EQ(snap2.gauge("store.async.submitted"), 0u);
+  EXPECT_EQ(snap2.gauge("sgx.store_ops"), 0u);
+}
+
 TEST(Stats, ExportNeverContainsRequestData) {
   Rig rig;
   auto& secret_user = rig.connect("zz-secret-user");
