@@ -114,7 +114,8 @@ class Deployment {
         1e6;
     const auto model = calibrated_wan();
     return model.rtt_ms /* TCP connect */ +
-           model.estimate_ms(channel.stats(), compute_ms + sgx_ms, pipelined);
+           model.estimate_ms(channel.stats_snapshot(), compute_ms + sgx_ms,
+                             pipelined);
   }
 
   TestRng& rng() { return rng_; }

@@ -17,6 +17,20 @@
 
 using namespace seg;
 
+// A tampered download fails in one of two shapes: detected before the
+// response header (a plain error Response) or mid-stream, after DATA
+// frames are on the wire (an END error trailer the client raises as
+// DownloadAbortedError). Either way the verdict is the enclave's error
+// Response.
+static proto::Response attempt_get(client::UserClient& who,
+                                   const std::string& path) {
+  try {
+    return who.get_file(path).first;
+  } catch (const client::DownloadAbortedError& e) {
+    return e.response();
+  }
+}
+
 int main() {
   auto& rng = crypto::system_rng();
   tls::CertificateAuthority ca(rng);
@@ -46,7 +60,7 @@ int main() {
   std::printf("== Attack 1: bit-flip a stored ciphertext ==\n");
   alice.put_file("/contract.txt", to_bytes("pay 100 EUR"));
   content.tamper_flip_bit("f:/contract.txt.c0", 130);
-  auto r1 = alice.get_file("/contract.txt").first;
+  auto r1 = attempt_get(alice, "/contract.txt");
   std::printf("  read after tamper: %s (%s)\n", proto::status_name(r1.status),
               r1.message.c_str());
 
@@ -60,7 +74,7 @@ int main() {
   for (const auto& name : content.list())
     if (name.rfind("f:/policy.txt", 0) == 0 || name == "h:/policy.txt")
       content.rollback_blob(name);
-  auto r2 = alice.get_file("/policy.txt").first;
+  auto r2 = attempt_get(alice, "/policy.txt");
   std::printf("  read after rollback: %s (%s)\n",
               proto::status_name(r2.status), r2.message.c_str());
 
@@ -80,7 +94,7 @@ int main() {
   for (const auto& name : content.list())
     if (name.rfind("f:/secret.txt.acl", 0) == 0 || name == "h:/secret.txt.acl")
       content.rollback_blob(name);
-  auto r3 = bob.get_file("/secret.txt").first;
+  auto r3 = attempt_get(bob, "/secret.txt");
   std::printf("  bob's read with rolled-back ACL: %s (%s)\n",
               proto::status_name(r3.status), r3.message.c_str());
 
@@ -89,7 +103,7 @@ int main() {
   content.snapshot_all();
   alice.put_file("/ledger.txt", to_bytes("balance: 0 EUR"));
   content.rollback_all();  // perfectly consistent old state, stale balance
-  auto r4 = alice.get_file("/ledger.txt").first;
+  auto r4 = attempt_get(alice, "/ledger.txt");
   std::printf("  read after full rollback: %s (%s)\n",
               proto::status_name(r4.status), r4.message.c_str());
 

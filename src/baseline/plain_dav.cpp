@@ -1,5 +1,7 @@
 #include "baseline/plain_dav.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace seg::baseline {
@@ -97,7 +99,11 @@ void PlainDavServer::handle_frame(Connection& connection, BytesView message) {
       if (request.verb == proto::Verb::kPutFile) {
         connection.put = std::make_unique<PutState>();
         connection.put->request = request;
-        connection.put->body.reserve(request.body_size);
+        // Same hardening as UserClient::get_file: the announced size is
+        // untrusted, so cap the up-front reservation.
+        constexpr std::uint64_t kMaxAdvanceReserve = 16 * 1024 * 1024;
+        connection.put->body.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(request.body_size, kMaxAdvanceReserve)));
         return;
       }
       if (request.verb == proto::Verb::kGetFile) {
@@ -108,13 +114,17 @@ void PlainDavServer::handle_frame(Connection& connection, BytesView message) {
         }
         charge_storage(content->size());
         respond(proto::Status::kOk, content->size());
+        // Zero-copy framing (sendfile-style): {type byte, chunk} spans go
+        // straight into record buffers.
+        const std::uint8_t data_header =
+            proto::frame_header(proto::FrameType::kData);
         std::size_t pos = 0;
         while (pos < content->size()) {
           const std::size_t take =
               std::min(proto::kStreamChunk, content->size() - pos);
-          connection.channel->send_message(proto::frame(
-              proto::FrameType::kData,
-              BytesView(content->data() + pos, take)));
+          const BytesView spans[] = {BytesView(&data_header, 1),
+                                     BytesView(content->data() + pos, take)};
+          connection.channel->send_frames(spans);
           pos += take;
         }
         connection.channel->send_message(
@@ -136,6 +146,10 @@ void PlainDavServer::handle_frame(Connection& connection, BytesView message) {
       respond(proto::Status::kOk);
       return;
     }
+    case proto::FrameType::kClose:
+      // Orderly client shutdown: abandon any in-flight PUT, no response.
+      connection.put.reset();
+      return;
     case proto::FrameType::kResponse:
       throw ProtocolError("unexpected response frame");
   }

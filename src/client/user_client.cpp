@@ -1,5 +1,7 @@
 #include "client/user_client.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "crypto/sha2.h"
 
@@ -84,11 +86,16 @@ void UserClient::PutStream::append(BytesView data) {
   // Stream in fixed-size pieces, letting the server drain the pipe after
   // every piece (§VI streaming: the enclave needs only a small, constant
   // buffer per request).
+  // Zero-copy framing: the {type byte, chunk} spans are gathered straight
+  // into the channel's record buffers (kStreamChunk is sized so each DATA
+  // frame fills whole records).
+  const std::uint8_t data_header = proto::frame_header(proto::FrameType::kData);
   std::size_t pos = 0;
   while (pos < data.size()) {
     const std::size_t take = std::min(proto::kStreamChunk, data.size() - pos);
-    client_.channel_->send_message(
-        proto::frame(proto::FrameType::kData, data.subspan(pos, take)));
+    const BytesView spans[] = {BytesView(&data_header, 1),
+                               data.subspan(pos, take)};
+    client_.channel_->send_frames(spans);
     client_.pump_();
     pos += take;
   }
@@ -135,22 +142,38 @@ std::pair<proto::Response, Bytes> UserClient::get_file(
   const proto::Response header = read_response();
   if (!header.ok()) return {header, {}};
   Bytes content;
-  content.reserve(header.body_size);
+  // The header's body_size is attacker-influenced until the stream
+  // authenticates end to end: clamp the up-front reservation so a corrupt
+  // or malicious header cannot demand a multi-GB allocation before any
+  // data arrives. The vector still grows to the real size as DATA lands.
+  constexpr std::uint64_t kMaxAdvanceReserve = 16 * 1024 * 1024;
+  content.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header.body_size, kMaxAdvanceReserve)));
   for (;;) {
-    const auto [type, payload] = proto::unframe(channel_->recv_message());
+    const Bytes message = channel_->recv_message();
+    const auto [type, payload] = proto::unframe_view(message);
     switch (type) {
       case proto::FrameType::kData:
+        // Reject overruns as soon as they happen rather than buffering an
+        // unbounded body and only noticing at END.
+        if (payload.size() > header.body_size - content.size())
+          throw ProtocolError("client: body exceeds announced size");
         append(content, payload);
         continue;
       case proto::FrameType::kEnd:
+        if (!payload.empty())
+          // Error trailer: the server aborted the stream after the header
+          // (e.g. rollback detected by finalize()). Surface the verdict.
+          throw DownloadAbortedError(proto::Response::parse(payload));
         if (content.size() != header.body_size)
           throw ProtocolError("client: body size mismatch");
         return {header, std::move(content)};
       case proto::FrameType::kResponse:
-        // Server aborted the stream (e.g. rollback detected mid-download).
+        // Legacy abort shape (second response mid-stream).
         return {proto::Response::parse(payload), {}};
       case proto::FrameType::kRequest:
-        throw ProtocolError("client: unexpected request frame");
+      case proto::FrameType::kClose:
+        throw ProtocolError("client: unexpected frame type in download");
     }
   }
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "crypto/ed25519.h"
 #include "net/channel.h"
@@ -40,6 +41,21 @@ struct Identity {
 /// the CA issue the client certificate carrying `user_id` as identity).
 Identity enroll_user(RandomSource& rng, tls::CertificateAuthority& ca,
                      const std::string& user_id);
+
+/// A streamed GET was aborted by the server after its header (error
+/// trailer — see the frame grammar in proto/messages.h): the download
+/// failed mid-stream, e.g. rollback detected by finalize(). Carries the
+/// server's verdict; the partial body is discarded.
+class DownloadAbortedError : public Error {
+ public:
+  explicit DownloadAbortedError(proto::Response response)
+      : Error("client: download aborted: " + response.message),
+        response_(std::move(response)) {}
+  const proto::Response& response() const { return response_; }
+
+ private:
+  proto::Response response_;
+};
 
 class UserClient {
  public:

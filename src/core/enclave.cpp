@@ -424,7 +424,10 @@ bool is_read_only_verb(proto::Verb verb) {
 }  // namespace
 
 void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
-  const auto [type, payload] = proto::unframe(message);
+  // View parse: `payload` aliases `message` (alive for the whole call),
+  // so an inbound DATA frame's bytes reach the staged upload with no
+  // intermediate copy.
+  const auto [type, payload] = proto::unframe_view(message);
   try {
     switch (type) {
       case proto::FrameType::kRequest: {
@@ -680,16 +683,56 @@ void SegShareEnclave::do_get(Connection& connection,
   proto::Response header;
   header.body_size = download->size();
   send_response(connection, header);
-  for (std::uint64_t i = 0; i < download->chunk_count(); ++i) {
-    const Bytes chunk = download->read_chunk(i);
-    bytes_out_counter_->add(chunk.size());
-    exit_call(config_.switchless);
-    connection.channel->send_message(
-        proto::frame(proto::FrameType::kData, chunk));
+  // Past this point the Response header is on the wire: a failure can no
+  // longer surface through handle_frame's catch → error-Response path
+  // (the client would see two responses and wait forever for an END).
+  // Instead the stream ends with an error trailer (END frame carrying a
+  // serialized error Response) that the client raises as a typed error.
+  try {
+    // Zero-copy streaming: each chunk goes out as {type byte, chunk}
+    // spans gathered straight into record buffers — the chunk is never
+    // concatenated into a frame.
+    const std::uint8_t data_header =
+        proto::frame_header(proto::FrameType::kData);
+    for (std::uint64_t i = 0; i < download->chunk_count(); ++i) {
+      const Bytes chunk = download->read_chunk(i);
+      bytes_out_counter_->add(chunk.size());
+      exit_call(config_.switchless);
+      const BytesView spans[] = {BytesView(&data_header, 1),
+                                 BytesView(chunk)};
+      connection.channel->send_frames(spans);
+    }
+    download->finalize();  // throws on rollback before the END frame is sent
+  } catch (const StorageError& e) {
+    send_error_trailer(connection, proto::Status::kNotFound, e.what());
+    return;
+  } catch (const ProtocolError& e) {
+    send_error_trailer(connection, proto::Status::kBadRequest, e.what());
+    return;
+  } catch (const std::exception& e) {
+    send_error_trailer(connection, proto::Status::kError, e.what());
+    return;
   }
-  download->finalize();  // throws on rollback before the END frame is sent
   exit_call(config_.switchless);
   connection.channel->send_message(proto::frame(proto::FrameType::kEnd));
+}
+
+void SegShareEnclave::send_error_trailer(Connection& connection,
+                                         proto::Status status,
+                                         const std::string& message) {
+  proto::Response trailer;
+  trailer.status = status;
+  trailer.message = message;
+  if (telemetry::TraceSpan* span = telemetry::active_span()) {
+    span->status = static_cast<std::uint8_t>(status);
+    span->has_status = true;
+  }
+  const auto status_index = static_cast<std::size_t>(status);
+  if (status_index < status_counters_.size())
+    status_counters_[status_index]->add();
+  exit_call(config_.switchless);
+  connection.channel->send_message(
+      proto::frame(proto::FrameType::kEnd, trailer.serialize()));
 }
 
 // ----------------------------------------------------- namespace requests ---
@@ -1079,6 +1122,21 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
     snap.gauges["tfm.dedup.refs"] = dedup.refs;
     snap.gauges["tfm.dedup.blobs"] = dedup.blobs;
   }
+
+  // Wire-path copy meters (process-wide across all secure channels):
+  // copies-per-payload-byte = (gather + sealed) / payload ≤ 2 on the
+  // zero-copy send path.
+  const tls::WireStats& wire = tls::wire_stats();
+  snap.gauges["net.wire.messages"] =
+      wire.messages.load(std::memory_order_relaxed);
+  snap.gauges["net.wire.records"] =
+      wire.records.load(std::memory_order_relaxed);
+  snap.gauges["net.wire.payload_bytes"] =
+      wire.payload_bytes.load(std::memory_order_relaxed);
+  snap.gauges["net.wire.gather_bytes"] =
+      wire.gather_bytes.load(std::memory_order_relaxed);
+  snap.gauges["net.wire.sealed_bytes"] =
+      wire.sealed_bytes.load(std::memory_order_relaxed);
 
   snap.gauges["enclave.connections"] = connection_count();
   snap.gauges["enclave.traces_recorded"] = traces_.total_recorded();

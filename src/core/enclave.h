@@ -253,6 +253,12 @@ class SegShareEnclave : public sgx::Enclave {
   void remove_subtree(const std::string& path);
   void move_subtree(const std::string& from, const std::string& to);
   void send_response(Connection& connection, const proto::Response& response);
+  /// Ends a streamed GET that failed after its header was sent: an END
+  /// frame carrying a serialized error Response (the error trailer —
+  /// see the frame grammar in proto/messages.h). Not a response frame,
+  /// so it does not touch the one-response-per-op reconciliation counter.
+  void send_error_trailer(Connection& connection, proto::Status status,
+                          const std::string& message);
 
   // All enclave randomness flows through one mutex-guarded adapter so
   // concurrent service threads never interleave inside the underlying

@@ -6,22 +6,34 @@
 
 namespace seg::net {
 
-void DuplexChannel::End::send(BytesView message) {
+void DuplexChannel::End::meter_send(std::size_t size) {
   auto& channel = channel_;
-  const std::lock_guard<std::mutex> lock(channel.mutex_);
   const int direction = is_a_ ? 1 : 2;
   if (channel.last_direction_ != 0 && channel.last_direction_ != direction)
     ++channel.stats_.alternations;
   channel.last_direction_ = direction;
   if (is_a_) {
-    channel.stats_.bytes_a_to_b += message.size();
+    channel.stats_.bytes_a_to_b += size;
     ++channel.stats_.messages_a_to_b;
-    channel.to_b_.emplace_back(message.begin(), message.end());
   } else {
-    channel.stats_.bytes_b_to_a += message.size();
+    channel.stats_.bytes_b_to_a += size;
     ++channel.stats_.messages_b_to_a;
-    channel.to_a_.emplace_back(message.begin(), message.end());
   }
+}
+
+void DuplexChannel::End::send(BytesView message) {
+  auto& channel = channel_;
+  const std::lock_guard<std::mutex> lock(channel.mutex_);
+  meter_send(message.size());
+  (is_a_ ? channel.to_b_ : channel.to_a_)
+      .emplace_back(message.begin(), message.end());
+}
+
+void DuplexChannel::End::send(Bytes&& message) {
+  auto& channel = channel_;
+  const std::lock_guard<std::mutex> lock(channel.mutex_);
+  meter_send(message.size());
+  (is_a_ ? channel.to_b_ : channel.to_a_).push_back(std::move(message));
 }
 
 std::optional<Bytes> DuplexChannel::End::try_recv() {

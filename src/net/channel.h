@@ -43,6 +43,11 @@ class DuplexChannel {
   class End {
    public:
     void send(BytesView message);
+    /// Move-send: the buffer is moved into the queue, not re-copied.
+    /// Overload resolution prefers this for Bytes rvalues (exact match
+    /// beats BytesView's converting constructor), so the record buffers
+    /// built by the zero-copy wire path enter the channel for free.
+    void send(Bytes&& message);
     /// Pops the next message for this end, or nullopt when idle.
     std::optional<Bytes> try_recv();
     /// Pops the next message; throws ProtocolError if none is pending.
@@ -52,6 +57,7 @@ class DuplexChannel {
    private:
     friend class DuplexChannel;
     End(DuplexChannel& channel, bool is_a) : channel_(channel), is_a_(is_a) {}
+    void meter_send(std::size_t size);
     DuplexChannel& channel_;
     bool is_a_;
   };
@@ -64,12 +70,26 @@ class DuplexChannel {
   End& a() { return a_; }
   End& b() { return b_; }
 
-  /// Meter readings; callers read these between exchanges (not while
-  /// another thread is mid-send), so the references stay cheap.
+  /// Meter readings, copied under the channel lock — safe to call while
+  /// service threads are mid-send.
+  ChannelStats stats_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Zeroes the meters under the channel lock.
+  void reset_stats() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.reset();
+  }
+
+ private:
+  // Unsynchronized references to the live meters. Handing these out while
+  // another thread sends is a data race — use stats_snapshot()/
+  // reset_stats() instead; these stay only for the channel's internals.
   const ChannelStats& stats() const { return stats_; }
   ChannelStats& stats() { return stats_; }
 
- private:
   friend class End;
   End a_;
   End b_;

@@ -129,13 +129,17 @@ Bytes frame(FrameType type, BytesView payload) {
 }
 
 std::pair<FrameType, Bytes> unframe(BytesView message) {
+  const FrameView view = unframe_view(message);
+  return {view.type, Bytes(view.payload.begin(), view.payload.end())};
+}
+
+FrameView unframe_view(BytesView message) {
   if (message.empty()) throw ProtocolError("frame: empty message");
   const auto type = message[0];
   if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
       type > static_cast<std::uint8_t>(FrameType::kClose))
     throw ProtocolError("frame: unknown type");
-  return {static_cast<FrameType>(type),
-          Bytes(message.begin() + 1, message.end())};
+  return {static_cast<FrameType>(type), message.subspan(1)};
 }
 
 }  // namespace seg::proto

@@ -12,9 +12,22 @@
 // and per response:
 //   RESPONSE (header) · DATA* · END       for GET
 //   RESPONSE (header)                     otherwise
+// An END frame is normally empty. On a streamed GET the server may instead
+// send an END frame *carrying a serialized Response* (an "error trailer"):
+// the download failed after the header and some DATA frames were already
+// on the wire (e.g. rollback detected by finalize()), and the trailer
+// tells the client why instead of leaving it waiting for an END that
+// never comes. Clients surface a non-empty END payload as a typed error.
 // A CLOSE frame (no payload, no response) ends the connection cleanly so
 // the enclave and server can reclaim the slot immediately instead of
 // keeping half-open sessions alive forever.
+//
+// Every frame is one application message on the secure channel: a one-byte
+// frame type followed by the payload. The hot paths (DATA frames of a
+// streamed GET/PUT) never materialize that concatenation — the sender
+// hands the type byte and the payload to SecureChannel::send_frames as a
+// span list and the receiver parses with unframe_view, so payload bytes
+// are gathered once into the record buffer instead of copied per layer.
 #pragma once
 
 #include <cstdint>
@@ -99,8 +112,28 @@ Bytes frame(FrameType type, BytesView payload = {});
 /// Splits a framed message into (type, payload view copy).
 std::pair<FrameType, Bytes> unframe(BytesView message);
 
-/// Size of a streamed data frame's payload. Chosen below the TLS record
-/// budget so one DATA frame maps to a handful of records.
-constexpr std::size_t kStreamChunk = 64 * 1024;
+/// A parsed frame whose payload aliases the framed message — no copy.
+/// Valid only while the message buffer is alive and unmodified.
+struct FrameView {
+  FrameType type = FrameType::kClose;
+  BytesView payload;
+};
+
+/// Splits a framed message into a view — the zero-copy `unframe`.
+FrameView unframe_view(BytesView message);
+
+/// The one-byte wire header for a frame of the given type, for callers
+/// assembling a frame from spans (SecureChannel::send_frames).
+inline std::uint8_t frame_header(FrameType type) {
+  return static_cast<std::uint8_t>(type);
+}
+
+/// Size of a streamed data frame's payload. Chosen so a DATA frame
+/// message (1 type byte + payload) maps to exactly four full TLS-shaped
+/// records of tls::kMaxRecordPayload - 1 = 16383 fragment bytes each:
+/// 4 * 16383 - 1 = 65531. No runt tail record on the streaming hot path.
+/// (Asserted against the tls constants in tls_test.cpp; proto cannot
+/// include tls headers — the dependency points the other way.)
+constexpr std::size_t kStreamChunk = 65531;
 
 }  // namespace seg::proto

@@ -40,15 +40,22 @@ RecordLayer::RecordLayer(const SessionKeys& keys, bool is_client)
       read_salt_(is_client ? keys.server_iv_salt : keys.client_iv_salt) {}
 
 Bytes RecordLayer::protect(BytesView plaintext) {
+  Bytes record;
+  protect_into(plaintext, record);
+  return record;
+}
+
+void RecordLayer::protect_into(BytesView plaintext, Bytes& record) {
   if (plaintext.size() > kMaxRecordPayload)
     throw ProtocolError("record payload too large");
   crypto::AesGcm::Tag tag;
   const auto iv = nonce_for(write_salt_, send_seq_);
-  Bytes record = write_gcm_.seal(iv, record_aad(send_seq_, plaintext.size()),
-                                 plaintext, tag);
-  append(record, tag);
+  record.resize(plaintext.size() + tag.size());
+  write_gcm_.seal_to(iv, record_aad(send_seq_, plaintext.size()), plaintext,
+                     tag, record.data());
+  std::copy(tag.begin(), tag.end(),
+            record.begin() + static_cast<std::ptrdiff_t>(plaintext.size()));
   ++send_seq_;
-  return record;
 }
 
 Bytes RecordLayer::unprotect(BytesView record) {

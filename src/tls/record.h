@@ -34,6 +34,12 @@ class RecordLayer {
   /// Encrypts one record (payload <= kMaxRecordPayload).
   Bytes protect(BytesView plaintext);
 
+  /// Encrypts one record into a caller-owned buffer (resized to
+  /// plaintext.size() + tag). `record` must not alias `plaintext`. The
+  /// zero-allocation variant for the streaming send path: the seal is the
+  /// only transform the payload bytes go through.
+  void protect_into(BytesView plaintext, Bytes& record);
+
   /// Decrypts the next record from the peer; throws IntegrityError on
   /// tamper/replay/reorder (sequence numbers are implicit).
   Bytes unprotect(BytesView record);

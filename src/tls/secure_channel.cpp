@@ -1,5 +1,7 @@
 #include "tls/secure_channel.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace seg::tls {
@@ -10,18 +12,57 @@ constexpr std::uint8_t kFinal = 0;
 constexpr std::uint8_t kMore = 1;
 }  // namespace
 
+WireStats& wire_stats() {
+  static WireStats stats;
+  return stats;
+}
+
 void SecureChannel::send_message(BytesView message) {
-  std::size_t pos = 0;
+  const BytesView spans[] = {message};
+  send_frames(spans);
+}
+
+void SecureChannel::send_frames(std::span<const BytesView> spans) {
+  std::size_t total = 0;
+  for (const auto& span : spans) total += span.size();
+
+  auto& stats = wire_stats();
+  stats.messages.fetch_add(1, std::memory_order_relaxed);
+  stats.payload_bytes.fetch_add(total, std::memory_order_relaxed);
+
+  // Walk the span list once, cutting kFragmentPayload-sized records. The
+  // scratch buffer keeps its capacity across records and messages, so the
+  // steady-state loop allocates only the record buffer it moves away.
+  std::size_t span_index = 0;
+  std::size_t span_offset = 0;
+  std::size_t sent = 0;
   do {
-    const std::size_t take =
-        std::min(kFragmentPayload, message.size() - pos);
-    Bytes fragment;
-    fragment.reserve(take + 1);
-    fragment.push_back(pos + take < message.size() ? kMore : kFinal);
-    append(fragment, message.subspan(pos, take));
-    end_.send(record_layer_.protect(fragment));
-    pos += take;
-  } while (pos < message.size());
+    const std::size_t take = std::min(kFragmentPayload, total - sent);
+    scratch_.clear();
+    scratch_.reserve(take + 1);
+    scratch_.push_back(sent + take < total ? kMore : kFinal);
+    std::size_t gathered = 0;
+    while (gathered < take) {
+      const BytesView& span = spans[span_index];
+      if (span_offset == span.size()) {
+        ++span_index;
+        span_offset = 0;
+        continue;
+      }
+      const std::size_t piece =
+          std::min(take - gathered, span.size() - span_offset);
+      append(scratch_, span.subspan(span_offset, piece));
+      span_offset += piece;
+      gathered += piece;
+    }
+    stats.gather_bytes.fetch_add(take, std::memory_order_relaxed);
+    Bytes record;
+    record_layer_.protect_into(scratch_, record);
+    stats.sealed_bytes.fetch_add(take, std::memory_order_relaxed);
+    stats.records.fetch_add(1, std::memory_order_relaxed);
+    end_.send(std::move(record));
+    sent += take;
+  } while (sent < total);
 }
 
 Bytes SecureChannel::recv_message() {

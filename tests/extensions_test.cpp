@@ -191,7 +191,15 @@ TEST_F(RollbackTest, ContentOnlyRollbackDetected) {
   ASSERT_TRUE(alice.put_file("/f", Bytes(5000, 2)).ok());
   for (const auto& blob : blobs_of("/f"))
     if (blob.rfind("f:", 0) == 0) rig_.content_store().rollback_blob(blob);
-  EXPECT_EQ(alice.get_file("/f").first.status, proto::Status::kError);
+  // Chunk-level rollback is only detectable once the download is under
+  // way, i.e. after the response header — the stream ends with an error
+  // trailer the client raises as a typed error carrying the verdict.
+  try {
+    alice.get_file("/f");
+    FAIL() << "rolled-back download must not succeed";
+  } catch (const client::DownloadAbortedError& e) {
+    EXPECT_EQ(e.response().status, proto::Status::kError);
+  }
 }
 
 TEST_F(RollbackTest, AclRollbackDetected) {
@@ -284,10 +292,11 @@ TEST(ClientDedup, SecondUploadSkipsTheBody) {
   EXPECT_TRUE(uploaded);  // first copy travels
 
   // Bob's channel: measure bytes before/after the deduplicated upload.
-  const auto before = rig.channel(1).stats().bytes_a_to_b;
+  const auto before = rig.channel(1).stats_snapshot().bytes_a_to_b;
   ASSERT_TRUE(bob.put_file_deduplicated("/b", payload, &uploaded).ok());
   EXPECT_FALSE(uploaded);  // §V-A: "only upload the whole file if necessary"
-  const auto transferred = rig.channel(1).stats().bytes_a_to_b - before;
+  const auto transferred =
+      rig.channel(1).stats_snapshot().bytes_a_to_b - before;
   EXPECT_LT(transferred, 2'000u);  // probe only, no 300 KB body
 
   EXPECT_EQ(bob.get_file("/b").second, payload);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/error.h"
 #include "net/channel.h"
 
@@ -28,10 +30,21 @@ TEST(DuplexChannel, StatsCountBytesAndMessages) {
   channel.a().send(Bytes(100, 1));
   channel.a().send(Bytes(50, 2));
   channel.b().send(Bytes(10, 3));
-  EXPECT_EQ(channel.stats().bytes_a_to_b, 150u);
-  EXPECT_EQ(channel.stats().bytes_b_to_a, 10u);
-  EXPECT_EQ(channel.stats().messages_a_to_b, 2u);
-  EXPECT_EQ(channel.stats().messages_b_to_a, 1u);
+  const ChannelStats stats = channel.stats_snapshot();
+  EXPECT_EQ(stats.bytes_a_to_b, 150u);
+  EXPECT_EQ(stats.bytes_b_to_a, 10u);
+  EXPECT_EQ(stats.messages_a_to_b, 2u);
+  EXPECT_EQ(stats.messages_b_to_a, 1u);
+}
+
+TEST(DuplexChannel, MoveSendMetersLikeCopySend) {
+  DuplexChannel channel;
+  Bytes payload(100, 7);
+  channel.a().send(std::move(payload));  // rvalue → move overload
+  const ChannelStats stats = channel.stats_snapshot();
+  EXPECT_EQ(stats.bytes_a_to_b, 100u);
+  EXPECT_EQ(stats.messages_a_to_b, 1u);
+  EXPECT_EQ(channel.b().recv(), Bytes(100, 7));
 }
 
 TEST(DuplexChannel, RoundTripsFromAlternations) {
@@ -41,15 +54,15 @@ TEST(DuplexChannel, RoundTripsFromAlternations) {
   channel.b().send(to_bytes("resp1"));
   channel.a().send(to_bytes("req2"));
   channel.b().send(to_bytes("resp2"));
-  EXPECT_EQ(channel.stats().alternations, 3u);
-  EXPECT_EQ(channel.stats().round_trips(), 2u);
+  EXPECT_EQ(channel.stats_snapshot().alternations, 3u);
+  EXPECT_EQ(channel.stats_snapshot().round_trips(), 2u);
 }
 
 TEST(DuplexChannel, StatsReset) {
   DuplexChannel channel;
   channel.a().send(to_bytes("x"));
-  channel.stats().reset();
-  EXPECT_EQ(channel.stats().bytes_a_to_b, 0u);
+  channel.reset_stats();
+  EXPECT_EQ(channel.stats_snapshot().bytes_a_to_b, 0u);
   // Pending data is unaffected by a stats reset.
   EXPECT_TRUE(channel.b().pending());
 }

@@ -66,6 +66,68 @@ TEST(Response, ParseRejectsUnknownStatus) {
   EXPECT_THROW(Response::parse(data), ProtocolError);
 }
 
+// Adversarial truncation sweep: every strict prefix of a well-formed blob
+// must throw (never read out of bounds, never succeed on partial input).
+TEST(Request, EveryTruncationRejected) {
+  Request req;
+  req.verb = Verb::kMove;
+  req.path = "/from/here";
+  req.target = "/to/there";
+  req.group = "team-x";
+  req.perm = 7;
+  req.flag = true;
+  req.body_size = 0x1122334455667788ULL;
+  const Bytes full = req.serialize();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Bytes prefix(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(Request::parse(prefix), Error) << "prefix length " << len;
+  }
+  EXPECT_EQ(Request::parse(full).path, "/from/here");
+}
+
+TEST(Response, EveryTruncationRejected) {
+  Response resp;
+  resp.status = Status::kConflict;
+  resp.message = "already exists";
+  resp.body_size = 99;
+  resp.listing = {"/a", "/some/longer/entry", ""};
+  const Bytes full = resp.serialize();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Bytes prefix(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(Response::parse(prefix), Error) << "prefix length " << len;
+  }
+  EXPECT_EQ(Response::parse(full).listing.size(), 3u);
+}
+
+// A crafted listing count far beyond the data on hand must be rejected
+// up front (cheap plausibility check), not by attempting count
+// allocations/parses.
+TEST(Response, ListingCountOverflowRejected) {
+  Response resp;
+  Bytes data = resp.serialize();
+  // The count is the last 4 bytes of an empty response's serialization
+  // (status, message len, body_size, count).
+  ASSERT_GE(data.size(), 4u);
+  for (const std::uint32_t count :
+       {std::uint32_t{0xffffffff}, std::uint32_t{0x40000000},
+        std::uint32_t{1000}}) {
+    data[data.size() - 4] = static_cast<std::uint8_t>(count >> 24);
+    data[data.size() - 3] = static_cast<std::uint8_t>(count >> 16);
+    data[data.size() - 2] = static_cast<std::uint8_t>(count >> 8);
+    data[data.size() - 1] = static_cast<std::uint8_t>(count);
+    EXPECT_THROW(Response::parse(data), ProtocolError) << "count " << count;
+  }
+}
+
+TEST(Response, TrailingGarbageRejected) {
+  Response resp;
+  Bytes data = resp.serialize();
+  data.push_back(0);
+  EXPECT_THROW(Response::parse(data), ProtocolError);
+}
+
 TEST(Frame, RoundtripAllTypes) {
   for (const auto type : {FrameType::kRequest, FrameType::kResponse,
                           FrameType::kData, FrameType::kEnd}) {
@@ -92,6 +154,33 @@ TEST(Frame, CloseRoundTrips) {
   const auto [type, payload] = unframe(frame(FrameType::kClose));
   EXPECT_EQ(type, FrameType::kClose);
   EXPECT_TRUE(payload.empty());
+}
+
+TEST(Frame, UnframeViewAliasesMessage) {
+  const Bytes framed = frame(FrameType::kData, to_bytes("abc"));
+  const FrameView view = unframe_view(framed);
+  EXPECT_EQ(view.type, FrameType::kData);
+  EXPECT_EQ(view.payload.size(), 3u);
+  // Zero-copy: the view points into the framed buffer itself.
+  EXPECT_EQ(view.payload.data(), framed.data() + 1);
+  // And matches the copying unframe byte for byte.
+  const auto [type, payload] = unframe(framed);
+  EXPECT_EQ(type, view.type);
+  EXPECT_EQ(payload, Bytes(view.payload.begin(), view.payload.end()));
+}
+
+TEST(Frame, UnframeViewRejectsSameInputsAsUnframe) {
+  EXPECT_THROW(unframe_view(Bytes{0}), ProtocolError);
+  EXPECT_THROW(unframe_view(Bytes{6}), ProtocolError);
+  EXPECT_THROW(unframe_view({}), ProtocolError);
+}
+
+TEST(Frame, HeaderByteMatchesFrame) {
+  for (const auto type : {FrameType::kRequest, FrameType::kResponse,
+                          FrameType::kData, FrameType::kEnd,
+                          FrameType::kClose}) {
+    EXPECT_EQ(frame_header(type), frame(type).front());
+  }
 }
 
 TEST(Names, HumanReadable) {

@@ -3,12 +3,18 @@
 # sanitizer report fails the run (-fno-sanitize-recover + halt_on_error).
 #
 # Usage: run_sanitized.sh [asan|tsan|all]   (default: all)
-#   asan — ASan + UBSan  (preset "asan-ubsan", build dir build-asan/)
+#   asan — ASan + UBSan  (preset "asan-ubsan", build dir build-asan/);
+#          also covers the adversarial frame/parse sweeps in proto_test,
+#          the zero-copy record path and bit-identity checks in tls_test,
+#          and the hostile-server client hardening in wire_test (bounds
+#          of the gather/seal/view-aliasing buffers).
 #   tsan — ThreadSanitizer (preset "tsan",     build dir build-tsan/);
 #          exercises the concurrent request pipeline in concurrency_test,
 #          the switchless worker pool in sgx_test, the async store I/O
-#          pool in store_test/pfs_test, and the threaded pipeline on a
-#          real DiskStore in disk_integration_test.
+#          pool in store_test/pfs_test, the threaded pipeline on a
+#          real DiskStore in disk_integration_test, and the locked
+#          DuplexChannel stats_snapshot() / wire_stats() counters in
+#          net_test/wire_test.
 set -eu
 
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
