@@ -1,0 +1,151 @@
+// E11 — out-of-EPC paged metadata (DESIGN.md §9): per-mutation cost of
+// the dedup index as it grows from thousands to a million entries.
+//
+// The legacy resident index re-serializes and re-seals the WHOLE index on
+// every refcount mutation — O(n) bytes per PUT, O(n^2) to build, which is
+// why its sweep is capped. The authenticated page map touches one page
+// chain plus the in-enclave table: the sweep shows near-flat latency
+// 10k -> 1M entries under one fixed EPC cache budget.
+#include <cstdio>
+#include <string>
+
+#include "amap/authenticated_page_map.h"
+#include "bench_json.h"
+#include "bench_util.h"
+#include "common/sim_clock.h"
+#include "core/trusted_file_manager.h"
+#include "pfs/crypto_pool.h"
+
+using namespace seg;
+using namespace seg::bench;
+
+namespace {
+
+/// One dedup-style record: "r:<32 hex>" -> 8-byte refcount.
+std::string record_key(std::size_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r:%032zx", i);
+  return buf;
+}
+
+/// Direct amap sweep: seed `n` records, then time get+put+flush cycles
+/// (the exact shape of a refcount bump at a drain barrier).
+void sweep_amap(BenchReport& report, std::size_t n, std::size_t ops,
+                pfs::CryptoPool* pool) {
+  TestRng rng(0x5eed);
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore store;
+  amap::AmapOptions options;
+  options.name = "dedup";
+  options.cache_bytes = 256 << 10;  // FIXED budget across the whole sweep
+  options.platform = &platform;
+  options.pool = pool;
+  amap::AuthenticatedPageMap map(store, Bytes(16, 0x5a), rng, options);
+
+  Bytes refcount;
+  put_u64_be(refcount, 1);
+  Stopwatch seed_watch;
+  for (std::size_t i = 0; i < n; ++i) map.put(record_key(i), refcount);
+  map.flush();
+  const double seed_ms = seed_watch.elapsed_ms();
+
+  Stopwatch watch;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = record_key((i * 2654435761u) % n);
+    const Bytes current = map.get(key).value();
+    Bytes bumped;
+    put_u64_be(bumped, get_u64_be(current, 0) + 1);
+    map.put(key, bumped);
+    map.flush();  // the TFM flushes (and re-guards) at every op barrier
+  }
+  const double mutate_us =
+      static_cast<double>(watch.elapsed_ns()) / 1e3 / static_cast<double>(ops);
+
+  const auto stats = map.stats();
+  std::printf(
+      "amap  n=%8zu: %7.1f us/mutation (seed %7.0f ms, %5llu pages, "
+      "%4llu splits, cache %3llu KiB of %3llu KiB, table %4llu KiB)\n",
+      n, mutate_us, seed_ms,
+      static_cast<unsigned long long>(stats.pages),
+      static_cast<unsigned long long>(stats.splits),
+      static_cast<unsigned long long>(stats.cache_resident_bytes >> 10),
+      static_cast<unsigned long long>(stats.cache_budget_bytes >> 10),
+      static_cast<unsigned long long>(stats.table_bytes >> 10));
+  const std::string prefix = "amap.n_" + std::to_string(n);
+  report.add(prefix + ".mutation.mean", mutate_us, "us");
+  report.add(prefix + ".pages", static_cast<double>(stats.pages), "count");
+  report.add(prefix + ".table_kib",
+             static_cast<double>(stats.table_bytes) / 1024.0, "value");
+}
+
+/// TFM-level comparison at small n: duplicate uploads (pure refcount
+/// bumps) with the legacy resident index vs the paged map.
+double tfm_dup_upload_us(bool paged, std::size_t n, std::size_t ops) {
+  TestRng rng(0x7fa);
+  sgx::SgxPlatform platform(rng);
+  store::MemoryStore content, group, dedup;
+  core::EnclaveConfig config;
+  config.deduplication = true;
+  config.paged_metadata = paged;
+  config.metadata_cache_bytes = 1 << 20;  // legacy index stays resident
+  core::TrustedFileManager tfm(core::Stores{content, group, dedup},
+                               Bytes(16, 0x11), rng, config, &platform,
+                               sgx::measure(to_bytes("bench")));
+  const auto upload = [&](const std::string& path, const Bytes& body) {
+    auto up = tfm.begin_upload(path);
+    up->append(body);
+    up->finish();
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    upload("/seed" + std::to_string(i), rng.bytes(64));
+  const Bytes body = rng.bytes(64);
+  upload("/dup", body);
+
+  Stopwatch watch;
+  for (std::size_t i = 0; i < ops; ++i)
+    upload("/dup" + std::to_string(i), body);
+  return static_cast<double>(watch.elapsed_ns()) / 1e3 /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "E11  paged metadata: dedup mutation cost vs index size (DESIGN.md §9)",
+      "§V-A dedup index beyond EPC: O(page) refcount mutations via the "
+      "Merkle-authenticated page map");
+
+  BenchReport report("metadata");
+  pfs::CryptoPool pool(4);
+
+  // Part 1: the amap itself, 10k -> 1M records under one EPC budget.
+  {
+    const std::vector<std::size_t> sizes =
+        smoke_mode()   ? std::vector<std::size_t>{512, 2048}
+        : quick_mode() ? std::vector<std::size_t>{10'000, 100'000}
+                       : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+    const std::size_t ops = smoke_mode() ? 64 : 2'000;
+    std::printf("fixed 256 KiB page-cache budget, flush barrier per op:\n");
+    for (const std::size_t n : sizes) sweep_amap(report, n, ops, &pool);
+  }
+
+  // Part 2: end-to-end duplicate uploads through the TrustedFileManager.
+  // The legacy sweep is capped: building an n-entry index costs O(n^2)
+  // serialized bytes, and each further mutation re-writes all n entries.
+  {
+    const std::size_t legacy_n = smoke_mode() ? 128 : 2'000;
+    const std::size_t ops = smoke_mode() ? 16 : 200;
+    std::printf("\nduplicate upload end-to-end (n=%zu seeded entries):\n",
+                legacy_n);
+    const double legacy_us = tfm_dup_upload_us(false, legacy_n, ops);
+    const double paged_us = tfm_dup_upload_us(true, legacy_n, ops);
+    std::printf("  legacy resident index: %8.1f us/upload\n", legacy_us);
+    std::printf("  paged amap index:      %8.1f us/upload\n", paged_us);
+    report.add("tfm.legacy.dup_upload.mean", legacy_us, "us");
+    report.add("tfm.paged.dup_upload.mean", paged_us, "us");
+  }
+
+  report.write();
+  return 0;
+}

@@ -1,0 +1,256 @@
+// Authenticated paged map — out-of-EPC metadata at millions-of-files
+// scale (DESIGN.md §9).
+//
+// The enclave-resident metadata structures (dedup index, hash-header
+// sidecars, ACL/directory records) stop scaling long before the ROADMAP's
+// millions-of-users target: EPC is small (§II-A), and the legacy dedup
+// index was a single blob re-serialized and re-encrypted on every
+// refcount mutation — O(total files) per PUT/DELETE. This layer moves the
+// bulk of that state to untrusted storage as fixed-size encrypted pages
+// while keeping only a compact page table inside the enclave:
+//
+//  * Layout: linear hashing (Litwin). A key maps to a bucket by a keyed
+//    hash; each bucket is a short chain of fixed-size pages. When an
+//    insert overflows a bucket, exactly ONE bucket (the split pointer) is
+//    rehashed into two — every mutation touches O(page), never O(map).
+//  * Authenticity + freshness: each page is sealed with AES-GCM (IV ||
+//    ciphertext || tag, AAD binds map name + page id) and its 16-byte GCM
+//    tag is pinned in the in-enclave page table. A flipped byte, a forged
+//    page or a replayed stale page all fail closed: the stored tag no
+//    longer matches the pinned one. The table itself persists in two
+//    levels so a flush never re-seals O(map) bytes: fixed-span SEGMENT
+//    blobs (the pinned tags of 256 buckets each; only segments touched
+//    since the last flush are re-sealed) and a small MANIFEST blob that
+//    pins every segment's GCM tag plus the hash geometry. The manifest's
+//    serialized form hashes to a single root digest — the Merkle root the
+//    owner can guard (sealed state, protected memory, counters) for
+//    cross-restart freshness: root pins manifest, manifest pins segments,
+//    segments pin pages.
+//  * EPC budget: decrypted pages are cached in a core::LruCache charged
+//    against the SgxPlatform residency model under `cache_bytes`; dirty
+//    pages are held out of the LRU, charged separately, and written back
+//    in coalesced batches (flush() at the caller's drain barriers, or
+//    automatically once `dirty_flush_bytes` of pages are pending) instead
+//    of write-through-per-mutation.
+//  * Parallel crypto: a pfs::CryptoPool fans page seal (write-back batch)
+//    and multi-page chain open across the enclave's crypto workers; IVs
+//    are pre-drawn serially so stored bytes are deterministic for any
+//    worker count.
+//
+// The map is internally synchronized: concurrent readers populating the
+// cold tier under the file manager's shared lock serialize on one mutex.
+// Crash note: flush() writes pages first and the page-table blob last; a
+// crash in between leaves table and pages inconsistent, which reopen()
+// reports as tampering (fail closed — recoverable via the §V-G restore
+// path), never as silently stale data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/metadata_cache.h"
+#include "crypto/gcm.h"
+#include "crypto/sha2.h"
+#include "pfs/crypto_pool.h"
+#include "sgx/platform.h"
+#include "store/untrusted_store.h"
+
+namespace seg::amap {
+
+struct AmapOptions {
+  /// Namespace inside the untrusted store; blobs are named
+  /// "__amap:<name>:p<bucket>.<index>" (pages), "__amap:<name>:t<seg>"
+  /// (table segments) and "__amap:<name>:dir" (table manifest).
+  std::string name = "map";
+  /// Sealed page plaintext size. Every page blob is exactly this many
+  /// bytes plus the constant AES-GCM overhead, so the provider learns
+  /// nothing from page sizes.
+  std::size_t page_bytes = 4096;
+  /// EPC byte budget for the clean decrypted-page cache (0 keeps no clean
+  /// pages resident — every read re-opens its page).
+  std::size_t cache_bytes = 0;
+  /// Dirty bytes that trigger an automatic write-back batch between
+  /// explicit flush() barriers. 0 picks 16 pages.
+  std::size_t dirty_flush_bytes = 0;
+  /// Initial bucket count (must be a power of two).
+  std::size_t initial_buckets = 8;
+  /// Parallel page seal/open; null or disabled runs inline.
+  pfs::CryptoPool* pool = nullptr;
+  /// Cost accounting: store round trips are charged as (switchless)
+  /// ocalls, materialized pages as EPC touches, cache/dirty/page-table
+  /// residency via adjust_epc_resident.
+  sgx::SgxPlatform* platform = nullptr;
+  bool switchless = true;
+};
+
+class AuthenticatedPageMap {
+ public:
+  /// `key` (16 or 32 bytes) seals pages and the page-table blob. If a
+  /// page-table blob already exists under this name it is loaded and its
+  /// authenticity verified (freshness against a guarded root is the
+  /// caller's contract — see reopen()).
+  AuthenticatedPageMap(store::UntrustedStore& store, BytesView key,
+                       RandomSource& rng, AmapOptions options);
+  ~AuthenticatedPageMap();
+  AuthenticatedPageMap(const AuthenticatedPageMap&) = delete;
+  AuthenticatedPageMap& operator=(const AuthenticatedPageMap&) = delete;
+
+  /// Largest key+value an entry may carry (one entry must fit a page).
+  std::size_t max_entry_bytes() const;
+
+  /// Copies the value out, or nullopt. Throws RollbackError when the
+  /// stored page does not match its pinned tag (tamper/replay) and
+  /// IntegrityError when authenticated decryption itself fails.
+  std::optional<Bytes> get(const std::string& key);
+
+  /// Inserts or replaces. Returns false (and stores nothing) when
+  /// key+value exceed max_entry_bytes() — callers using the map as a
+  /// cold-tier cache skip oversize records; authoritative callers treat
+  /// false as a hard error. The mutation lands in an in-enclave dirty
+  /// page; durability comes at the next flush()/write-back.
+  bool put(const std::string& key, BytesView value);
+
+  /// Removes the entry; returns whether it existed.
+  bool erase(const std::string& key);
+
+  std::uint64_t entry_count() const;
+
+  /// Writes every dirty page back (sealed in parallel when a pool is
+  /// attached) and persists the page table. Returns true when anything
+  /// was written — the caller re-guards root() then.
+  bool flush();
+
+  /// Digest over the serialized table manifest (hash geometry + every
+  /// pinned segment tag): the Merkle root pinning the entire map. Flushes
+  /// first so the root always describes the persisted state.
+  crypto::Sha256::Digest root();
+
+  /// Drops in-enclave state AND deletes every page + the table blob from
+  /// the store. Used for cache-tier maps that restart cold.
+  void clear();
+
+  /// Re-loads the page table from the store (restart / §V-G restore),
+  /// discarding any in-enclave state. Throws RollbackError when
+  /// `expected_root` is given and the freshly loaded root differs.
+  void reopen(const std::optional<crypto::Sha256::Digest>& expected_root);
+
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t page_hits = 0;    // clean-cache or dirty-page hits
+    std::uint64_t page_misses = 0;  // page opened from the store
+    std::uint64_t page_evictions = 0;
+    std::uint64_t dirty_pages = 0;
+    std::uint64_t dirty_bytes = 0;
+    std::uint64_t writeback_pages = 0;    // pages sealed + stored
+    std::uint64_t writeback_batches = 0;  // flush batches that wrote
+    std::uint64_t cache_resident_bytes = 0;
+    std::uint64_t cache_budget_bytes = 0;
+    std::uint64_t table_bytes = 0;  // in-enclave page-table residency
+  };
+  Stats stats() const;
+
+ private:
+  // One decrypted page: unordered entry list (linear scan within a page —
+  // a page holds at most a few dozen entries).
+  using Page = std::vector<std::pair<std::string, Bytes>>;
+
+  struct Bucket {
+    std::vector<crypto::AesGcm::Tag> page_tags;  // chain, index 0 first
+  };
+
+  std::string page_blob(std::size_t bucket, std::size_t index) const;
+  std::string segment_blob(std::size_t segment) const;
+  std::string table_blob() const;
+  Bytes page_aad(std::size_t bucket, std::size_t index) const;
+  Bytes segment_aad(std::size_t segment) const;
+
+  std::uint64_t key_hash(const std::string& key) const;
+  std::size_t bucket_of(std::uint64_t hash) const;
+
+  Bytes serialize_page(const Page& page) const;
+  Page parse_page(BytesView plain) const;
+  std::size_t page_payload_bytes(const Page& page) const;
+
+  /// Table segments: each covers a fixed span of buckets, so one flush
+  /// re-seals only the segments whose chains changed, never O(map).
+  std::size_t segment_count() const;
+  Bytes serialize_segment(std::size_t segment) const;
+  /// The manifest: geometry + every segment's pinned GCM tag. Its SHA-256
+  /// is root().
+  Bytes serialize_manifest() const;
+  /// Parses the manifest plaintext, then loads and verifies every segment
+  /// blob against its pinned tag (replayed/tampered segments fail closed).
+  void load_table(BytesView manifest_plain);
+
+  /// Loads (dirty > clean cache > store) one page of `bucket`'s chain.
+  Page load_page(std::size_t bucket, std::size_t index);
+  /// Loads the whole chain (multi-page cold opens fan across the pool).
+  std::vector<Page> load_chain(std::size_t bucket);
+  Bytes open_page_blob(std::size_t bucket, std::size_t index) const;
+  void mark_dirty(std::size_t bucket, std::size_t index, Page page);
+  /// Greedy first-fit re-pack of a chain's entries into fresh pages.
+  std::vector<Page> repack(std::vector<Page> pages) const;
+  /// Replaces `bucket`'s chain, retiring shrunk slots and dirtying the rest.
+  void write_chain(std::size_t bucket, std::vector<Page> pages);
+
+  void split_one_bucket();
+  void maybe_autoflush_locked();
+  bool flush_locked();
+  void charge_io() const;
+  void adjust_table_residency();
+
+  void persist_table();
+
+  store::UntrustedStore& store_;
+  RandomSource& rng_;
+  AmapOptions options_;
+  crypto::AesGcm gcm_;
+  Bytes hash_key_;  // keyed bucket hash (hides key structure from layout)
+
+  mutable std::mutex mutex_;
+  // Linear-hashing state: bucket count = initial_buckets << level_, the
+  // first split_next_ of which have already been split into this level+1.
+  std::size_t level_ = 0;
+  std::size_t split_next_ = 0;
+  std::vector<Bucket> buckets_;
+  std::uint64_t entries_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t pages_ = 0;  // total pages across all chains
+  bool table_dirty_ = false;
+  // Pinned GCM tags of the persisted table segments (manifest content)
+  // and the segments owning a bucket whose chain changed since the last
+  // flush — the only ones the next flush re-seals.
+  std::vector<crypto::AesGcm::Tag> segment_tags_;
+  std::set<std::size_t> dirty_segments_;
+
+  // Clean decrypted pages (LRU, EPC-budgeted). Keyed by page blob name.
+  core::LruCache<Page> cache_;
+  // Dirty pages: authoritative until written back; never in the LRU.
+  struct DirtyPage {
+    std::size_t bucket;
+    std::size_t index;
+    Page page;
+  };
+  std::map<std::string, DirtyPage> dirty_;
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t table_bytes_ = 0;  // registered page-table residency
+
+  std::uint64_t hits_ = 0;    // dirty- or clean-cache page hits
+  std::uint64_t misses_ = 0;  // pages opened from the store
+  std::uint64_t writeback_pages_ = 0;
+  std::uint64_t writeback_batches_ = 0;
+};
+
+}  // namespace seg::amap

@@ -80,6 +80,21 @@ struct EnclaveConfig {
   /// uncached code paths. Cached bytes count against the simulated EPC,
   /// so oversizing the budget shows up as paging cost, not free speed.
   std::size_t metadata_cache_bytes = 0;
+  /// Out-of-EPC paged metadata (DESIGN.md §9): route the dedup index and
+  /// the header/object cold tiers through `amap::AuthenticatedPageMap` —
+  /// fixed-size AES-GCM pages in the untrusted store pinned by an
+  /// in-enclave Merkle page table — so a refcount mutation touches one
+  /// page instead of re-serializing the whole index, and metadata
+  /// capacity is bounded by disk instead of EPC. The legacy single-blob
+  /// index format is still read/written when this is off.
+  bool paged_metadata = false;
+  /// EPC byte budget for the clean decrypted-page caches of the paged
+  /// metadata maps (split between the dedup map and the header/object
+  /// cold-tier map). Counts against the simulated EPC.
+  std::size_t amap_cache_bytes = 256 * 1024;
+  /// Logical page size of the paged metadata maps. Every stored page blob
+  /// has this plaintext size (padded), so fill levels don't leak.
+  std::size_t amap_page_bytes = 4096;
   /// Capacity of the in-enclave ring of recent request traces (DESIGN.md
   /// §8). Each retained TraceSpan is a small fixed-size struct with no
   /// request data, so the default costs a few KiB of enclave memory.

@@ -1121,6 +1121,30 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
     snap.gauges["tfm.dedup.releases"] = dedup.releases;
     snap.gauges["tfm.dedup.refs"] = dedup.refs;
     snap.gauges["tfm.dedup.blobs"] = dedup.blobs;
+
+    // Out-of-EPC paged metadata (DESIGN.md §9). Two instances: the
+    // authoritative dedup map and the header/object cold tier. Names are
+    // fixed strings — no key material or logical names can leak here.
+    const TrustedFileManager::AmapStats am = tfm_->amap_stats();
+    snap.gauges["amap.enabled"] = am.enabled ? 1 : 0;
+    const auto amap_tier = [&snap](const char* name,
+                                   const amap::AuthenticatedPageMap::Stats& s) {
+      const std::string prefix = std::string("amap.") + name;
+      snap.gauges[prefix + ".entries"] = s.entries;
+      snap.gauges[prefix + ".pages"] = s.pages;
+      snap.gauges[prefix + ".splits"] = s.splits;
+      snap.gauges[prefix + ".page_hits"] = s.page_hits;
+      snap.gauges[prefix + ".page_misses"] = s.page_misses;
+      snap.gauges[prefix + ".page_evictions"] = s.page_evictions;
+      snap.gauges[prefix + ".dirty_pages"] = s.dirty_pages;
+      snap.gauges[prefix + ".writeback_pages"] = s.writeback_pages;
+      snap.gauges[prefix + ".writeback_batches"] = s.writeback_batches;
+      snap.gauges[prefix + ".resident_bytes"] = s.cache_resident_bytes;
+      snap.gauges[prefix + ".budget_bytes"] = s.cache_budget_bytes;
+      snap.gauges[prefix + ".table_bytes"] = s.table_bytes;
+    };
+    amap_tier("dedup", am.dedup);
+    amap_tier("meta", am.meta);
   }
 
   // Wire-path copy meters (process-wide across all secure channels):

@@ -154,6 +154,28 @@ TrustedFileManager::TrustedFileManager(Stores stores, BytesView root_key,
   if (config_.fs_guard == FsRollbackGuard::kProtectedMemory &&
       platform_ == nullptr)
     throw EnclaveError("protected-memory guard requires a platform");
+  if (config_.paged_metadata) {
+    amap::AmapOptions base;
+    base.page_bytes = config_.amap_page_bytes;
+    base.pool = crypto_pool_.get();
+    base.platform = platform_;
+    base.switchless = config_.switchless;
+    if (config_.deduplication) {
+      amap::AmapOptions o = base;
+      o.name = "dedup";
+      o.cache_bytes = config_.amap_cache_bytes / 2;
+      dedup_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
+          dedup_store_, crypto::hkdf({}, root_key, to_bytes("amap-dedup"), 16),
+          rng, std::move(o));
+    }
+    amap::AmapOptions o = base;
+    o.name = "meta";
+    o.cache_bytes = config_.amap_cache_bytes -
+                    (config_.deduplication ? config_.amap_cache_bytes / 2 : 0);
+    meta_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
+        content_store_, crypto::hkdf({}, root_key, to_bytes("amap-meta"), 16),
+        rng, std::move(o));
+  }
 }
 
 TrustedFileManager::GuardState TrustedFileManager::guard_state() const {
@@ -192,6 +214,15 @@ Bytes TrustedFileManager::read(const std::string& logical) const {
   const bool cacheable = is_metadata_object(logical);
   if (cacheable) {
     if (auto hit = object_cache_.get(logical)) return std::move(*hit);
+    if (meta_amap_) {
+      // Cold tier: the paged map only ever holds records this enclave
+      // validated and wrote through, so a hit carries the same freshness
+      // argument as the EPC-resident object cache (DESIGN.md §9).
+      if (auto hit = meta_amap_->get("o:" + logical)) {
+        object_cache_.put(logical, *hit, hit->size());
+        return std::move(*hit);
+      }
+    }
   }
   Bytes content = raw_read_content(logical);
   if (config_.rollback_protection)
@@ -204,12 +235,18 @@ Bytes TrustedFileManager::read(const std::string& logical) const {
     const auto mac = crypto::HmacSha256::mac(root_key_, data);
     if (to_hex(mac) != hname)
       throw RollbackError("dedup object does not match its name");
-    if (cacheable) object_cache_.put(logical, data, data.size());
+    if (cacheable) {
+      object_cache_.put(logical, data, data.size());
+      if (meta_amap_) meta_amap_->put("o:" + logical, data);
+    }
     return data;
   }
   // Insert only after validation so tampered store content can never
   // poison the cache.
-  if (cacheable) object_cache_.put(logical, content, content.size());
+  if (cacheable) {
+    object_cache_.put(logical, content, content.size());
+    if (meta_amap_) meta_amap_->put("o:" + logical, content);
+  }
   return content;
 }
 
@@ -220,9 +257,12 @@ void TrustedFileManager::write(const std::string& logical, BytesView content) {
   content_fs_.write_file(physical(logical), content);
   if (config_.rollback_protection)
     tree_on_write(logical, crypto::Sha256::hash(content));
-  if (is_metadata_object(logical))
+  if (is_metadata_object(logical)) {
     object_cache_.put(logical, Bytes(content.begin(), content.end()),
                       content.size());
+    if (meta_amap_) meta_amap_->put("o:" + logical, content);
+  }
+  flush_paged_metadata();
 }
 
 void TrustedFileManager::remove(const std::string& logical) {
@@ -230,6 +270,8 @@ void TrustedFileManager::remove(const std::string& logical) {
   content_fs_.remove_file(physical(logical));
   if (config_.rollback_protection) tree_on_remove(logical);
   object_cache_.erase(logical);
+  if (meta_amap_) meta_amap_->erase("o:" + logical);
+  flush_paged_metadata();
 }
 
 void TrustedFileManager::move_object(const std::string& from,
@@ -243,8 +285,14 @@ void TrustedFileManager::move_object(const std::string& from,
   }
   object_cache_.erase(from);
   object_cache_.erase(to);
-  if (is_metadata_object(to) && !(config_.deduplication && is_link(raw)))
+  if (meta_amap_) {
+    meta_amap_->erase("o:" + from);
+    meta_amap_->erase("o:" + to);
+  }
+  if (is_metadata_object(to) && !(config_.deduplication && is_link(raw))) {
     object_cache_.put(to, raw, raw.size());
+    if (meta_amap_) meta_amap_->put("o:" + to, raw);
+  }
 }
 
 std::uint64_t TrustedFileManager::logical_size(
@@ -304,40 +352,70 @@ void TrustedFileManager::Upload::finish() {
     // §V-A: deduplicate by content MAC; the single encrypted copy lives in
     // the dedup store, the content store holds an indirection.
     const std::string hname = to_hex(dedup_mac_.finish());
-    tfm_.with_dedup_index([&](DedupIndex& index) {
-      const auto it = index.refcounts.find(hname);
+    if (tfm_.paged_dedup()) {
+      // Paged mode: the refcount bump touches one amap page (O(page))
+      // instead of re-serializing the whole index (O(total files)).
+      auto& am = *tfm_.dedup_amap_;
+      const auto rc = am.get("r:" + hname);
       const std::lock_guard<std::mutex> stats_lock(tfm_.dedup_stats_mutex_);
-      if (it != index.refcounts.end()) {
-        ++it->second;
+      Bytes encoded;
+      if (rc) {
+        put_u64_be(encoded, get_u64_be(*rc, 0) + 1);
         tfm_.dedup_fs_.remove_file(temp_name_);
         ++tfm_.dedup_stats_.hits;
       } else {
+        put_u64_be(encoded, 1);
         tfm_.dedup_fs_.rename_file(temp_name_, hname);
-        index.refcounts[hname] = 1;
         ++tfm_.dedup_stats_.stores;
         ++tfm_.dedup_stats_.blobs;
       }
+      am.put("r:" + hname, encoded);
       ++tfm_.dedup_stats_.refs;
       if (tfm_.config_.client_side_dedup) {
-        // Remember the plaintext hash so later probes can hit.
         crypto::Sha256 copy = content_hash_;
-        index.client_index[to_hex(copy.finish())] = hname;
+        const std::string chash = to_hex(copy.finish());
+        am.put("c:" + chash, to_bytes(hname));
+        am.put("b:" + hname, to_bytes(chash));
       }
-      return true;
-    });
+    } else {
+      tfm_.with_dedup_index([&](DedupIndex& index) {
+        const auto it = index.refcounts.find(hname);
+        const std::lock_guard<std::mutex> stats_lock(tfm_.dedup_stats_mutex_);
+        if (it != index.refcounts.end()) {
+          ++it->second;
+          tfm_.dedup_fs_.remove_file(temp_name_);
+          ++tfm_.dedup_stats_.hits;
+        } else {
+          tfm_.dedup_fs_.rename_file(temp_name_, hname);
+          index.refcounts[hname] = 1;
+          ++tfm_.dedup_stats_.stores;
+          ++tfm_.dedup_stats_.blobs;
+        }
+        ++tfm_.dedup_stats_.refs;
+        if (tfm_.config_.client_side_dedup) {
+          // Remember the plaintext hash so later probes can hit.
+          crypto::Sha256 copy = content_hash_;
+          index.client_index[to_hex(copy.finish())] = hname;
+        }
+        return true;
+      });
+    }
 
     // If the logical file previously pointed at other content, release it.
     if (tfm_.exists(logical_)) tfm_.remove(logical_);
     const Bytes link = make_link(hname);
     tfm_.content_fs_.write_file(tfm_.physical(logical_), link);
     tfm_.object_cache_.erase(logical_);
+    if (tfm_.meta_amap_) tfm_.meta_amap_->erase("o:" + logical_);
     if (tfm_.config_.rollback_protection)
       tfm_.tree_on_write(logical_, crypto::Sha256::hash(link));
+    tfm_.flush_paged_metadata();
     return;
   }
 
   tfm_.content_fs_.rename_file(temp_name_, tfm_.physical(logical_));
   tfm_.object_cache_.erase(logical_);
+  if (tfm_.meta_amap_) tfm_.meta_amap_->erase("o:" + logical_);
   if (tfm_.config_.rollback_protection)
     tfm_.tree_on_write(logical_, content_hash_.finish());
 }
@@ -351,25 +429,46 @@ bool TrustedFileManager::commit_by_hash(
     const std::string& logical, const crypto::Sha256::Digest& content_hash) {
   if (!config_.deduplication || !config_.client_side_dedup)
     throw ProtocolError("client-side dedup disabled");
+  // Probe read-only first: a miss (the common case for novel content)
+  // must not construct a mutable index copy or dirty any pages.
   std::string hname;
-  const bool known = with_dedup_index([&](DedupIndex& index) {
-    const auto hit = index.client_index.find(to_hex(content_hash));
-    if (hit == index.client_index.end()) return false;
-    hname = hit->second;
-    ++index.refcounts[hname];
+  if (paged_dedup()) {
+    if (const auto hit = dedup_amap_->get("c:" + to_hex(content_hash)))
+      hname = to_string(*hit);
+  } else {
+    peek_dedup_index([&](const DedupIndex& index) {
+      const auto hit = index.client_index.find(to_hex(content_hash));
+      if (hit != index.client_index.end()) hname = hit->second;
+    });
+  }
+  if (hname.empty()) return false;
+
+  if (paged_dedup()) {
+    const auto rc = dedup_amap_->get("r:" + hname);
+    Bytes encoded;
+    put_u64_be(encoded, rc ? get_u64_be(*rc, 0) + 1 : 1);
+    dedup_amap_->put("r:" + hname, encoded);
     const std::lock_guard<std::mutex> stats_lock(dedup_stats_mutex_);
     ++dedup_stats_.hits;
     ++dedup_stats_.refs;
-    return true;
-  });
-  if (!known) return false;
+  } else {
+    with_dedup_index([&](DedupIndex& index) {
+      ++index.refcounts[hname];
+      const std::lock_guard<std::mutex> stats_lock(dedup_stats_mutex_);
+      ++dedup_stats_.hits;
+      ++dedup_stats_.refs;
+      return true;
+    });
+  }
 
   if (exists(logical)) remove(logical);
   const Bytes link = make_link(hname);
   content_fs_.write_file(physical(logical), link);
   object_cache_.erase(logical);
+  if (meta_amap_) meta_amap_->erase("o:" + logical);
   if (config_.rollback_protection)
     tree_on_write(logical, crypto::Sha256::hash(link));
+  flush_paged_metadata();
   return true;
 }
 
@@ -579,27 +678,40 @@ std::size_t TrustedFileManager::header_bytes(const HashHeader& header) {
 std::optional<TrustedFileManager::HashHeader> TrustedFileManager::load_header(
     const std::string& logical) const {
   if (auto cached = header_cache_.get(logical)) return cached;
+  if (meta_amap_) {
+    // Cold tier below the EPC-resident header cache: one amap page read
+    // replaces the per-header store round trip + GCM open (the page is
+    // opened once and amortized over every header it holds).
+    if (const auto hit = meta_amap_->get("h:" + logical)) {
+      HashHeader header = HashHeader::parse(*hit, config_.rollback_buckets);
+      header_cache_.put(logical, header, header_bytes(header));
+      return header;
+    }
+  }
   const auto blob = content_store_.get(header_blob(logical));
   if (!blob) return std::nullopt;
   const Bytes plain =
       crypto::pae_decrypt_with(header_gcm_, *blob, to_bytes("hdr:" + logical));
   HashHeader header = HashHeader::parse(plain, config_.rollback_buckets);
   header_cache_.put(logical, header, header_bytes(header));
+  if (meta_amap_) meta_amap_->put("h:" + logical, plain);
   return header;
 }
 
 void TrustedFileManager::store_header(const std::string& logical,
                                       const HashHeader& header) {
+  const Bytes plain = header.serialize();
   content_store_.put(header_blob(logical),
-                     crypto::pae_encrypt_with(header_gcm_, rng_,
-                                              header.serialize(),
+                     crypto::pae_encrypt_with(header_gcm_, rng_, plain,
                                               to_bytes("hdr:" + logical)));
   header_cache_.put(logical, header, header_bytes(header));
+  if (meta_amap_) meta_amap_->put("h:" + logical, plain);
 }
 
 void TrustedFileManager::remove_header(const std::string& logical) {
   content_store_.remove(header_blob(logical));
   header_cache_.erase(logical);
+  if (meta_amap_) meta_amap_->erase("h:" + logical);
 }
 
 std::size_t TrustedFileManager::bucket_of(const std::string& logical) const {
@@ -854,9 +966,16 @@ TrustedFileManager::DedupIndex TrustedFileManager::DedupIndex::parse(
   return index;
 }
 
-TrustedFileManager::DedupIndex TrustedFileManager::load_dedup_index() const {
-  if (!dedup_fs_.exists(kDedupIndexRecord)) return DedupIndex{};
-  return DedupIndex::parse(dedup_fs_.read_file(kDedupIndexRecord));
+TrustedFileManager::DedupIndex TrustedFileManager::load_dedup_index(
+    std::size_t* serialized_size) const {
+  if (!dedup_fs_.exists(kDedupIndexRecord)) {
+    DedupIndex empty;
+    if (serialized_size != nullptr) *serialized_size = empty.serialize().size();
+    return empty;
+  }
+  const Bytes data = dedup_fs_.read_file(kDedupIndexRecord);
+  if (serialized_size != nullptr) *serialized_size = data.size();
+  return DedupIndex::parse(data);
 }
 
 void TrustedFileManager::save_dedup_index(const DedupIndex& index) {
@@ -877,6 +996,9 @@ void TrustedFileManager::set_dedup_index_residency(std::size_t bytes) {
 
 bool TrustedFileManager::with_dedup_index(
     const std::function<bool(DedupIndex&)>& fn) {
+  if (paged_dedup())
+    throw EnclaveError("with_dedup_index: the paged dedup amap is "
+                       "authoritative in paged mode");
   const bool resident_mode = config_.metadata_cache_bytes != 0;
   if (!resident_mode) {
     DedupIndex index = load_dedup_index();
@@ -889,8 +1011,11 @@ bool TrustedFileManager::with_dedup_index(
       const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
       ++dedup_index_counters_.misses;
     }
-    dedup_index_resident_ = load_dedup_index();
-    set_dedup_index_residency(dedup_index_resident_->serialize().size());
+    // The stored record's size IS the serialized size: no redundant
+    // serialize() pass just for residency accounting.
+    std::size_t serialized_size = 0;
+    dedup_index_resident_ = load_dedup_index(&serialized_size);
+    set_dedup_index_residency(serialized_size);
   } else {
     const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
     ++dedup_index_counters_.hits;
@@ -901,11 +1026,54 @@ bool TrustedFileManager::with_dedup_index(
   return true;
 }
 
+void TrustedFileManager::peek_dedup_index(
+    const std::function<void(const DedupIndex&)>& fn) const {
+  if (dedup_index_resident_) {
+    {
+      const std::lock_guard<std::mutex> lock(dedup_stats_mutex_);
+      ++dedup_index_counters_.hits;
+    }
+    if (platform_ != nullptr)
+      platform_->charge_epc_touch(0, dedup_index_bytes_);
+    fn(*dedup_index_resident_);
+    return;
+  }
+  // One throwaway parse, never saved and never promoted to residency: a
+  // probe must not pay (or cause) the mutable-copy round trip.
+  const DedupIndex index = load_dedup_index();
+  fn(index);
+}
+
 void TrustedFileManager::release_dedup_link(const std::string& logical) {
   if (!config_.deduplication || !exists(logical)) return;
   const Bytes content = raw_read_content(logical);
   if (!is_link(content)) return;
   const std::string hname = link_target(content);
+  if (paged_dedup()) {
+    auto& am = *dedup_amap_;
+    const auto rc = am.get("r:" + hname);
+    if (!rc) return;
+    const std::uint64_t refs = get_u64_be(*rc, 0);
+    const std::lock_guard<std::mutex> stats_lock(dedup_stats_mutex_);
+    ++dedup_stats_.releases;
+    if (dedup_stats_.refs > 0) --dedup_stats_.refs;
+    if (refs <= 1) {
+      am.erase("r:" + hname);
+      dedup_fs_.remove_file(hname);
+      // The back-pointer makes last-reference GC O(page): no scan over
+      // the whole client index to find the entry naming this blob.
+      if (const auto chash = am.get("b:" + hname)) {
+        am.erase("c:" + to_string(*chash));
+        am.erase("b:" + hname);
+      }
+      if (dedup_stats_.blobs > 0) --dedup_stats_.blobs;
+    } else {
+      Bytes encoded;
+      put_u64_be(encoded, refs - 1);
+      am.put("r:" + hname, encoded);
+    }
+    return;
+  }
   with_dedup_index([&](DedupIndex& index) {
     const auto it = index.refcounts.find(hname);
     if (it == index.refcounts.end()) return false;
@@ -964,10 +1132,76 @@ TrustedFileManager::DedupStats TrustedFileManager::dedup_stats() const {
   return dedup_stats_;
 }
 
+std::optional<std::uint64_t> TrustedFileManager::dedup_refcount(
+    const std::string& hname) const {
+  if (!config_.deduplication) return std::nullopt;
+  if (paged_dedup()) {
+    if (const auto rc = dedup_amap_->get("r:" + hname))
+      return get_u64_be(*rc, 0);
+    return std::nullopt;
+  }
+  std::optional<std::uint64_t> out;
+  peek_dedup_index([&](const DedupIndex& index) {
+    const auto it = index.refcounts.find(hname);
+    if (it != index.refcounts.end()) out = it->second;
+  });
+  return out;
+}
+
+TrustedFileManager::AmapStats TrustedFileManager::amap_stats() const {
+  AmapStats out;
+  out.enabled = config_.paged_metadata;
+  if (dedup_amap_) out.dedup = dedup_amap_->stats();
+  if (meta_amap_) out.meta = meta_amap_->stats();
+  return out;
+}
+
+// ------------------------------------------------------- paged metadata ---
+
+void TrustedFileManager::flush_paged_metadata() {
+  if (dedup_amap_ && dedup_amap_->flush()) guard_update_amap();
+}
+
+void TrustedFileManager::guard_update_amap() {
+  // The amap root is guarded through protected memory in BOTH §V-E guard
+  // modes: a per-mutation monotonic-counter increment would cost the
+  // modeled 100 ms and burn through the 1M wear limit at production write
+  // rates, defeating the O(page) goal (DESIGN.md §9.3). kNone keeps the
+  // paper's baseline: no cross-restart freshness for the index either.
+  if (config_.fs_guard == FsRollbackGuard::kNone || platform_ == nullptr)
+    return;
+  const auto root = dedup_amap_->root();
+  platform_->protected_put(measurement_, "dedup-amap-root",
+                           Bytes(root.begin(), root.end()));
+}
+
+void TrustedFileManager::guard_check_amap() {
+  if (dedup_amap_ == nullptr) return;
+  if (config_.fs_guard == FsRollbackGuard::kNone || platform_ == nullptr) {
+    dedup_amap_->reopen(std::nullopt);
+    return;
+  }
+  const auto guarded = platform_->protected_get(measurement_, "dedup-amap-root");
+  if (!guarded.has_value()) {
+    dedup_amap_->reopen(std::nullopt);
+    if (dedup_amap_->entry_count() != 0)
+      throw RollbackError("dedup amap guard missing");
+    return;
+  }
+  crypto::Sha256::Digest expected{};
+  if (guarded->size() != expected.size())
+    throw RollbackError("dedup amap guard is malformed");
+  std::copy(guarded->begin(), guarded->end(), expected.begin());
+  dedup_amap_->reopen(expected);
+}
+
 void TrustedFileManager::clear_caches() {
   header_cache_.clear();
   object_cache_.clear();
   content_cache_->clear();
+  // The meta amap is a cache tier: a restart drops it cold (its pages are
+  // deleted, not revalidated — nothing in it survives a trust boundary).
+  if (meta_amap_) meta_amap_->clear();
   dedup_index_resident_.reset();
   if (dedup_index_bytes_ != 0 && platform_ != nullptr)
     platform_->adjust_epc_resident(-static_cast<std::int64_t>(dedup_index_bytes_));
@@ -982,6 +1216,10 @@ void TrustedFileManager::startup_validation() {
   // Cached metadata was authenticated against the previous trusted state;
   // after a restart (or restore) it must be re-derived from the stores.
   clear_caches();
+  // Reload the dedup amap's page table from the store and (guard modes)
+  // check it against the protected-memory root: a rolled-back or
+  // tampered-with table fails closed here, before any request runs.
+  guard_check_amap();
   // Rebuild the group-store root from disk and compare with the guard.
   group_record_hashes_.clear();
   group_root_ = mset::MsetXorHash{};
@@ -1054,6 +1292,9 @@ void TrustedFileManager::accept_restored_state() {
   }
   config_ = saved;
   guard_update_group();
+  // §V-G: the restored dedup amap state (already reopened with no root
+  // check above) becomes authoritative — re-arm its guard.
+  if (dedup_amap_ != nullptr) guard_update_amap();
   if (config_.rollback_protection && config_.fs_guard != FsRollbackGuard::kNone) {
     auto root = load_header("/");
     if (root) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "amap/authenticated_page_map.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "core/config.h"
@@ -217,6 +218,21 @@ class TrustedFileManager {
   };
   DedupStats dedup_stats() const;
 
+  /// Read-only dedup probe: live references behind a dedup-store name, or
+  /// nullopt when unknown. Paged mode reads one amap page; legacy mode
+  /// goes through peek_dedup_index() so the probe never constructs a
+  /// mutable full-index copy.
+  std::optional<std::uint64_t> dedup_refcount(const std::string& hname) const;
+
+  /// Out-of-EPC paged metadata stats (config.paged_metadata; DESIGN.md
+  /// §9), exported via telemetry_snapshot() as amap.*.
+  struct AmapStats {
+    bool enabled = false;
+    amap::AuthenticatedPageMap::Stats dedup;  // authoritative dedup index
+    amap::AuthenticatedPageMap::Stats meta;   // header/object cold tier
+  };
+  AmapStats amap_stats() const;
+
   /// Re-derives and checks the group-store root hash after a restart; also
   /// primes the in-enclave group-record cache. Throws RollbackError if the
   /// guarded root does not match the stored state.
@@ -284,14 +300,23 @@ class TrustedFileManager {
     Bytes serialize() const;
     static DedupIndex parse(BytesView data);
   };
-  DedupIndex load_dedup_index() const;
+  /// Loads the legacy single-blob index; when `serialized_size` is given
+  /// it receives the stored record's plaintext size (which IS the
+  /// serialized size — no extra serialize() round trip for residency
+  /// accounting).
+  DedupIndex load_dedup_index(std::size_t* serialized_size = nullptr) const;
   void save_dedup_index(const DedupIndex& index);
   void set_dedup_index_residency(std::size_t bytes);
   /// Runs `fn` over the dedup index; when `fn` returns true the mutated
   /// index is persisted. With the metadata cache enabled the index stays
   /// resident after first load and saves are write-through; otherwise each
-  /// call is a parse/serialize round trip, exactly as before.
+  /// call is a parse/serialize round trip, exactly as before. Must not be
+  /// used in paged mode (the amap is authoritative there).
   bool with_dedup_index(const std::function<bool(DedupIndex&)>& fn);
+  /// Read-only view of the legacy index for probes: serves the resident
+  /// copy when there is one, otherwise a single throwaway parse — never a
+  /// mutable copy, never a save.
+  void peek_dedup_index(const std::function<void(const DedupIndex&)>& fn) const;
   /// Decrements the refcount behind `logical`'s dedup link (if any) and
   /// garbage-collects the shared blob on last reference. The shared
   /// release step of remove(), write() and Upload::finish().
@@ -299,6 +324,26 @@ class TrustedFileManager {
   static bool is_link(BytesView content);
   static std::string link_target(BytesView content);
   static Bytes make_link(const std::string& hname);
+
+  // --- paged metadata (config.paged_metadata; DESIGN.md §9) ---
+  //
+  // Dedup amap (authoritative when paged): "r:<hname>" → u64 refcount,
+  // "c:<content-hash>" → hname (client probe), "b:<hname>" → content hash
+  // (back-pointer: blob GC erases its client entry in O(page) instead of
+  // scanning the whole client index). Meta amap (cold tier below
+  // header_cache_/object_cache_, cleared on restart): "h:<logical>" →
+  // serialized HashHeader, "o:<logical>" → validated metadata object.
+  bool paged_dedup() const {
+    return config_.paged_metadata && config_.deduplication;
+  }
+  /// Drain barrier at the end of every dedup-mutating operation: writes
+  /// the dedup amap's dirty pages back and re-guards its root. The meta
+  /// amap needs no barrier (pure cache; its internal auto-flush only
+  /// bounds EPC).
+  void flush_paged_metadata();
+  void guard_update_amap();
+  /// Reopens the dedup amap against the guarded root (restart path).
+  void guard_check_amap();
 
   // --- group store guard ---
   void group_on_write(const std::string& record, BytesView content);
@@ -367,6 +412,11 @@ class TrustedFileManager {
   mutable CacheCounters dedup_index_counters_;
   DedupStats dedup_stats_;  // guarded by dedup_stats_mutex_
   std::uint64_t dedup_index_bytes_ = 0;  // platform-registered residency
+  // Paged metadata maps (null unless config.paged_metadata). Both are
+  // internally synchronized; meta_amap_ is mutable because read paths
+  // populate the cold tier under the shared fs lock.
+  std::unique_ptr<amap::AuthenticatedPageMap> dedup_amap_;
+  mutable std::unique_ptr<amap::AuthenticatedPageMap> meta_amap_;
 };
 
 }  // namespace seg::core

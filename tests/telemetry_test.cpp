@@ -332,6 +332,76 @@ TEST(Stats, ExportsAsyncStoreIoGauges) {
   EXPECT_EQ(snap2.gauge("sgx.store_ops"), 0u);
 }
 
+TEST(Stats, ExportsAmapGauges) {
+  core::EnclaveConfig config;
+  config.deduplication = true;
+  config.paged_metadata = true;
+  config.amap_cache_bytes = 64 << 10;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  const Bytes payload = rig.rng().bytes(8 << 10);
+  ASSERT_TRUE(alice.put_file("/a", payload).ok());
+  ASSERT_TRUE(alice.put_file("/b", payload).ok());  // refcount bump: one page
+  ASSERT_TRUE(alice.get_file("/a").first.ok());
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(snap.gauge("amap.enabled"), 1u);
+  EXPECT_EQ(snap.gauge("amap.dedup.entries"), 1u);  // one refcount record
+  EXPECT_GT(snap.gauge("amap.dedup.pages"), 0u);
+  EXPECT_GT(snap.gauge("amap.dedup.writeback_pages"), 0u);
+  EXPECT_GT(snap.gauge("amap.dedup.writeback_batches"), 0u);
+  EXPECT_EQ(snap.gauge("amap.dedup.dirty_pages"), 0u);  // flushed at barriers
+  EXPECT_GT(snap.gauge("amap.dedup.table_bytes"), 0u);
+  EXPECT_GT(snap.gauge("amap.meta.entries"), 0u);  // object cold tier filled
+  EXPECT_GT(snap.gauge("amap.meta.budget_bytes"), 0u);
+  // The per-map stats exported are the in-process accessors' numbers.
+  const auto amap = rig.enclave().file_manager().amap_stats();
+  EXPECT_EQ(snap.gauge("amap.dedup.page_hits"), amap.dedup.page_hits);
+  EXPECT_EQ(snap.gauge("amap.meta.page_misses"), amap.meta.page_misses);
+  // Amap pages count against the simulated EPC via the residency model.
+  EXPECT_GE(snap.gauge("sgx.epc_resident_bytes"),
+            snap.gauge("amap.dedup.resident_bytes") +
+                snap.gauge("amap.dedup.table_bytes"));
+
+  // Non-paged deployments export the schema as zeros, not gaps.
+  Rig legacy;
+  auto& bob = legacy.connect("bob");
+  ASSERT_TRUE(bob.put_file("/b", to_bytes("x")).ok());
+  const auto [response2, snap2] = bob.stats();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_EQ(snap2.gauge("amap.enabled"), 0u);
+  EXPECT_EQ(snap2.gauge("amap.dedup.entries"), 0u);
+  EXPECT_EQ(snap2.gauge("amap.meta.entries"), 0u);
+}
+
+TEST(Stats, AmapGaugeNamesStayInMetricCharsetAndLeakNothing) {
+  // The amap layer must not smuggle request-derived strings (logical
+  // paths live inside amap keys!) into metric names or the export.
+  core::EnclaveConfig config;
+  config.deduplication = true;
+  config.paged_metadata = true;
+  Rig rig(config);
+  auto& user = rig.connect("zz-secret-user");
+  ASSERT_TRUE(
+      user.put_file("/zz-secret-path", to_bytes("zz-secret-content")).ok());
+  ASSERT_TRUE(
+      user.put_file("/zz-secret-copy", to_bytes("zz-secret-content")).ok());
+  ASSERT_TRUE(user.get_file("/zz-secret-path").first.ok());
+
+  const auto [response, snap] = user.stats();
+  ASSERT_TRUE(response.ok());
+  bool saw_amap = false;
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_TRUE(telemetry::Registry::valid_metric_name(name)) << name;
+    if (name.rfind("amap.", 0) == 0) saw_amap = true;
+  }
+  EXPECT_TRUE(saw_amap);
+  for (const std::string& line : snap.to_lines())
+    EXPECT_EQ(line.find("zz-secret"), std::string::npos) << line;
+  EXPECT_EQ(snap.to_json().find("zz-secret"), std::string::npos);
+}
+
 TEST(Stats, ExportNeverContainsRequestData) {
   Rig rig;
   auto& secret_user = rig.connect("zz-secret-user");
