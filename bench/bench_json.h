@@ -46,7 +46,9 @@ class BenchReport {
   }
 
   /// Flattens a telemetry snapshot: counters and gauges verbatim,
-  /// histograms as count + p50/p95/p99.
+  /// histograms as count + p50/p95/p99/p999 (tail percentiles are
+  /// meaningful thanks to the registry's HDR log-linear buckets, ≤12.5%
+  /// relative error — the regression gate can hold the p99 line).
   void add_snapshot(const telemetry::Snapshot& snapshot,
                     const std::string& prefix = "stats.") {
     for (const auto& [name, value] : snapshot.counters)
@@ -62,6 +64,8 @@ class BenchReport {
           "ns");
       add(prefix + name + ".p99", static_cast<double>(hist.percentile(99)),
           "ns");
+      add(prefix + name + ".p999",
+          static_cast<double>(hist.percentile(99.9)), "ns");
     }
   }
 

@@ -61,12 +61,30 @@ proto::Response UserClient::read_response() {
   return proto::Response::parse(payload);
 }
 
-proto::Response UserClient::simple_request(const proto::Request& request) {
+void UserClient::stamp_trace(proto::Request& request) {
+  if (!tracing_) return;
+  request.trace = telemetry::make_trace_context(rng_);
+  ClientTrace trace;
+  trace.context = request.trace;
+  trace.verb = request.verb;
+  trace.sent_ns = telemetry::steady_now_ns();
+  last_trace_ = trace;
+}
+
+void UserClient::complete_trace() {
+  if (last_trace_ && last_trace_->completed_ns == 0)
+    last_trace_->completed_ns = telemetry::steady_now_ns();
+}
+
+proto::Response UserClient::simple_request(proto::Request request) {
   if (!channel_) throw ProtocolError("client: not connected");
+  stamp_trace(request);
   channel_->send_message(
       proto::frame(proto::FrameType::kRequest, request.serialize()));
   pump_();
-  return read_response();
+  proto::Response response = read_response();
+  complete_trace();
+  return response;
 }
 
 UserClient::PutStream UserClient::begin_put(const std::string& path,
@@ -76,6 +94,7 @@ UserClient::PutStream UserClient::begin_put(const std::string& path,
   request.verb = proto::Verb::kPutFile;
   request.path = path;
   request.body_size = body_size;
+  stamp_trace(request);
   channel_->send_message(
       proto::frame(proto::FrameType::kRequest, request.serialize()));
   return PutStream(*this);
@@ -106,7 +125,9 @@ proto::Response UserClient::PutStream::finish() {
   finished_ = true;
   client_.channel_->send_message(proto::frame(proto::FrameType::kEnd));
   client_.pump_();
-  return client_.read_response();
+  proto::Response response = client_.read_response();
+  client_.complete_trace();
+  return response;
 }
 
 proto::Response UserClient::put_file(const std::string& path,
@@ -136,11 +157,15 @@ std::pair<proto::Response, Bytes> UserClient::get_file(
   proto::Request request;
   request.verb = proto::Verb::kGetFile;
   request.path = path;
+  stamp_trace(request);
   channel_->send_message(
       proto::frame(proto::FrameType::kRequest, request.serialize()));
   pump_();
   const proto::Response header = read_response();
-  if (!header.ok()) return {header, {}};
+  if (!header.ok()) {
+    complete_trace();
+    return {header, {}};
+  }
   Bytes content;
   // The header's body_size is attacker-influenced until the stream
   // authenticates end to end: clamp the up-front reservation so a corrupt
@@ -167,9 +192,11 @@ std::pair<proto::Response, Bytes> UserClient::get_file(
           throw DownloadAbortedError(proto::Response::parse(payload));
         if (content.size() != header.body_size)
           throw ProtocolError("client: body size mismatch");
+        complete_trace();
         return {header, std::move(content)};
       case proto::FrameType::kResponse:
         // Legacy abort shape (second response mid-stream).
+        complete_trace();
         return {proto::Response::parse(payload), {}};
       case proto::FrameType::kRequest:
       case proto::FrameType::kClose:
@@ -295,6 +322,23 @@ std::pair<proto::Response, telemetry::Snapshot> UserClient::stats() {
   if (response.ok())
     snapshot = telemetry::Snapshot::from_lines(response.listing);
   return {response, snapshot};
+}
+
+std::pair<proto::Response, std::vector<telemetry::TraceSpan>>
+UserClient::traces() {
+  proto::Request request;
+  request.verb = proto::Verb::kTraces;
+  const proto::Response response = simple_request(request);
+  std::vector<telemetry::TraceSpan> spans;
+  if (response.ok()) {
+    spans.reserve(response.listing.size());
+    for (const auto& line : response.listing) {
+      auto span = telemetry::trace_from_line(line);
+      if (!span) throw ProtocolError("client: malformed trace line");
+      spans.push_back(*span);
+    }
+  }
+  return {response, spans};
 }
 
 }  // namespace seg::client

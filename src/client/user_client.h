@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "net/channel.h"
 #include "proto/messages.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "tls/certificate.h"
 #include "tls/handshake.h"
 #include "tls/secure_channel.h"
@@ -130,14 +132,48 @@ class UserClient {
   /// parsed from the wire lines. Aggregate-only by construction — see
   /// telemetry::Registry's name rules.
   std::pair<proto::Response, telemetry::Snapshot> stats();
+  /// Trace export (kTraces): the enclave's recent request spans, oldest
+  /// first, parsed from the structured line form.
+  std::pair<proto::Response, std::vector<telemetry::TraceSpan>> traces();
+
+  // --- distributed tracing (DESIGN.md §10) ----------------------------------
+
+  /// Client half of a distributed trace: the context this client stamped
+  /// on its most recent request, plus local send/completion timestamps.
+  /// Stitch against the server-side span (traces(), matched by trace id)
+  /// for the end-to-end decomposition: e2e_ns() minus the span's
+  /// queue_wait + total_real_ns is wire + pump time outside the enclave.
+  struct ClientTrace {
+    telemetry::TraceContext context;
+    proto::Verb verb = proto::Verb::kStat;
+    std::uint64_t sent_ns = 0;       // steady clock, before the REQUEST frame
+    std::uint64_t completed_ns = 0;  // steady clock, after the final response
+    std::uint64_t e2e_ns() const {
+      return completed_ns > sent_ns ? completed_ns - sent_ns : 0;
+    }
+  };
+
+  /// Tracing is on by default; a "legacy" client with tracing off emits
+  /// requests bit-identical to the pre-tracing wire format and draws
+  /// nothing from the RandomSource for them.
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  /// The most recent traced request, if any (disabled tracing records
+  /// nothing).
+  const std::optional<ClientTrace>& last_trace() const { return last_trace_; }
 
   const std::string& user_id() const {
     return identity_.certificate.subject;
   }
 
  private:
-  proto::Response simple_request(const proto::Request& request);
+  proto::Response simple_request(proto::Request request);
   proto::Response read_response();
+  /// Draws a fresh TraceContext onto the request and opens last_trace_
+  /// (no-op when tracing is off).
+  void stamp_trace(proto::Request& request);
+  /// Closes last_trace_ with the completion timestamp.
+  void complete_trace();
 
   RandomSource& rng_;
   crypto::Ed25519PublicKey ca_public_key_;
@@ -146,6 +182,8 @@ class UserClient {
   Pump pump_;
   std::unique_ptr<tls::SecureChannel> channel_;
   tls::Certificate server_certificate_;
+  bool tracing_ = true;
+  std::optional<ClientTrace> last_trace_;
 };
 
 }  // namespace seg::client

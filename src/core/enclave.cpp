@@ -89,7 +89,11 @@ SegShareEnclave::SegShareEnclave(sgx::SgxPlatform& platform, RandomSource& rng,
     verb_counters_[v] = &registry_.counter(
         std::string("enclave.requests.") +
         proto::verb_name(static_cast<proto::Verb>(v)));
+    verb_real_hists_[v] = &registry_.histogram(
+        std::string("enclave.verb.") +
+        proto::verb_name(static_cast<proto::Verb>(v)) + ".real_ns");
   }
+  trace_dropped_counter_ = &registry_.counter("telemetry.trace.dropped");
   for (std::size_t s = 0; s < status_counters_.size(); ++s) {
     status_counters_[s] = &registry_.counter(
         std::string("enclave.responses.") +
@@ -310,7 +314,16 @@ void SegShareEnclave::service(std::uint64_t connection_id) {
           handle_frame(*connection, reassemble(*connection, message));
         }
       }
-      if (span.request_id != 0) record_trace(span);
+      if (span.request_id != 0) {
+        record_trace(span);
+      } else if (connection->put) {
+        // Streamed DATA frames have no request id of their own; fold
+        // their time into the in-flight PUT so it reappears on the END
+        // span as the data_frames child instead of vanishing.
+        connection->put->data_frames += 1;
+        connection->put->data_real_ns += span.total_real_ns;
+        connection->put->data_sim_ns += span.total_sim_ns;
+      }
     }
   } catch (...) {
     // Fatal errors (handshake failures, record forgeries, auth failures)
@@ -414,7 +427,8 @@ bool is_read_only_verb(proto::Verb verb) {
     case proto::Verb::kGetFile:
     case proto::Verb::kList:
     case proto::Verb::kStat:
-    case proto::Verb::kStats:  // reads counters only, never fs state
+    case proto::Verb::kStats:   // reads counters only, never fs state
+    case proto::Verb::kTraces:  // reads the trace ring only
       return true;
     default:
       return false;
@@ -436,6 +450,7 @@ void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
           span->request_id =
               next_request_id_.fetch_add(1, std::memory_order_relaxed);
           span->verb = static_cast<std::uint8_t>(request.verb);
+          span->context = request.trace;  // zero when the client sent none
         }
         requests_counter_->add();
         const auto verb_index = static_cast<std::size_t>(request.verb);
@@ -479,6 +494,16 @@ void SegShareEnclave::handle_frame(Connection& connection, BytesView message) {
           span->request_id =
               next_request_id_.fetch_add(1, std::memory_order_relaxed);
           span->verb = static_cast<std::uint8_t>(proto::Verb::kPutFile);
+          if (connection.put) {
+            // Same trace as the START span, and the folded DATA-frame
+            // time rides along as a child (overlaps are reported beside
+            // the segments, not summed into the remainder arithmetic).
+            span->context = connection.put->request.trace;
+            span->child(telemetry::ChildKind::kDataFrames) =
+                telemetry::ChildSpan{connection.put->data_real_ns,
+                                     connection.put->data_sim_ns,
+                                     connection.put->data_frames};
+          }
         }
         const std::uint64_t lock_start = telemetry::steady_now_ns();
         const auto guard = tfm_->write_guard();
@@ -568,6 +593,9 @@ void SegShareEnclave::handle_request(Connection& connection,
       return;
     case proto::Verb::kStats:
       send_response(connection, do_stats(user, request));
+      return;
+    case proto::Verb::kTraces:
+      send_response(connection, do_traces(user, request));
       return;
   }
   send_response(connection,
@@ -1065,6 +1093,19 @@ proto::Response SegShareEnclave::do_stats(const std::string& /*user*/,
   return resp;
 }
 
+proto::Response SegShareEnclave::do_traces(const std::string& /*user*/,
+                                           const proto::Request& /*request*/) {
+  // Same trust argument as kStats: spans hold only ids, verbs, statuses
+  // and durations (see trace.h), and trace_to_line emits only numeric /
+  // fixed-charset tokens. Oldest first, one span per listing line.
+  proto::Response resp;
+  const auto spans = traces_.recent();
+  resp.listing.reserve(spans.size());
+  for (const auto& span : spans)
+    resp.listing.push_back(telemetry::trace_to_line(span));
+  return resp;
+}
+
 telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
   telemetry::Snapshot snap = registry_.snapshot();
 
@@ -1176,9 +1217,12 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
 }
 
 void SegShareEnclave::record_trace(const telemetry::TraceSpan& span) {
-  traces_.push(span);
+  if (traces_.push(span)) trace_dropped_counter_->add();
   request_real_hist_->record(span.total_real_ns);
   request_sim_hist_->record(span.total_sim_ns);
+  const auto verb_index = static_cast<std::size_t>(span.verb);
+  if (verb_index < verb_real_hists_.size() && verb_real_hists_[verb_index])
+    verb_real_hists_[verb_index]->record(span.total_real_ns);
   for (std::size_t s = 0; s < telemetry::kSegmentCount; ++s) {
     if (span.real_ns[s] != 0) segment_real_hists_[s]->record(span.real_ns[s]);
     if (span.sim_ns[s] != 0) segment_sim_counters_[s]->add(span.sim_ns[s]);

@@ -178,6 +178,12 @@ class SegShareEnclave : public sgx::Enclave {
     std::string deny_message;
     bool is_new_file = false;
     std::uint64_t received = 0;
+    // Streamed DATA frames carry no request id, so their spans are not
+    // retained individually; their time accumulates here and surfaces on
+    // the END span as the data_frames child (trace-ring blind-spot fix).
+    std::uint64_t data_frames = 0;
+    std::uint64_t data_real_ns = 0;
+    std::uint64_t data_sim_ns = 0;
   };
 
   struct Connection {
@@ -245,6 +251,8 @@ class SegShareEnclave : public sgx::Enclave {
                                  const proto::Request& request);
   proto::Response do_stats(const std::string& user,
                            const proto::Request& request);
+  proto::Response do_traces(const std::string& user,
+                            const proto::Request& request);
 
   /// Records a completed request span: ring buffer + latency histograms +
   /// per-segment time breakdown.
@@ -303,11 +311,17 @@ class SegShareEnclave : public sgx::Enclave {
   telemetry::Counter* bytes_in_counter_ = nullptr;
   telemetry::Counter* bytes_out_counter_ = nullptr;
   std::array<telemetry::Counter*,
-             static_cast<std::size_t>(proto::Verb::kStats) + 1>
+             static_cast<std::size_t>(proto::Verb::kTraces) + 1>
       verb_counters_{};
+  // Per-verb end-to-end latency over the HDR log-linear buckets, so
+  // bench_json/check_bench_regression can gate per-verb p99/p99.9.
+  std::array<telemetry::Histogram*,
+             static_cast<std::size_t>(proto::Verb::kTraces) + 1>
+      verb_real_hists_{};
   std::array<telemetry::Counter*,
              static_cast<std::size_t>(proto::Status::kError) + 1>
       status_counters_{};
+  telemetry::Counter* trace_dropped_counter_ = nullptr;
   telemetry::Histogram* request_real_hist_ = nullptr;
   telemetry::Histogram* request_sim_hist_ = nullptr;
   telemetry::Histogram* lock_shared_hist_ = nullptr;

@@ -1,5 +1,7 @@
 #include "pfs/crypto_pool.h"
 
+#include "telemetry/trace.h"
+
 namespace seg::pfs {
 
 CryptoPool::CryptoPool(std::size_t threads, std::size_t queue_capacity) {
@@ -21,12 +23,15 @@ CryptoPool::~CryptoPool() {
 
 void CryptoPool::execute(const Task& task) {
   Batch& batch = *task.batch;
+  const std::uint64_t start = telemetry::steady_now_ns();
   try {
     (*batch.fn)(task.index);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(batch.mutex);
     if (!batch.first_error) batch.first_error = std::current_exception();
   }
+  batch.exec_ns.fetch_add(telemetry::steady_now_ns() - start,
+                          std::memory_order_relaxed);
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   {
     // Notify under the batch lock: the batch lives on the submitter's
@@ -79,6 +84,13 @@ void CryptoPool::run(std::size_t count,
 
   std::unique_lock<std::mutex> lock(batch.mutex);
   batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  // Attribute the fan-out back to the issuing request. The submitter
+  // holds the request's active span; the workers ran concurrently with
+  // it, so this is overlap reported beside the span's segments (the
+  // inline path above instead falls under the caller's kCrypto timer).
+  telemetry::span_add_child(telemetry::ChildKind::kCryptoFanout,
+                            batch.exec_ns.load(std::memory_order_relaxed), 0,
+                            count);
   if (batch.first_error) std::rethrow_exception(batch.first_error);
 }
 

@@ -66,6 +66,11 @@ class CryptoPool {
     std::condition_variable done_cv;
     std::size_t remaining = 0;
     std::exception_ptr first_error;
+    // Summed worker-side execution wall time. Workers have no active
+    // trace span (the request's span is thread-local to the submitter),
+    // so run() attributes this back to the submitting request as a
+    // crypto_fanout child span after the batch drains.
+    std::atomic<std::uint64_t> exec_ns{0};
   };
   struct Task {
     Batch* batch;

@@ -40,6 +40,7 @@ const char* verb_name(Verb verb) {
     case Verb::kStat: return "STAT";
     case Verb::kPutByHash: return "PUTBYHASH";
     case Verb::kStats: return "STATS";
+    case Verb::kTraces: return "TRACES";
   }
   return "UNKNOWN";
 }
@@ -56,6 +57,16 @@ const char* status_name(Status status) {
   return "UNKNOWN";
 }
 
+namespace {
+
+// Trailing trace-context field: marker byte + 16 trace-id bytes + u64-BE
+// span id. The marker keeps "one stray trailing byte" distinguishable from
+// a context (a lone 0x00 trailer still fails parse, as it always has).
+constexpr std::uint8_t kTraceContextMarker = 0x01;
+constexpr std::size_t kTraceContextWireSize = 1 + 16 + 8;
+
+}  // namespace
+
 Bytes Request::serialize() const {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(verb));
@@ -65,6 +76,11 @@ Bytes Request::serialize() const {
   put_u32_be(out, perm);
   out.push_back(flag ? 1 : 0);
   put_u64_be(out, body_size);
+  if (trace.valid()) {
+    out.push_back(kTraceContextMarker);
+    out.insert(out.end(), trace.trace_id.begin(), trace.trace_id.end());
+    put_u64_be(out, trace.span_id);
+  }
   return out;
 }
 
@@ -73,7 +89,7 @@ Request Request::parse(BytesView data) {
   Request req;
   std::size_t offset = 0;
   req.verb = static_cast<Verb>(data[offset++]);
-  if (req.verb < Verb::kPutFile || req.verb > Verb::kStats)
+  if (req.verb < Verb::kPutFile || req.verb > Verb::kTraces)
     throw ProtocolError("request: unknown verb");
   req.path = get_string(data, offset);
   req.target = get_string(data, offset);
@@ -84,7 +100,18 @@ Request Request::parse(BytesView data) {
   req.flag = data[offset++] != 0;
   req.body_size = get_u64_be(data, offset);
   offset += 8;
-  if (offset != data.size()) throw ProtocolError("request: trailing data");
+  if (offset == data.size()) return req;  // legacy: no trace context
+  if (data.size() - offset != kTraceContextWireSize ||
+      data[offset] != kTraceContextMarker)
+    throw ProtocolError("request: trailing data");
+  ++offset;
+  for (std::size_t i = 0; i < req.trace.trace_id.size(); ++i)
+    req.trace.trace_id[i] = data[offset + i];
+  offset += req.trace.trace_id.size();
+  req.trace.span_id = get_u64_be(data, offset);
+  offset += 8;
+  if (!req.trace.valid())
+    throw ProtocolError("request: zero trace id");  // reserved for "absent"
   return req;
 }
 

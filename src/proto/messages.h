@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "telemetry/trace.h"
 
 namespace seg::proto {
 
@@ -67,6 +68,9 @@ enum class Verb : std::uint8_t {
                           // already deduplicated, else ask for an upload
   kStats = 17,            // telemetry snapshot (sanitized registry export);
                           // response carries metric lines in `listing`
+  kTraces = 18,           // recent trace spans (telemetry::trace_to_line
+                          // form); response carries one span per `listing`
+                          // line, oldest first
 };
 
 enum class Status : std::uint8_t {
@@ -89,6 +93,14 @@ struct Request {
   std::uint32_t perm = 0;
   bool flag = false;     // inherit on/off
   std::uint64_t body_size = 0;  // announced size for streamed bodies
+  /// Optional distributed-tracing context (DESIGN.md §10). Encoded as a
+  /// trailing field only when valid() — a request without one serializes
+  /// bit-identically to the pre-tracing wire format, so legacy clients
+  /// and captures round-trip unchanged. On the wire: marker byte 0x01,
+  /// 16 trace-id bytes, u64-BE span id; parse rejects any other trailer
+  /// (wrong marker, short/oversize, or an all-zero trace id, which is
+  /// reserved as "absent" and must not be encoded).
+  telemetry::TraceContext trace;
 
   Bytes serialize() const;
   static Request parse(BytesView data);

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace seg::store {
 
@@ -110,6 +111,7 @@ void StoreIoPool::worker_loop() {
 }
 
 void StoreIoPool::execute(Op& op) {
+  const std::uint64_t begin = now_ns();
   try {
     if (op.is_put) {
       op.store->put(op.name, op.data);
@@ -125,6 +127,7 @@ void StoreIoPool::execute(Op& op) {
   // backend. Real devices carry their own latency.
   if (platform_ != nullptr && !op.store->device_backed())
     platform_->charge_store_op();
+  op.exec_ns = now_ns() - begin;
 }
 
 void StoreIoPool::finish(const std::shared_ptr<Op>& op) {
@@ -185,13 +188,25 @@ AsyncStore::Ticket AsyncStore::submit_get(const std::string& name) {
 
 void AsyncStore::complete_put(Ticket ticket) {
   if (!ticket.valid()) throw StorageError("async store: invalid put ticket");
-  if (pool_ != nullptr && pool_->enabled()) pool_->await(*ticket.op_);
+  if (pool_ != nullptr && pool_->enabled()) {
+    pool_->await(*ticket.op_);
+    // The completing thread holds the request's active span; the worker
+    // that executed the op did not. Report the overlapped execution as a
+    // store_io child (the inline path is covered by the caller's own
+    // kStoreIo segment timer and reports no child).
+    telemetry::span_add_child(telemetry::ChildKind::kStoreIo,
+                              ticket.op_->exec_ns, 0, 1);
+  }
   if (ticket.op_->error) std::rethrow_exception(ticket.op_->error);
 }
 
 std::optional<Bytes> AsyncStore::complete_get(Ticket ticket) {
   if (!ticket.valid()) throw StorageError("async store: invalid get ticket");
-  if (pool_ != nullptr && pool_->enabled()) pool_->await(*ticket.op_);
+  if (pool_ != nullptr && pool_->enabled()) {
+    pool_->await(*ticket.op_);
+    telemetry::span_add_child(telemetry::ChildKind::kStoreIo,
+                              ticket.op_->exec_ns, 0, 1);
+  }
   if (ticket.op_->error) std::rethrow_exception(ticket.op_->error);
   return std::move(ticket.op_->result);
 }

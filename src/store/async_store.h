@@ -101,6 +101,11 @@ class StoreIoPool {
     Bytes data;                   // put payload
     std::optional<Bytes> result;  // get result
     std::exception_ptr error;
+    // Worker-side execution wall time (backend call + modeled charge).
+    // Zero on the inline path, where the caller's own kStoreIo segment
+    // timer already covers the work. complete_*() attributes this back
+    // to the completing request's trace span as a store_io child.
+    std::uint64_t exec_ns = 0;
     std::mutex mutex;
     std::condition_variable done_cv;
     bool done = false;

@@ -1,0 +1,59 @@
+#include "telemetry/exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace seg::telemetry {
+
+std::string prometheus_name(const std::string& name,
+                            const std::string& prefix) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+std::string to_prometheus_text(const Snapshot& snapshot,
+                               const std::string& prefix) {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!Registry::valid_metric_name(name)) continue;  // drop, never escape
+    const std::string metric = prometheus_name(name, prefix) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+    out += metric + buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!Registry::valid_metric_name(name)) continue;
+    const std::string metric = prometheus_name(name, prefix);
+    out += "# TYPE " + metric + " gauge\n";
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+    out += metric + buf;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!Registry::valid_metric_name(name)) continue;
+    const std::string metric = prometheus_name(name, prefix);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (hist.counts[i] == 0) continue;  // sparse; cumulative stays valid
+      cumulative += hist.counts[i];
+      if (i < hist.bounds.size()) {
+        std::snprintf(buf, sizeof buf, "{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                      hist.bounds[i], cumulative);
+        out += metric + "_bucket" + buf;
+      }
+      // Overflow counts surface through the mandatory +Inf bucket below.
+    }
+    std::snprintf(buf, sizeof buf, "{le=\"+Inf\"} %" PRIu64 "\n", hist.count);
+    out += metric + "_bucket" + buf;
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", hist.sum);
+    out += metric + "_sum" + buf;
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", hist.count);
+    out += metric + "_count" + buf;
+  }
+  return out;
+}
+
+}  // namespace seg::telemetry

@@ -1,0 +1,38 @@
+// Prometheus text-exposition rendering of a telemetry Snapshot
+// (observability export plane, DESIGN.md §10).
+//
+// The exporter is a pure function over an already-sanitized Snapshot, so
+// the trust argument is inherited rather than re-established: every metric
+// name in a Snapshot passed the registry's [A-Za-z0-9._-] charset check at
+// registration time (request paths, group names and key material cannot be
+// registered at all), and the exporter re-validates each name with the
+// same predicate before rendering — anything else is dropped, never
+// escaped. Notes (free text from the untrusted registry) are never
+// exported. The output therefore contains only static identifiers and
+// aggregate numbers.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.h"
+
+namespace seg::telemetry {
+
+/// Maps a registry metric name to the Prometheus name charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): '.' and '-' become '_', and `prefix` is
+/// prepended. Assumes the input already passed valid_metric_name.
+std::string prometheus_name(const std::string& name,
+                            const std::string& prefix);
+
+/// Renders the snapshot in Prometheus text exposition format 0.0.4:
+///  * counters as `<prefix><name>_total` with `# TYPE ... counter`,
+///  * gauges as `<prefix><name>` with `# TYPE ... gauge`,
+///  * histograms as cumulative `_bucket{le="..."}` series (sparse: only
+///    buckets whose count changed, always closing with `+Inf`), plus
+///    `_sum` and `_count`.
+/// Names failing Registry::valid_metric_name are dropped; notes are never
+/// rendered. Ends with a trailing newline as the format requires.
+std::string to_prometheus_text(const Snapshot& snapshot,
+                               const std::string& prefix = "segshare_");
+
+}  // namespace seg::telemetry

@@ -33,13 +33,24 @@ void Histogram::record(std::uint64_t value) {
 }
 
 const std::vector<std::uint64_t>& default_latency_buckets_ns() {
-  static const std::vector<std::uint64_t> kBuckets = {
-      1'000,         2'000,         5'000,         10'000,
-      20'000,        50'000,        100'000,       200'000,
-      500'000,       1'000'000,     2'000'000,     5'000'000,
-      10'000'000,    20'000'000,    50'000'000,    100'000'000,
-      200'000'000,   500'000'000,   1'000'000'000, 2'000'000'000,
-      5'000'000'000, 10'000'000'000};
+  // HDR-style log-linear layout: power-of-two octaves from 64 ns to ~17 s,
+  // each split into 8 linear sub-buckets (bound = 2^o · (1 + k/8)). The
+  // worst-case relative quantization error is 1/8 ≈ 12.5% at the bottom of
+  // an octave, so p99/p99.9 stay meaningful across the full µs-to-ms
+  // dynamic range — unlike the old 1-2-5 grid whose 2×–2.5× jumps
+  // dominated any tail estimate. 225 buckets ≈ 1.8 KiB of atomics per
+  // histogram; record() is still one binary search.
+  static const std::vector<std::uint64_t> kBuckets = [] {
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(28 * 8 + 1);
+    for (unsigned octave = 6; octave < 34; ++octave) {
+      const std::uint64_t base = std::uint64_t{1} << octave;
+      for (std::uint64_t sub = 0; sub < 8; ++sub)
+        bounds.push_back(base + sub * (base / 8));
+    }
+    bounds.push_back(std::uint64_t{1} << 34);  // ~17.2 s cap
+    return bounds;
+  }();
   return kBuckets;
 }
 
@@ -246,9 +257,9 @@ std::string Snapshot::to_json() const {
                   hist.count, hist.sum, hist.max);
     out += buf;
     std::snprintf(buf, sizeof buf, ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
-                  ",\"p99\":%" PRIu64 "}",
+                  ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64 "}",
                   hist.percentile(50), hist.percentile(95),
-                  hist.percentile(99));
+                  hist.percentile(99), hist.percentile(99.9));
     out += buf;
   }
   out += '}';

@@ -1,6 +1,9 @@
 #include "telemetry/trace.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
 
 namespace seg::telemetry {
 
@@ -26,6 +29,59 @@ const char* segment_name(Segment segment) {
   return "unknown";
 }
 
+const char* child_kind_name(ChildKind kind) {
+  switch (kind) {
+    case ChildKind::kCryptoFanout: return "crypto_fanout";
+    case ChildKind::kStoreIo: return "store_io";
+    case ChildKind::kDataFrames: return "data_frames";
+  }
+  return "unknown";
+}
+
+std::string TraceContext::trace_id_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const auto b : trace_id) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0x0f];
+  }
+  return out;
+}
+
+std::optional<std::array<std::uint8_t, 16>> TraceContext::parse_trace_id_hex(
+    const std::string& hex) {
+  if (hex.size() != 32) return std::nullopt;
+  std::array<std::uint8_t, 16> out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    unsigned value = 0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      const char c = hex[2 * i + j];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    out[i] = static_cast<std::uint8_t>(value);
+  }
+  return out;
+}
+
+TraceContext make_trace_context(RandomSource& rng) {
+  TraceContext ctx;
+  // An all-zero trace id is the wire encoding of "no context"; redraw on
+  // the (2^-128) collision so generated contexts are always valid.
+  do {
+    rng.fill(MutableBytesView(ctx.trace_id.data(), ctx.trace_id.size()));
+  } while (!ctx.valid());
+  std::uint8_t span_bytes[8];
+  rng.fill(MutableBytesView(span_bytes, sizeof span_bytes));
+  ctx.span_id = 0;
+  for (const auto b : span_bytes) ctx.span_id = (ctx.span_id << 8) | b;
+  return ctx;
+}
+
 std::uint64_t steady_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -42,6 +98,16 @@ void span_add(Segment segment, std::uint64_t real_ns, std::uint64_t sim_ns) {
   span->real_ns[index] += real_ns;
   span->sim_ns[index] += sim_ns;
   span->total_sim_ns += sim_ns;
+}
+
+void span_add_child(ChildKind kind, std::uint64_t real_ns,
+                    std::uint64_t sim_ns, std::uint64_t tasks) {
+  TraceSpan* span = g_active_span;
+  if (span == nullptr) return;
+  ChildSpan& child = span->child(kind);
+  child.real_ns += real_ns;
+  child.sim_ns += sim_ns;
+  child.tasks += tasks;
 }
 
 void set_pending_queue_wait(std::uint64_t wait_ns) {
@@ -99,15 +165,19 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
-void TraceBuffer::push(const TraceSpan& span) {
+bool TraceBuffer::push(const TraceSpan& span) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  bool evicted = false;
   if (ring_.size() < capacity_) {
     ring_.push_back(span);
   } else {
     ring_[next_ % capacity_] = span;
+    evicted = true;
+    ++dropped_;
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
+  return evicted;
 }
 
 std::vector<TraceSpan> TraceBuffer::recent() const {
@@ -126,6 +196,134 @@ std::vector<TraceSpan> TraceBuffer::recent() const {
 std::uint64_t TraceBuffer::total_recorded() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return total_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+// ------------------------------------------------------------ trace lines ---
+
+std::string trace_to_line(const TraceSpan& span) {
+  char buf[96];
+  std::string line = "t ";
+  line += span.context.valid() ? span.context.trace_id_hex() : "-";
+  std::snprintf(buf, sizeof buf, " %" PRIu64 " %" PRIu64 " %u",
+                span.context.span_id, span.request_id,
+                static_cast<unsigned>(span.verb));
+  line += buf;
+  if (span.has_status) {
+    std::snprintf(buf, sizeof buf, " %u", static_cast<unsigned>(span.status));
+    line += buf;
+  } else {
+    line += " -";
+  }
+  std::snprintf(buf, sizeof buf, " total=%" PRIu64 ":%" PRIu64,
+                span.total_real_ns, span.total_sim_ns);
+  line += buf;
+  for (std::size_t i = 0; i < kSegmentCount; ++i) {
+    if (span.real_ns[i] == 0 && span.sim_ns[i] == 0) continue;  // sparse
+    std::snprintf(buf, sizeof buf, " %s=%" PRIu64 ":%" PRIu64,
+                  segment_name(static_cast<Segment>(i)), span.real_ns[i],
+                  span.sim_ns[i]);
+    line += buf;
+  }
+  for (std::size_t i = 0; i < kChildKindCount; ++i) {
+    const ChildSpan& child = span.children[i];
+    if (child.real_ns == 0 && child.sim_ns == 0 && child.tasks == 0) continue;
+    std::snprintf(buf, sizeof buf,
+                  " child.%s=%" PRIu64 ":%" PRIu64 ":%" PRIu64,
+                  child_kind_name(static_cast<ChildKind>(i)), child.real_ns,
+                  child.sim_ns, child.tasks);
+    line += buf;
+  }
+  return line;
+}
+
+namespace {
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 20) return false;
+  out = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10) return false;
+    out = out * 10 + digit;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<TraceSpan> trace_from_line(const std::string& line) {
+  std::istringstream in(line);
+  std::string kind, trace, span_id, request_id, verb, status;
+  if (!(in >> kind >> trace >> span_id >> request_id >> verb >> status))
+    return std::nullopt;
+  if (kind != "t") return std::nullopt;
+  TraceSpan span;
+  if (trace != "-") {
+    const auto id = TraceContext::parse_trace_id_hex(trace);
+    if (!id) return std::nullopt;
+    span.context.trace_id = *id;
+  }
+  std::uint64_t value = 0;
+  if (!parse_u64(span_id, span.context.span_id)) return std::nullopt;
+  if (!parse_u64(request_id, span.request_id)) return std::nullopt;
+  if (!parse_u64(verb, value) || value > 0xff) return std::nullopt;
+  span.verb = static_cast<std::uint8_t>(value);
+  if (status != "-") {
+    if (!parse_u64(status, value) || value > 0xff) return std::nullopt;
+    span.status = static_cast<std::uint8_t>(value);
+    span.has_status = true;
+  }
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string rest = token.substr(eq + 1);
+    const auto c1 = rest.find(':');
+    if (c1 == std::string::npos) return std::nullopt;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_u64(rest.substr(0, c1), a)) return std::nullopt;
+    const auto c2 = rest.find(':', c1 + 1);
+    if (key.rfind("child.", 0) == 0) {
+      if (c2 == std::string::npos) return std::nullopt;
+      std::uint64_t n = 0;
+      if (!parse_u64(rest.substr(c1 + 1, c2 - c1 - 1), b)) return std::nullopt;
+      if (!parse_u64(rest.substr(c2 + 1), n)) return std::nullopt;
+      const std::string name = key.substr(6);
+      bool matched = false;
+      for (std::size_t i = 0; i < kChildKindCount; ++i) {
+        if (name != child_kind_name(static_cast<ChildKind>(i))) continue;
+        span.children[i] = ChildSpan{a, b, n};
+        matched = true;
+        break;
+      }
+      if (!matched) return std::nullopt;
+      continue;
+    }
+    if (c2 != std::string::npos) return std::nullopt;
+    if (!parse_u64(rest.substr(c1 + 1), b)) return std::nullopt;
+    if (key == "total") {
+      span.total_real_ns = a;
+      span.total_sim_ns = b;
+      continue;
+    }
+    bool matched = false;
+    for (std::size_t i = 0; i < kSegmentCount; ++i) {
+      if (key != segment_name(static_cast<Segment>(i))) continue;
+      span.real_ns[i] = a;
+      span.sim_ns[i] = b;
+      matched = true;
+      break;
+    }
+    if (!matched) return std::nullopt;
+  }
+  return span;
 }
 
 }  // namespace seg::telemetry

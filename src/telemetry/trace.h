@@ -23,7 +23,11 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace seg::telemetry {
 
@@ -41,8 +45,59 @@ inline constexpr std::size_t kSegmentCount = 8;
 
 const char* segment_name(Segment segment);
 
+/// Client-generated distributed tracing context carried on the wire with a
+/// request (an optional trailing field of the REQUEST frame, DESIGN.md §10).
+/// Non-secret by construction: both ids are drawn fresh from the client's
+/// RandomSource and never derive from paths, principals or key material.
+/// An all-zero trace id means "no context" and is never emitted.
+struct TraceContext {
+  std::array<std::uint8_t, 16> trace_id{};  // 128-bit, client-generated
+  std::uint64_t span_id = 0;                // client's root span id
+
+  bool valid() const {
+    for (const auto b : trace_id)
+      if (b != 0) return true;
+    return false;
+  }
+  /// 32 lowercase hex chars ("-" rendering is the caller's choice).
+  std::string trace_id_hex() const;
+  /// Inverse of trace_id_hex(); nullopt unless exactly 32 hex chars.
+  static std::optional<std::array<std::uint8_t, 16>> parse_trace_id_hex(
+      const std::string& hex);
+
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && span_id == o.span_id;
+  }
+  bool operator!=(const TraceContext& o) const { return !(*this == o); }
+};
+
+/// Fresh context with a non-zero trace id (retries until non-zero, which
+/// terminates after one draw in practice).
+TraceContext make_trace_context(RandomSource& rng);
+
+/// Work the request fanned out to a helper pool (or a later frame of the
+/// same upload), attributed back to the issuing span as a child. Children
+/// overlap the parent's wall time (crypto fan-out, async store workers run
+/// concurrently with the handler), so child real_ns is reported beside —
+/// never summed into — the parent's segment arithmetic.
+enum class ChildKind : std::uint8_t {
+  kCryptoFanout = 0,  // CryptoPool worker execution for this request
+  kStoreIo,           // StoreIoPool worker execution for this request
+  kDataFrames,        // streamed DATA frames folded into the END span
+};
+inline constexpr std::size_t kChildKindCount = 3;
+
+const char* child_kind_name(ChildKind kind);
+
+struct ChildSpan {
+  std::uint64_t real_ns = 0;  // worker-side execution wall time
+  std::uint64_t sim_ns = 0;   // modeled ns charged by those workers
+  std::uint64_t tasks = 0;    // fan-out width (ops, chunks, frames)
+};
+
 struct TraceSpan {
   std::uint64_t request_id = 0;  // 0 = not a request (handshake, data frame)
+  TraceContext context;          // client-propagated; zero when absent
   std::uint8_t verb = 0;         // proto::Verb value; static, non-secret
   std::uint8_t status = 0;       // proto::Status of the response
   bool has_status = false;
@@ -50,6 +105,7 @@ struct TraceSpan {
   std::uint64_t total_sim_ns = 0;  // modeled ns charged during the span
   std::array<std::uint64_t, kSegmentCount> real_ns{};
   std::array<std::uint64_t, kSegmentCount> sim_ns{};
+  std::array<ChildSpan, kChildKindCount> children{};
 
   std::uint64_t segment_real(Segment s) const {
     return real_ns[static_cast<std::size_t>(s)];
@@ -57,7 +113,24 @@ struct TraceSpan {
   std::uint64_t segment_sim(Segment s) const {
     return sim_ns[static_cast<std::size_t>(s)];
   }
+  const ChildSpan& child(ChildKind k) const {
+    return children[static_cast<std::size_t>(k)];
+  }
+  ChildSpan& child(ChildKind k) {
+    return children[static_cast<std::size_t>(k)];
+  }
 };
+
+/// Structured line form of a span — the kTraces wire format, carried in
+/// Response::listing one span per line. Fields are numeric or fixed-charset
+/// tokens only (hex trace id, decimal ids/durations, segment short names),
+/// so the no-secret property of spans carries over to the export:
+///   t <trace_hex|-> <parent_span_id> <request_id> <verb> <status|->
+///     total=<real>:<sim> <segment>=<real>:<sim>...  child.<kind>=<r>:<s>:<n>
+/// Segments and children with zero time are elided (sparse).
+std::string trace_to_line(const TraceSpan& span);
+/// Inverse; nullopt on any malformed token.
+std::optional<TraceSpan> trace_from_line(const std::string& line);
 
 /// Monotonic-clock nanoseconds (std::chrono::steady_clock).
 std::uint64_t steady_now_ns();
@@ -67,6 +140,13 @@ TraceSpan* active_span();
 
 /// Adds time to a segment of the active span; no-op without one.
 void span_add(Segment segment, std::uint64_t real_ns, std::uint64_t sim_ns);
+
+/// Attributes pool-worker execution back to the issuing request as a child
+/// span; no-op without an active span. Called on the *submitting* thread
+/// after the fan-out completes (the workers themselves have no active
+/// span), so no synchronization beyond the pool's own join is needed.
+void span_add_child(ChildKind kind, std::uint64_t real_ns,
+                    std::uint64_t sim_ns, std::uint64_t tasks);
 
 /// Queue-wait handoff: the switchless worker measures how long a task sat
 /// in the buffer and parks it thread-locally; the first span the task
@@ -118,10 +198,15 @@ class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity);
 
-  void push(const TraceSpan& span);
+  /// Returns true when the push evicted a retained span (ring full) — the
+  /// caller surfaces that as the telemetry.trace.dropped counter so ring
+  /// overflow is observable instead of silent.
+  bool push(const TraceSpan& span);
   /// Retained spans, oldest first.
   std::vector<TraceSpan> recent() const;
   std::uint64_t total_recorded() const;
+  /// Spans evicted (pushed minus retained).
+  std::uint64_t dropped() const;
 
  private:
   mutable std::mutex mutex_;
@@ -129,6 +214,7 @@ class TraceBuffer {
   std::size_t capacity_;
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace seg::telemetry

@@ -1,0 +1,149 @@
+#!/bin/sh
+# Schema check for the Prometheus export plane (DESIGN.md §10).
+#
+# Usage: check_metrics_schema.sh <segshare_stats_binary> [scratch_dir]
+#
+# Runs the segshare_stats example, which drives traced traffic through a
+# threaded deployment and writes the kStats snapshot rendered in Prometheus
+# text exposition format 0.0.4, then validates the output:
+#   - every line is a comment (# TYPE / # HELP) or `name{labels} value`
+#   - metric names match the Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*
+#     and carry the segshare_ prefix (the no-secret rendering guarantee:
+#     registry names are [A-Za-z0-9._-] so paths, group names and key
+#     material cannot appear; the exporter only ever widens '.'/'-' to '_')
+#   - every sample value parses as a finite float
+#   - counters end in _total and are declared `# TYPE ... counter`
+#   - histogram bucket series are cumulative (monotone non-decreasing in
+#     le order), close with le="+Inf", and +Inf equals the _count sample
+set -eu
+
+binary="${1:?usage: check_metrics_schema.sh <segshare_stats_binary> [scratch_dir]}"
+scratch="${2:-$(dirname "$binary")}"
+
+exposition="$scratch/segshare_stats.prom"
+"$binary" "$exposition" > /dev/null
+
+python3 - "$exposition" <<'EOF'
+import math, re, sys
+
+path = sys.argv[1]
+with open(path) as handle:
+    text = handle.read()
+
+if not text.endswith("\n"):
+    sys.exit("FAIL: exposition must end with a newline")
+
+name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+sample_re = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+label_re = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+failures = []
+types = {}           # metric family -> declared type
+samples = []         # (name, labels_dict, value)
+for lineno, line in enumerate(text.splitlines(), 1):
+    def bad(msg):
+        failures.append(f"line {lineno}: {msg} ({line!r})")
+    if not line:
+        bad("blank line")
+        continue
+    if line.startswith("#"):
+        parts = line.split(None, 3)
+        if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+            bad("malformed comment")
+        elif parts[1] == "TYPE":
+            if not name_re.match(parts[2]):
+                bad(f"TYPE name {parts[2]!r} outside Prometheus charset")
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                bad("TYPE must declare a known metric type")
+            else:
+                types[parts[2]] = parts[3]
+        continue
+    m = sample_re.match(line)
+    if not m:
+        bad("not a valid sample line")
+        continue
+    name = m.group("name")
+    if not name.startswith("segshare_"):
+        bad(f"sample {name!r} missing segshare_ prefix")
+    labels = {}
+    if m.group("labels") is not None:
+        for pair in m.group("labels").split(","):
+            if not label_re.match(pair):
+                bad(f"malformed label {pair!r}")
+                continue
+            key, value = pair.split("=", 1)
+            labels[key] = value[1:-1]
+    raw = m.group("value")
+    try:
+        value = math.inf if raw == "+Inf" else float(raw)
+    except ValueError:
+        bad(f"value {raw!r} is not a float")
+        continue
+    if math.isnan(value):
+        bad("NaN sample value")
+    samples.append((name, labels, value))
+
+if not samples:
+    failures.append("no samples rendered")
+
+# Per-family checks: counters, histogram bucket monotonicity, +Inf == count.
+by_name = {}
+for name, labels, value in samples:
+    by_name.setdefault(name, []).append((labels, value))
+
+for family, declared in types.items():
+    if declared == "counter":
+        if not family.endswith("_total"):
+            failures.append(f"counter {family} must end in _total")
+        for labels, value in by_name.get(family, []):
+            if value < 0:
+                failures.append(f"counter {family} is negative")
+    elif declared == "histogram":
+        buckets = by_name.get(family + "_bucket", [])
+        if not buckets:
+            failures.append(f"histogram {family} has no _bucket series")
+            continue
+        les = []
+        for labels, value in buckets:
+            if "le" not in labels:
+                failures.append(f"{family}_bucket sample without le label")
+                continue
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            les.append((le, value))
+        if les != sorted(les, key=lambda p: p[0]):
+            failures.append(f"{family}_bucket le values out of order")
+        counts = [count for _, count in les]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            failures.append(f"{family}_bucket counts not cumulative")
+        if not les or not math.isinf(les[-1][0]):
+            failures.append(f"{family}_bucket missing le=\"+Inf\"")
+        count_samples = by_name.get(family + "_count", [])
+        if len(count_samples) != 1:
+            failures.append(f"{family}_count missing or duplicated")
+        elif les and les[-1][1] != count_samples[0][1]:
+            failures.append(
+                f"{family}: +Inf bucket {les[-1][1]} != _count "
+                f"{count_samples[0][1]}")
+        if len(by_name.get(family + "_sum", [])) != 1:
+            failures.append(f"{family}_sum missing or duplicated")
+
+# Every sample family must have a TYPE declaration.
+suffix_of = {}
+for family, declared in types.items():
+    suffix_of[family] = family
+    if declared == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            suffix_of[family + suffix] = family
+for name in by_name:
+    if name not in suffix_of:
+        failures.append(f"sample {name} has no TYPE declaration")
+
+if failures:
+    print("\n".join(failures))
+    sys.exit(f"FAIL: {len(failures)} exposition violations in {path}")
+print(f"OK: {len(samples)} samples across {len(types)} families in {path}")
+EOF

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "proto/messages.h"
 
@@ -26,11 +28,14 @@ TEST(Request, SerializeRoundtripAllFields) {
 }
 
 TEST(Request, EveryVerbRoundtrips) {
-  for (std::uint8_t v = 1; v <= 15; ++v) {
+  for (std::uint8_t v = 1; v <= 18; ++v) {
     Request req;
     req.verb = static_cast<Verb>(v);
     EXPECT_EQ(Request::parse(req.serialize()).verb, req.verb);
   }
+  Request beyond;
+  beyond.verb = static_cast<Verb>(19);
+  EXPECT_THROW(Request::parse(beyond.serialize()), ProtocolError);
 }
 
 TEST(Request, ParseRejectsMalformed) {
@@ -43,6 +48,94 @@ TEST(Request, ParseRejectsMalformed) {
   data = req.serialize();
   data.push_back(0);
   EXPECT_THROW(Request::parse(data), ProtocolError);
+}
+
+// --- trace context (optional trailing field, DESIGN.md §10) ----------------
+
+Request traced_request() {
+  Request req;
+  req.verb = Verb::kGetFile;
+  req.path = "/a/b.txt";
+  for (std::size_t i = 0; i < req.trace.trace_id.size(); ++i)
+    req.trace.trace_id[i] = static_cast<std::uint8_t>(0xa0 + i);
+  req.trace.span_id = 0x1122334455667788ULL;
+  return req;
+}
+
+TEST(Request, TraceContextRoundtrips) {
+  const Request req = traced_request();
+  const Request parsed = Request::parse(req.serialize());
+  EXPECT_TRUE(parsed.trace.valid());
+  EXPECT_EQ(parsed.trace, req.trace);
+  EXPECT_EQ(parsed.path, req.path);
+}
+
+TEST(Request, AbsentTraceContextStaysLegacyBitIdentical) {
+  // A request without a context must serialize to exactly the pre-tracing
+  // wire bytes: the traced form is that blob plus the 25-byte trailer.
+  Request req = traced_request();
+  const Bytes traced = req.serialize();
+  req.trace = telemetry::TraceContext{};
+  const Bytes legacy = req.serialize();
+  ASSERT_EQ(traced.size(), legacy.size() + 25);
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), traced.begin()));
+  EXPECT_FALSE(Request::parse(legacy).trace.valid());
+}
+
+TEST(Request, TraceContextEveryTruncationRejected) {
+  // The adversarial truncation sweep extends over the trailer: every
+  // strict prefix of a traced request must throw, including prefixes that
+  // cut the context mid-field (a bare marker, a partial trace id, ...) —
+  // with one deliberate exception: cutting exactly at the context
+  // boundary yields the legacy request, which parses with no context.
+  const Bytes full = traced_request().serialize();
+  const std::size_t legacy_len = full.size() - 25;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Bytes prefix(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(len));
+    if (len == legacy_len) {
+      EXPECT_FALSE(Request::parse(prefix).trace.valid());
+      continue;
+    }
+    EXPECT_THROW(Request::parse(prefix), Error) << "prefix length " << len;
+  }
+}
+
+TEST(Request, MalformedTraceContextRejected) {
+  const Bytes full = traced_request().serialize();
+  const std::size_t marker_at = full.size() - 25;
+
+  Bytes wrong_marker = full;
+  wrong_marker[marker_at] = 0x02;
+  EXPECT_THROW(Request::parse(wrong_marker), ProtocolError);
+
+  Bytes zero_marker = full;
+  zero_marker[marker_at] = 0x00;
+  EXPECT_THROW(Request::parse(zero_marker), ProtocolError);
+
+  Bytes oversize = full;
+  oversize.push_back(0);
+  EXPECT_THROW(Request::parse(oversize), ProtocolError);
+
+  // Fuzz-style: every single trailing byte value is rejected (a stray
+  // byte can never alias a context, whatever its value).
+  Bytes legacy(full.begin(),
+               full.begin() + static_cast<std::ptrdiff_t>(marker_at));
+  for (int byte = 0; byte < 256; ++byte) {
+    Bytes stray = legacy;
+    stray.push_back(static_cast<std::uint8_t>(byte));
+    EXPECT_THROW(Request::parse(stray), ProtocolError) << "byte " << byte;
+  }
+}
+
+TEST(Request, ZeroTraceIdRejectedOnTheWire) {
+  // All-zero trace id is reserved as "absent" and never emitted; a crafted
+  // frame carrying one must be rejected rather than parsed as a context.
+  Request req = traced_request();
+  const Bytes full = req.serialize();
+  Bytes zero_id = full;
+  for (std::size_t i = 0; i < 16; ++i) zero_id[zero_id.size() - 24 + i] = 0;
+  EXPECT_THROW(Request::parse(zero_id), ProtocolError);
 }
 
 TEST(Response, SerializeRoundtrip) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/error.h"
 #include "fs/records.h"
 #include "segshare_test_util.h"
+#include "telemetry/exporter.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -471,6 +473,234 @@ TEST(PumpErrors, PumpConnectionRethrowsButStillCounts) {
   const telemetry::Snapshot snap = rig.server().registry().snapshot();
   EXPECT_EQ(snap.counter("server.pump.errors"), 1u);
   EXPECT_EQ(snap.counter("server.pump.suppressed_errors"), 0u);
+}
+
+// ------------------------------------------ distributed tracing (§10)
+
+TEST(DistributedTracing, ContextLineRoundTrips) {
+  TestRng rng(7);
+  telemetry::TraceSpan span;
+  span.request_id = 42;
+  span.context = telemetry::make_trace_context(rng);
+  span.verb = static_cast<std::uint8_t>(proto::Verb::kPutFile);
+  span.status = 0;
+  span.has_status = true;
+  span.total_real_ns = 123456;
+  span.total_sim_ns = 7890;
+  span.real_ns[static_cast<std::size_t>(telemetry::Segment::kCrypto)] = 777;
+  span.child(telemetry::ChildKind::kStoreIo) = {111, 22, 3};
+
+  const auto parsed = telemetry::trace_from_line(telemetry::trace_to_line(span));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->context, span.context);
+  EXPECT_EQ(parsed->request_id, 42u);
+  EXPECT_EQ(parsed->total_real_ns, 123456u);
+  EXPECT_EQ(parsed->segment_real(telemetry::Segment::kCrypto), 777u);
+  EXPECT_EQ(parsed->child(telemetry::ChildKind::kStoreIo).real_ns, 111u);
+  EXPECT_EQ(parsed->child(telemetry::ChildKind::kStoreIo).tasks, 3u);
+
+  // Malformed lines are rejected, not mis-parsed.
+  EXPECT_FALSE(telemetry::trace_from_line(""));
+  EXPECT_FALSE(telemetry::trace_from_line("x - 0 0 1 -"));
+  EXPECT_FALSE(telemetry::trace_from_line("t zz 0 0 1 - total=1:2"));
+  EXPECT_FALSE(telemetry::trace_from_line("t - 0 0 1 - bogus=1:2"));
+}
+
+TEST(DistributedTracing, ClientTraceIdSurvivesThreadedPoolsToKTraces) {
+  // The acceptance scenario: every pool the request fans out over is
+  // threaded, and the client's trace id must come back unchanged when the
+  // span is fetched through the kTraces verb.
+  core::EnclaveConfig config;
+  config.service_threads = 4;
+  config.crypto_threads = 4;
+  config.store_io_threads = 2;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  ASSERT_TRUE(alice.tracing());
+
+  ASSERT_TRUE(alice.put_file("/traced", rig.rng().bytes(128 << 10)).ok());
+  ASSERT_TRUE(alice.last_trace().has_value());
+  const auto put_trace = *alice.last_trace();
+  ASSERT_TRUE(put_trace.context.valid());
+  EXPECT_EQ(put_trace.verb, proto::Verb::kPutFile);
+
+  ASSERT_TRUE(alice.get_file("/traced").first.ok());
+  const auto get_trace = *alice.last_trace();
+  EXPECT_NE(get_trace.context, put_trace.context);  // fresh per request
+  EXPECT_GT(get_trace.e2e_ns(), 0u);
+
+  const auto [response, spans] = alice.traces();
+  ASSERT_TRUE(response.ok());
+  // Each traced request appears exactly once under its client trace id
+  // (the PUT's START span is the one that carries the wire context; its
+  // END span inherits the same context from PutState).
+  std::size_t put_spans = 0, get_spans = 0;
+  const telemetry::TraceSpan* get_span = nullptr;
+  for (const auto& span : spans) {
+    if (span.context == put_trace.context) ++put_spans;
+    if (span.context == get_trace.context) {
+      ++get_spans;
+      get_span = &span;
+    }
+  }
+  EXPECT_EQ(put_spans, 2u);  // START + END of the streamed upload
+  ASSERT_EQ(get_spans, 1u);
+
+  // Client/server reconciliation: the server-side span is contained in
+  // the client's end-to-end window (the difference is wire + pump time
+  // outside the enclave, which can't be negative).
+  ASSERT_NE(get_span, nullptr);
+  EXPECT_EQ(get_span->verb, static_cast<std::uint8_t>(proto::Verb::kGetFile));
+  EXPECT_LE(get_span->total_real_ns, get_trace.e2e_ns());
+  // And the span's own segment arithmetic still reconciles: non-queue
+  // segments sum to the wall time (kHandler is the remainder; clock
+  // granularity may overshoot slightly).
+  std::uint64_t measured = 0;
+  for (std::size_t s = 0; s < telemetry::kSegmentCount; ++s)
+    if (s != static_cast<std::size_t>(telemetry::Segment::kQueueWait))
+      measured += get_span->real_ns[s];
+  EXPECT_GE(measured, get_span->total_real_ns);
+  EXPECT_LE(measured, get_span->total_real_ns + 2'000'000u);
+}
+
+TEST(DistributedTracing, LegacyClientRoundTripsWithoutContext) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  alice.set_tracing(false);
+  ASSERT_TRUE(alice.put_file("/legacy", to_bytes("old-school")).ok());
+  auto [response, body] = alice.get_file("/legacy");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(body, to_bytes("old-school"));
+  EXPECT_FALSE(alice.last_trace().has_value());
+  // Server-side spans for untraced requests carry no context.
+  for (const auto& span : rig.enclave().recent_traces())
+    EXPECT_FALSE(span.context.valid());
+}
+
+TEST(DistributedTracing, DataFramesFoldIntoEndSpanAndDropsAreCounted) {
+  core::EnclaveConfig config;
+  config.telemetry_trace_ring = 4;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+
+  // A multi-chunk streamed PUT: the DATA frames carry no request id, so
+  // their time must fold into the END span's data_frames child rather
+  // than vanish from the ring.
+  const Bytes big = rig.rng().bytes(256 << 10);
+  ASSERT_TRUE(alice.put_file("/big", big).ok());
+  bool saw_fold = false;
+  for (const auto& span : rig.enclave().recent_traces()) {
+    const auto& child = span.child(telemetry::ChildKind::kDataFrames);
+    if (child.tasks == 0) continue;
+    saw_fold = true;
+    EXPECT_GT(child.real_ns, 0u);
+    EXPECT_EQ(span.verb, static_cast<std::uint8_t>(proto::Verb::kPutFile));
+    EXPECT_TRUE(span.has_status);  // the END span, not the START span
+  }
+  EXPECT_TRUE(saw_fold);
+
+  // Overflow the 4-entry ring; evictions surface as the dropped counter
+  // instead of disappearing silently.
+  for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(alice.get_file("/nope" + std::to_string(i)).first.status,
+              proto::Status::kNotFound);
+  const telemetry::Snapshot snap = rig.enclave().telemetry_snapshot();
+  EXPECT_GT(snap.counter("telemetry.trace.dropped"), 0u);
+  EXPECT_EQ(snap.counter("telemetry.trace.dropped") +
+                rig.enclave().recent_traces().size(),
+            snap.gauge("enclave.traces_recorded"));
+}
+
+// ------------------------------------------------- Prometheus exporter
+
+TEST(Exporter, OutputStaysInPrometheusCharsetAndLeaksNoRequestData) {
+  Rig rig;
+  auto& alice = rig.connect("alice");
+  const std::string secret_path = "/S3CR3T-dir/S3CR3T-file.txt";
+  ASSERT_TRUE(alice.mkdir("/S3CR3T-dir/").ok());
+  ASSERT_TRUE(alice.put_file(secret_path, to_bytes("S3CR3T-body")).ok());
+  ASSERT_TRUE(alice.add_user_to_group("bob", "S3CR3T-group").ok());
+
+  const std::string text =
+      telemetry::to_prometheus_text(rig.enclave().telemetry_snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // No request-derived strings anywhere in the exposition.
+  EXPECT_EQ(text.find("S3CR3T"), std::string::npos);
+  // Every sample line: prefixed Prometheus-charset name, optional labels,
+  // numeric value.
+  std::size_t samples = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    ++samples;
+    EXPECT_EQ(line.rfind("segshare_", 0), 0u) << line;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    for (const char c : line.substr(0, name_end))
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << line;
+  }
+  EXPECT_GT(samples, 0u);
+
+  // A name outside the registry charset is dropped, never escaped into
+  // the output (defense in depth — the registry rejects such names at
+  // registration, so this only triggers on hand-built snapshots).
+  telemetry::Snapshot hostile;
+  hostile.counters["ok.name"] = 1;
+  hostile.counters["evil{label=\"/etc/passwd\"}"] = 2;
+  const std::string rendered = telemetry::to_prometheus_text(hostile);
+  EXPECT_NE(rendered.find("segshare_ok_name_total"), std::string::npos);
+  EXPECT_EQ(rendered.find("evil"), std::string::npos);
+  EXPECT_EQ(rendered.find("passwd"), std::string::npos);
+}
+
+TEST(Exporter, HistogramSeriesAreCumulativeAndCloseWithInf) {
+  telemetry::Registry registry;
+  auto& hist = registry.histogram("lat.ns");
+  for (const std::uint64_t v : {100u, 200u, 300u, 100'000u, 5'000'000u})
+    hist.record(v);
+  const std::string text = telemetry::to_prometheus_text(registry.snapshot());
+
+  // Bucket counts parse out monotone non-decreasing, ending at +Inf with
+  // the total observation count; _sum and _count close the family.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t last = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("segshare_lat_ns_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t count = std::stoull(line.substr(space + 1));
+    EXPECT_GE(count, last) << line;
+    last = count;
+    saw_inf = line.find("le=\"+Inf\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(last, 5u);
+  EXPECT_NE(text.find("segshare_lat_ns_count 5"), std::string::npos);
+  EXPECT_NE(text.find("segshare_lat_ns_sum"), std::string::npos);
+}
+
+TEST(Exporter, TailPercentilesResolveAtMicrosecondGrain) {
+  // The HDR log-linear buckets keep relative error ≤ 12.5%: a swarm of
+  // ~60 µs observations with a few 8 ms stragglers must report a p50 near
+  // 60 µs and a p999 near 8 ms — with the old power-of-two-ish coarse
+  // buckets both collapsed into the same wide bin at the top.
+  telemetry::Registry registry;
+  auto& hist = registry.histogram("tail.ns");
+  for (int i = 0; i < 996; ++i) hist.record(60'000);
+  for (int i = 0; i < 4; ++i) hist.record(8'000'000);
+  const auto snap = registry.snapshot().histograms.at("tail.ns");
+  EXPECT_NEAR(static_cast<double>(snap.percentile(50)), 60'000.0,
+              60'000.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(snap.percentile(99)), 60'000.0,
+              60'000.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(snap.percentile(99.9)), 8'000'000.0,
+              8'000'000.0 * 0.125);
 }
 
 }  // namespace
