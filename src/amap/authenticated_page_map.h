@@ -53,6 +53,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,7 @@
 #include "crypto/sha2.h"
 #include "pfs/crypto_pool.h"
 #include "sgx/platform.h"
+#include "store/async_store.h"
 #include "store/untrusted_store.h"
 
 namespace seg::amap {
@@ -84,6 +86,24 @@ struct AmapOptions {
   std::size_t dirty_flush_bytes = 0;
   /// Initial bucket count (must be a power of two).
   std::size_t initial_buckets = 8;
+  /// Append-journal budget between checkpoints (DESIGN.md §9.4). 0 keeps
+  /// the PR-8 behaviour: every flush() writes all dirty pages back. When
+  /// set, flush() group-commits the barrier's mutations as ONE sealed
+  /// journal record plus a manifest rewrite, and the dirty pages are only
+  /// written back at a checkpoint — triggered once the persisted journal
+  /// exceeds this many bytes or the dirty pages exceed dirty_flush_bytes.
+  std::size_t journal_bytes = 0;
+  /// When nonzero, the keyed bucket hash covers only the key up to and
+  /// including its Nth ':' delimiter (the whole key when it has fewer),
+  /// so keys sharing that prefix land in ONE bucket chain and
+  /// for_each_prefix/scan_prefix over such a prefix reads O(partition)
+  /// pages instead of O(map). 0 hashes whole keys (PR-8 layout).
+  std::size_t hash_prefix_delimiters = 0;
+  /// Async store I/O for write-back batches: page puts are submitted
+  /// through the pool's submission/completion queues so seal + store
+  /// overlap on device-backed (spilled) stores. Null or disabled keeps
+  /// every put synchronous on the flushing thread.
+  store::StoreIoPool* io = nullptr;
   /// Parallel page seal/open; null or disabled runs inline.
   pfs::CryptoPool* pool = nullptr;
   /// Cost accounting: store round trips are charged as (switchless)
@@ -125,6 +145,44 @@ class AuthenticatedPageMap {
 
   std::uint64_t entry_count() const;
 
+  /// Authenticated streaming scan: visits every entry whose key starts
+  /// with `prefix`, page by page in deterministic order (buckets
+  /// ascending, chain index ascending, in-page order). Every visited page
+  /// is verified against its pinned tag exactly like get() — a tampered
+  /// or replayed page fails the scan closed (RollbackError/IntegrityError)
+  /// before any of its entries are yielded. When the map partitions its
+  /// bucket hash (hash_prefix_delimiters) and `prefix` covers a whole
+  /// partition, only that partition's chain is read. `fn` returns false
+  /// to stop early and must not reenter the map. Returns entries visited.
+  std::uint64_t for_each_prefix(
+      const std::string& prefix,
+      const std::function<bool(const std::string& key, const Bytes& value)>&
+          fn);
+
+  /// Resumable cursor over the same ordered scan, for callers that stream
+  /// a large range in bounded batches. The cursor is a position, not a
+  /// snapshot: pages are verified fresh at each visit, and mutations
+  /// between batches may shift positions like any live iterator.
+  struct ScanCursor {
+    std::size_t bucket = 0;
+    std::size_t page = 0;
+    std::size_t entry = 0;
+    bool started = false;
+    bool partitioned = false;
+    bool done = false;
+  };
+  /// Fills up to `limit` matching entries starting at `cursor`, advancing
+  /// it; cursor.done turns true once the range is exhausted.
+  std::vector<std::pair<std::string, Bytes>> scan_prefix(
+      const std::string& prefix, ScanCursor& cursor, std::size_t limit);
+
+  /// Re-packs sparse chains and reclaims empty tail pages left behind by
+  /// delete storms. Every chain is re-verified while loading (tamper or
+  /// replay fails the compaction closed), the logical contents are
+  /// bit-preserved, and the result is flushed (journal mode: checkpointed)
+  /// before returning. Returns the number of page slots reclaimed.
+  std::uint64_t compact();
+
   /// Writes every dirty page back (sealed in parallel when a pool is
   /// attached) and persists the page table. Returns true when anything
   /// was written — the caller re-guards root() then.
@@ -158,6 +216,15 @@ class AuthenticatedPageMap {
     std::uint64_t cache_resident_bytes = 0;
     std::uint64_t cache_budget_bytes = 0;
     std::uint64_t table_bytes = 0;  // in-enclave page-table residency
+    std::uint64_t scans = 0;        // for_each_prefix / cursor ranges
+    std::uint64_t scan_pages = 0;   // pages verified + visited by scans
+    std::uint64_t journal_records = 0;   // sealed records pending replay
+    std::uint64_t journal_bytes = 0;     // persisted journal blob bytes
+    std::uint64_t journal_appends = 0;   // records ever group-committed
+    std::uint64_t journal_replayed = 0;  // records replayed at load
+    std::uint64_t checkpoints = 0;       // full write-backs (journal mode)
+    std::uint64_t compactions = 0;
+    std::uint64_t compaction_reclaimed_pages = 0;
   };
   Stats stats() const;
 
@@ -173,9 +240,17 @@ class AuthenticatedPageMap {
   std::string page_blob(std::size_t bucket, std::size_t index) const;
   std::string segment_blob(std::size_t segment) const;
   std::string table_blob() const;
+  std::string journal_blob(std::uint64_t seq) const;
   Bytes page_aad(std::size_t bucket, std::size_t index) const;
   Bytes segment_aad(std::size_t segment) const;
+  Bytes journal_aad(std::uint64_t seq) const;
 
+  /// The key span the bucket hash covers: the whole key, or — with
+  /// hash_prefix_delimiters = N — the key up to and including its Nth ':'.
+  std::string_view partition_view(const std::string& key) const;
+  /// When `prefix` pins down a whole hash partition, the single bucket
+  /// holding it; nullopt means the scan must cover every bucket.
+  std::optional<std::size_t> partition_of(const std::string& prefix) const;
   std::uint64_t key_hash(const std::string& key) const;
   std::size_t bucket_of(std::uint64_t hash) const;
 
@@ -187,12 +262,20 @@ class AuthenticatedPageMap {
   /// re-seals only the segments whose chains changed, never O(map).
   std::size_t segment_count() const;
   Bytes serialize_segment(std::size_t segment) const;
-  /// The manifest: geometry + every segment's pinned GCM tag. Its SHA-256
-  /// is root().
-  Bytes serialize_manifest() const;
-  /// Parses the manifest plaintext, then loads and verifies every segment
-  /// blob against its pinned tag (replayed/tampered segments fail closed).
+  /// The manifest core: geometry + every segment's pinned GCM tag, as of
+  /// the last checkpoint.
+  Bytes serialize_manifest_core() const;
+  /// The full manifest: checkpoint core + journal section (next sequence
+  /// number and the pinned tag of every live journal record). Its SHA-256
+  /// is root() — so the root binds the journal's order and content too.
+  Bytes manifest_bytes() const;
+  /// Parses the manifest plaintext, loads and verifies every segment blob
+  /// against its pinned tag, then replays the journal section (strictly
+  /// monotonic sequence numbers, each record's stored tag checked against
+  /// the manifest-pinned one — replayed/tampered/truncated records fail
+  /// closed).
   void load_table(BytesView manifest_plain);
+  void replay_journal_record(BytesView plain, std::uint64_t seq);
 
   /// Loads (dirty > clean cache > store) one page of `bucket`'s chain.
   Page load_page(std::size_t bucket, std::size_t index);
@@ -200,10 +283,22 @@ class AuthenticatedPageMap {
   std::vector<Page> load_chain(std::size_t bucket);
   Bytes open_page_blob(std::size_t bucket, std::size_t index) const;
   void mark_dirty(std::size_t bucket, std::size_t index, Page page);
+  /// mark_dirty + segment/table dirtying for a single-page mutation.
+  void touch_page(std::size_t bucket, std::size_t index, Page page);
+  /// Retires a stored page slot (journal mode defers the store remove to
+  /// the next checkpoint so replay still finds the checkpointed pages).
+  void remove_page_slot(std::size_t bucket, std::size_t index);
   /// Greedy first-fit re-pack of a chain's entries into fresh pages.
   std::vector<Page> repack(std::vector<Page> pages) const;
   /// Replaces `bucket`'s chain, retiring shrunk slots and dirtying the rest.
   void write_chain(std::size_t bucket, std::vector<Page> pages);
+
+  /// Full mutation including any linear-hash split; shared by the public
+  /// entry points and journal replay so both produce identical state.
+  void apply_put(const std::string& key, BytesView value);
+  bool apply_erase(const std::string& key);
+  void record_journal_op(std::uint8_t type, const std::string& key,
+                         BytesView value);
 
   void split_one_bucket();
   void maybe_autoflush_locked();
@@ -211,7 +306,18 @@ class AuthenticatedPageMap {
   void charge_io() const;
   void adjust_table_residency();
 
+  bool journaling() const { return options_.journal_bytes > 0; }
+  /// Seals the pending ops as one journal record and pins its tag.
+  void append_journal_record();
+  /// Journal-mode full write-back: dirty pages + deferred removes +
+  /// segments + manifest, then retires every journal blob.
+  void checkpoint_locked();
+  /// Writes dirty pages + segments + manifest (the only write path in
+  /// non-journal mode; the tail of a checkpoint in journal mode).
+  void write_back_locked();
+
   void persist_table();
+  void persist_manifest_only();
 
   store::UntrustedStore& store_;
   RandomSource& rng_;
@@ -247,10 +353,38 @@ class AuthenticatedPageMap {
   std::uint64_t dirty_bytes_ = 0;
   std::uint64_t table_bytes_ = 0;  // registered page-table residency
 
+  // Journal state (journaling() mode only; empty otherwise). The manifest
+  // written between checkpoints is checkpoint_core_ + the journal section,
+  // so the guarded root keeps pinning exactly what is persisted.
+  Bytes checkpoint_core_;  // manifest core bytes as of the last checkpoint
+  bool have_checkpoint_ = false;
+  std::uint64_t next_journal_seq_ = 0;
+  std::vector<std::pair<std::uint64_t, crypto::AesGcm::Tag>> journal_tags_;
+  std::uint64_t journal_total_bytes_ = 0;  // persisted journal blob bytes
+  // One (type, key, value) per mutation since the last barrier; sealed as
+  // a single group-committed record by the next flush().
+  struct PendingOp {
+    std::uint8_t type;  // 1 = put, 2 = erase
+    std::string key;
+    Bytes value;
+  };
+  std::vector<PendingOp> pending_ops_;
+  // Page blobs retired since the last checkpoint: their store removes are
+  // deferred so journal replay still finds every checkpointed page.
+  std::set<std::string> deferred_removes_;
+  bool replaying_ = false;  // journal replay re-applies ops silently
+
   std::uint64_t hits_ = 0;    // dirty- or clean-cache page hits
   std::uint64_t misses_ = 0;  // pages opened from the store
   std::uint64_t writeback_pages_ = 0;
   std::uint64_t writeback_batches_ = 0;
+  std::uint64_t scans_ = 0;
+  std::uint64_t scan_pages_ = 0;
+  std::uint64_t journal_appends_ = 0;
+  std::uint64_t journal_replayed_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compaction_reclaimed_pages_ = 0;
 };
 
 }  // namespace seg::amap

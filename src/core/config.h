@@ -95,6 +95,17 @@ struct EnclaveConfig {
   /// Logical page size of the paged metadata maps. Every stored page blob
   /// has this plaintext size (padded), so fill levels don't leak.
   std::size_t amap_page_bytes = 4096;
+  /// Append-journal budget for the authoritative paged maps (dedup index
+  /// and group membership index; the header cold tier restarts cold and
+  /// never journals). 0 keeps the write-back-per-barrier behaviour. >0
+  /// turns each drain barrier into a group commit: the barrier's
+  /// mutations are sealed as ONE journal record whose sequence number and
+  /// GCM tag are bound into the guarded manifest root, and dirty pages
+  /// are written back only once the journal exceeds this many bytes (or
+  /// at compaction). Cuts the per-barrier write cost on mutation-heavy
+  /// workloads; replay at restart fails closed on any tampered, replayed,
+  /// reordered or truncated record.
+  std::size_t amap_journal_bytes = 0;
   /// Capacity of the in-enclave ring of recent request traces (DESIGN.md
   /// §8). Each retained TraceSpan is a small fixed-size struct with no
   /// request data, so the default costs a few KiB of enclave memory.

@@ -804,7 +804,7 @@ proto::Response SegShareEnclave::do_list(const std::string& user,
       !access_->auth_file(user, fs::kPermRead, path))
     return make_status(proto::Status::kForbidden, "read access denied");
   proto::Response resp;
-  resp.listing = fs::Directory::parse(tfm_->read(path)).children();
+  resp.listing = tfm_->list(path);
   return resp;
 }
 
@@ -1183,9 +1183,34 @@ telemetry::Snapshot SegShareEnclave::telemetry_snapshot() {
       snap.gauges[prefix + ".resident_bytes"] = s.cache_resident_bytes;
       snap.gauges[prefix + ".budget_bytes"] = s.cache_budget_bytes;
       snap.gauges[prefix + ".table_bytes"] = s.table_bytes;
+      snap.gauges[prefix + ".scans"] = s.scans;
+      snap.gauges[prefix + ".scan_pages"] = s.scan_pages;
+      snap.gauges[prefix + ".journal.records"] = s.journal_records;
+      snap.gauges[prefix + ".journal.bytes"] = s.journal_bytes;
+      snap.gauges[prefix + ".journal.appends"] = s.journal_appends;
+      snap.gauges[prefix + ".journal.replayed"] = s.journal_replayed;
+      snap.gauges[prefix + ".journal.checkpoints"] = s.checkpoints;
+      snap.gauges[prefix + ".compaction.runs"] = s.compactions;
+      snap.gauges[prefix + ".compaction.reclaimed_pages"] =
+          s.compaction_reclaimed_pages;
     };
     amap_tier("dedup", am.dedup);
     amap_tier("meta", am.meta);
+    amap_tier("group", am.group);
+    // Aggregates across the tiers, for alerting without per-tier queries.
+    snap.gauges["amap.journal.appends"] = am.dedup.journal_appends +
+                                          am.meta.journal_appends +
+                                          am.group.journal_appends;
+    snap.gauges["amap.journal.bytes"] =
+        am.dedup.journal_bytes + am.meta.journal_bytes + am.group.journal_bytes;
+    snap.gauges["amap.journal.checkpoints"] =
+        am.dedup.checkpoints + am.meta.checkpoints + am.group.checkpoints;
+    snap.gauges["amap.compaction.runs"] =
+        am.dedup.compactions + am.meta.compactions + am.group.compactions;
+    snap.gauges["amap.compaction.reclaimed_pages"] =
+        am.dedup.compaction_reclaimed_pages +
+        am.meta.compaction_reclaimed_pages +
+        am.group.compaction_reclaimed_pages;
   }
 
   // Wire-path copy meters (process-wide across all secure channels):

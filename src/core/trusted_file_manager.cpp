@@ -160,20 +160,39 @@ TrustedFileManager::TrustedFileManager(Stores stores, BytesView root_key,
     base.pool = crypto_pool_.get();
     base.platform = platform_;
     base.switchless = config_.switchless;
+    base.io = store_io_.get();
+    // Budget split: the membership index is tiny next to the dedup index
+    // and the header/object cold tier, so it gets a 1/8 slice and the
+    // rest is split between dedup (when on) and the meta tier.
+    const std::size_t group_slice = config_.amap_cache_bytes / 8;
+    const std::size_t rest = config_.amap_cache_bytes - group_slice;
     if (config_.deduplication) {
       amap::AmapOptions o = base;
       o.name = "dedup";
-      o.cache_bytes = config_.amap_cache_bytes / 2;
+      o.cache_bytes = rest / 2;
+      o.journal_bytes = config_.amap_journal_bytes;
       dedup_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
           dedup_store_, crypto::hkdf({}, root_key, to_bytes("amap-dedup"), 16),
           rng, std::move(o));
     }
+    {
+      amap::AmapOptions o = base;
+      o.name = "meta";
+      o.cache_bytes = rest - (config_.deduplication ? rest / 2 : 0);
+      meta_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
+          content_store_, crypto::hkdf({}, root_key, to_bytes("amap-meta"), 16),
+          rng, std::move(o));
+    }
     amap::AmapOptions o = base;
-    o.name = "meta";
-    o.cache_bytes = config_.amap_cache_bytes -
-                    (config_.deduplication ? config_.amap_cache_bytes / 2 : 0);
-    meta_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
-        content_store_, crypto::hkdf({}, root_key, to_bytes("amap-meta"), 16),
+    o.name = "group";
+    o.cache_bytes = group_slice;
+    o.journal_bytes = config_.amap_journal_bytes;
+    // Partition the bucket hash on "g:<gid>:" so one group's reverse
+    // membership entries share a chain: deleting a group scans O(members)
+    // pages, not O(store).
+    o.hash_prefix_delimiters = 2;
+    group_amap_ = std::make_unique<amap::AuthenticatedPageMap>(
+        group_store_, crypto::hkdf({}, root_key, to_bytes("amap-group"), 16),
         rng, std::move(o));
   }
 }
@@ -248,6 +267,13 @@ Bytes TrustedFileManager::read(const std::string& logical) const {
     if (meta_amap_) meta_amap_->put("o:" + logical, content);
   }
   return content;
+}
+
+std::vector<std::string> TrustedFileManager::list(const std::string& dir) const {
+  // read() validates the directory record against the hash tree; in paged
+  // mode the walk streams sibling headers through the amap cold tier
+  // (walk_header), so the resident header cache stays O(path).
+  return fs::Directory::parse(read(dir)).children();
 }
 
 void TrustedFileManager::write(const std::string& logical, BytesView content) {
@@ -564,13 +590,42 @@ fs::MemberList TrustedFileManager::load_member_list(
   return fs::MemberList::parse(content);
 }
 
+std::string TrustedFileManager::group_user_key(const std::string& user) {
+  return "u:" + user;
+}
+
+std::string TrustedFileManager::group_member_key(fs::GroupId group,
+                                                 const std::string& user) {
+  return "g:" + std::to_string(group) + ":" + user;
+}
+
 void TrustedFileManager::save_member_list(const std::string& user,
                                           const fs::MemberList& list) {
   const std::string record = member_record(user);
   const bool is_new = !group_fs_.exists(group_physical(record));
+  // Previous membership for the reverse-index diff (paged mode) — must be
+  // read before the record is overwritten.
+  std::vector<fs::GroupId> before;
+  if (group_amap_ && !is_new) before = load_member_list(user).groups();
   const Bytes content = list.serialize();
   group_fs_.write_file(group_physical(record), content);
   group_on_write(record, content);
+  if (group_amap_) {
+    // Paged mode: register the user and diff the reverse membership
+    // index — O(changed groups) page touches. The legacy groupdir record
+    // (a full user list rewritten on every new user) is not maintained;
+    // enumeration goes through the amap's "u:" registry instead.
+    if (is_new) group_amap_->put(group_user_key(user), BytesView{});
+    const auto& after = list.groups();  // both sides sorted
+    for (const fs::GroupId g : after)
+      if (!std::binary_search(before.begin(), before.end(), g))
+        group_amap_->put(group_member_key(g, user), BytesView{});
+    for (const fs::GroupId g : before)
+      if (!std::binary_search(after.begin(), after.end(), g))
+        group_amap_->erase(group_member_key(g, user));
+    flush_paged_group();
+    return;
+  }
   if (is_new) {
     // Track the user in the group directory so member lists are
     // enumerable (needed by group deletion and startup validation).
@@ -584,11 +639,41 @@ void TrustedFileManager::save_member_list(const std::string& user,
 }
 
 std::vector<std::string> TrustedFileManager::member_list_users() const {
+  if (group_amap_) {
+    // Page-streamed scan of the user registry: each visited page is
+    // verified against the pinned-tag table, and only one decrypted page
+    // batch is resident at a time.
+    std::vector<std::string> users;
+    group_amap_->for_each_prefix(
+        "u:", [&](const std::string& key, const Bytes&) {
+          users.push_back(key.substr(2));
+          return true;
+        });
+    std::sort(users.begin(), users.end());
+    return users;
+  }
   const std::string phys = group_physical(kGroupDirRecord);
   if (!group_fs_.exists(phys)) return {};
   const Bytes content = group_fs_.read_file(phys);
   group_validate(kGroupDirRecord, content);
   return parse_string_list(content);
+}
+
+std::vector<std::string> TrustedFileManager::group_member_users(
+    fs::GroupId group) const {
+  if (!group_amap_) return member_list_users();
+  // Partitioned prefix scan: every "g:<gid>:*" key hashes to the prefix's
+  // bucket (hash_prefix_delimiters = 2), so this reads exactly the
+  // group's own chain — O(members) pages, not O(store).
+  const std::string prefix = "g:" + std::to_string(group) + ":";
+  std::vector<std::string> users;
+  group_amap_->for_each_prefix(
+      prefix, [&](const std::string& key, const Bytes&) {
+        users.push_back(key.substr(prefix.size()));
+        return true;
+      });
+  std::sort(users.begin(), users.end());
+  return users;
 }
 
 void TrustedFileManager::group_on_write(const std::string& record,
@@ -712,6 +797,26 @@ void TrustedFileManager::remove_header(const std::string& logical) {
   content_store_.remove(header_blob(logical));
   header_cache_.erase(logical);
   if (meta_amap_) meta_amap_->erase("h:" + logical);
+}
+
+std::optional<TrustedFileManager::HashHeader> TrustedFileManager::walk_header(
+    const std::string& logical) const {
+  if (!meta_amap_) return load_header(logical);
+  // Validation walks visit O(siblings) headers: serve warm entries but do
+  // NOT admit misses into the resident header cache — the amap cold tier
+  // (whose pages live out of EPC under their own fixed budget) absorbs
+  // them, so a scan over a huge directory keeps the EPC header footprint
+  // O(path) instead of O(children).
+  if (auto cached = header_cache_.get(logical)) return cached;
+  if (const auto hit = meta_amap_->get("h:" + logical))
+    return HashHeader::parse(*hit, config_.rollback_buckets);
+  const auto blob = content_store_.get(header_blob(logical));
+  if (!blob) return std::nullopt;
+  const Bytes plain =
+      crypto::pae_decrypt_with(header_gcm_, *blob, to_bytes("hdr:" + logical));
+  HashHeader header = HashHeader::parse(plain, config_.rollback_buckets);
+  meta_amap_->put("h:" + logical, plain);
+  return header;
 }
 
 std::size_t TrustedFileManager::bucket_of(const std::string& logical) const {
@@ -861,7 +966,7 @@ TrustedFileManager::tree_validate_structure(const std::string& logical) const {
     const std::size_t bucket = bucket_of(cur);
     mset::MsetXorHash recomputed;
     for (const auto& sibling : bucket_children(parent, bucket)) {
-      const auto sibling_header = load_header(sibling);
+      const auto sibling_header = walk_header(sibling);
       if (!sibling_header)
         throw RollbackError("missing hash header for " + sibling);
       recomputed.add(mset_key_, sibling_header->main_hash);
@@ -1153,7 +1258,24 @@ TrustedFileManager::AmapStats TrustedFileManager::amap_stats() const {
   out.enabled = config_.paged_metadata;
   if (dedup_amap_) out.dedup = dedup_amap_->stats();
   if (meta_amap_) out.meta = meta_amap_->stats();
+  if (group_amap_) out.group = group_amap_->stats();
   return out;
+}
+
+std::uint64_t TrustedFileManager::compact_paged_metadata() {
+  std::uint64_t reclaimed = 0;
+  if (dedup_amap_) {
+    reclaimed += dedup_amap_->compact();
+    guard_update_amap();
+  }
+  if (group_amap_) {
+    reclaimed += group_amap_->compact();
+    guard_update_group_amap();
+  }
+  // The meta tier is a cache, so compaction is pure space reclamation —
+  // its root is not guarded.
+  if (meta_amap_) reclaimed += meta_amap_->compact();
+  return reclaimed;
 }
 
 // ------------------------------------------------------- paged metadata ---
@@ -1195,6 +1317,41 @@ void TrustedFileManager::guard_check_amap() {
   dedup_amap_->reopen(expected);
 }
 
+void TrustedFileManager::flush_paged_group() {
+  if (group_amap_ && group_amap_->flush()) guard_update_group_amap();
+}
+
+void TrustedFileManager::guard_update_group_amap() {
+  // Same §V-E policy as the dedup amap: protected memory in both guard
+  // modes (a per-mutation counter bump would defeat the O(page) goal).
+  if (config_.fs_guard == FsRollbackGuard::kNone || platform_ == nullptr)
+    return;
+  const auto root = group_amap_->root();
+  platform_->protected_put(measurement_, "group-amap-root",
+                           Bytes(root.begin(), root.end()));
+}
+
+void TrustedFileManager::guard_check_group_amap() {
+  if (group_amap_ == nullptr) return;
+  if (config_.fs_guard == FsRollbackGuard::kNone || platform_ == nullptr) {
+    group_amap_->reopen(std::nullopt);
+    return;
+  }
+  const auto guarded =
+      platform_->protected_get(measurement_, "group-amap-root");
+  if (!guarded.has_value()) {
+    group_amap_->reopen(std::nullopt);
+    if (group_amap_->entry_count() != 0)
+      throw RollbackError("group amap guard missing");
+    return;
+  }
+  crypto::Sha256::Digest expected{};
+  if (guarded->size() != expected.size())
+    throw RollbackError("group amap guard is malformed");
+  std::copy(guarded->begin(), guarded->end(), expected.begin());
+  group_amap_->reopen(expected);
+}
+
 void TrustedFileManager::clear_caches() {
   header_cache_.clear();
   object_cache_.clear();
@@ -1220,11 +1377,18 @@ void TrustedFileManager::startup_validation() {
   // check it against the protected-memory root: a rolled-back or
   // tampered-with table fails closed here, before any request runs.
   guard_check_amap();
+  guard_check_group_amap();
   // Rebuild the group-store root from disk and compare with the guard.
   group_record_hashes_.clear();
   group_root_ = mset::MsetXorHash{};
   std::vector<std::string> records = {kGroupListRecord, kGroupDirRecord};
-  if (group_fs_.exists(group_physical(kGroupDirRecord))) {
+  if (group_amap_) {
+    // Paged mode: member lists are enumerated from the just-revalidated
+    // membership index — a page-streamed scan whose freshness the amap
+    // guard vouches for, instead of the legacy groupdir record.
+    for (const auto& user : member_list_users())
+      records.push_back(member_record(user));
+  } else if (group_fs_.exists(group_physical(kGroupDirRecord))) {
     const Bytes dir = group_fs_.read_file(group_physical(kGroupDirRecord));
     for (const auto& user : parse_string_list(dir))
       records.push_back(member_record(user));
@@ -1292,9 +1456,10 @@ void TrustedFileManager::accept_restored_state() {
   }
   config_ = saved;
   guard_update_group();
-  // §V-G: the restored dedup amap state (already reopened with no root
-  // check above) becomes authoritative — re-arm its guard.
+  // §V-G: the restored amap state (already reopened with no root check
+  // above) becomes authoritative — re-arm the guards.
   if (dedup_amap_ != nullptr) guard_update_amap();
+  if (group_amap_ != nullptr) guard_update_group_amap();
   if (config_.rollback_protection && config_.fs_guard != FsRollbackGuard::kNone) {
     auto root = load_header("/");
     if (root) {

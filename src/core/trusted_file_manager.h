@@ -99,6 +99,12 @@ class TrustedFileManager {
   /// Reads and, when rollback protection is on, validates the object
   /// against the hash tree up to the guarded root.
   Bytes read(const std::string& logical) const;
+  /// Children of a directory object: a validated read of the directory
+  /// record, parsed. In paged mode the validation walk streams sibling
+  /// headers through the amap cold tier instead of pinning them in the
+  /// resident header cache, so listing a huge flat directory keeps the
+  /// EPC header footprint O(path), not O(children).
+  std::vector<std::string> list(const std::string& dir) const;
   void write(const std::string& logical, BytesView content);
   void remove(const std::string& logical);
   std::uint64_t logical_size(const std::string& logical) const;
@@ -173,8 +179,16 @@ class TrustedFileManager {
   fs::MemberList load_member_list(const std::string& user) const;
   void save_member_list(const std::string& user, const fs::MemberList& list);
   /// All users that have a member list (needed by group deletion, which the
-  /// paper notes is the one deliberately inefficient operation).
+  /// paper notes is the one deliberately inefficient operation). Paged mode
+  /// enumerates the group amap's user registry instead of re-reading the
+  /// legacy groupdir record.
   std::vector<std::string> member_list_users() const;
+  /// Users that are members of `group`. Paged mode answers from the group
+  /// amap's reverse membership index — a partitioned prefix scan that reads
+  /// O(members) pages, so deleting a group no longer scans every user in
+  /// the store. Legacy mode falls back to member_list_users() (the caller
+  /// filters by actual membership, exactly as before).
+  std::vector<std::string> group_member_users(fs::GroupId group) const;
 
   // ---- accounting / maintenance -------------------------------------------
 
@@ -230,8 +244,14 @@ class TrustedFileManager {
     bool enabled = false;
     amap::AuthenticatedPageMap::Stats dedup;  // authoritative dedup index
     amap::AuthenticatedPageMap::Stats meta;   // header/object cold tier
+    amap::AuthenticatedPageMap::Stats group;  // membership reverse index
   };
   AmapStats amap_stats() const;
+
+  /// Maintenance: re-packs sparse page chains of the authoritative paged
+  /// maps after delete storms and re-guards their roots. No-op without
+  /// paged metadata. Returns total page slots reclaimed.
+  std::uint64_t compact_paged_metadata();
 
   /// Re-derives and checks the group-store root hash after a restart; also
   /// primes the in-enclave group-record cache. Throws RollbackError if the
@@ -291,6 +311,13 @@ class TrustedFileManager {
   /// Tree-children of directory `dir` that fall in bucket `bucket`.
   std::vector<std::string> bucket_children(const std::string& dir,
                                            std::size_t bucket) const;
+  /// Header load for validation walks over many siblings: in paged mode
+  /// it streams through the amap cold tier WITHOUT admitting the header
+  /// into the resident header_cache_, so a walk across a huge directory
+  /// (list, startup validation) costs O(path) resident headers. Legacy
+  /// mode delegates to load_header (the resident cache IS the only warm
+  /// tier there).
+  std::optional<HashHeader> walk_header(const std::string& logical) const;
 
   // --- dedup (§V-A) ---
   struct DedupIndex {
@@ -344,6 +371,21 @@ class TrustedFileManager {
   void guard_update_amap();
   /// Reopens the dedup amap against the guarded root (restart path).
   void guard_check_amap();
+
+  // Group amap (paged mode, DESIGN.md §9.6): authoritative membership
+  // index in the group store. "u:<user>" → {} registers a user with a
+  // member list; "g:<gid>:<user>" → {} is the reverse membership index.
+  // The map partitions its bucket hash on the first two ':' spans, so all
+  // of one group's members share one chain and group deletion scans
+  // O(members) pages. Its root is guarded like the dedup amap's.
+  bool paged_groups() const { return config_.paged_metadata; }
+  static std::string group_user_key(const std::string& user);
+  static std::string group_member_key(fs::GroupId group,
+                                      const std::string& user);
+  /// Drain barrier after every membership mutation.
+  void flush_paged_group();
+  void guard_update_group_amap();
+  void guard_check_group_amap();
 
   // --- group store guard ---
   void group_on_write(const std::string& record, BytesView content);
@@ -417,6 +459,9 @@ class TrustedFileManager {
   // populate the cold tier under the shared fs lock.
   std::unique_ptr<amap::AuthenticatedPageMap> dedup_amap_;
   mutable std::unique_ptr<amap::AuthenticatedPageMap> meta_amap_;
+  // Group membership index (paged mode). Mutable: member enumerations are
+  // scans from const read paths; the map is internally synchronized.
+  mutable std::unique_ptr<amap::AuthenticatedPageMap> group_amap_;
 };
 
 }  // namespace seg::core

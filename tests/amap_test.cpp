@@ -5,6 +5,8 @@
 // against a guarded root must all fail closed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 
@@ -198,6 +200,359 @@ TEST_F(AmapTest, PoolAndSerialSealBitIdenticalBlobs) {
     ASSERT_TRUE(parallel.count(name)) << name;
     ASSERT_EQ(parallel.at(name), blob) << "blob differs: " << name;
   }
+}
+
+// ----------------------------------------------------------------- scans ---
+
+TEST_F(AmapTest, PrefixScanStreamsMatchingEntries) {
+  auto map = make(options());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(map->put("a:" + std::to_string(i), val("A" + std::to_string(i))));
+    ASSERT_TRUE(map->put("b:" + std::to_string(i), val("B" + std::to_string(i))));
+  }
+  std::set<std::string> seen;
+  const std::uint64_t n =
+      map->for_each_prefix("a:", [&](const std::string& key, const Bytes& value) {
+        EXPECT_EQ(value, val("A" + key.substr(2)));
+        seen.insert(key);
+        return true;
+      });
+  EXPECT_EQ(n, 200u);
+  EXPECT_EQ(seen.size(), 200u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(seen.count("a:" + std::to_string(i))) << i;
+  const auto s = map->stats();
+  EXPECT_GE(s.scans, 1u);
+  EXPECT_GT(s.scan_pages, 0u);
+  // Early stop: the callback's false return ends the scan.
+  std::uint64_t visited = 0;
+  map->for_each_prefix("a:", [&](const std::string&, const Bytes&) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST_F(AmapTest, ScanCursorResumesAcrossBatches) {
+  auto map = make(options());
+  for (int i = 0; i < 150; ++i)
+    ASSERT_TRUE(map->put("k:" + std::to_string(i), val("v")));
+  AuthenticatedPageMap::ScanCursor cursor;
+  std::set<std::string> seen;
+  while (!cursor.done) {
+    const auto batch = map->scan_prefix("k:", cursor, 7);
+    for (const auto& [key, value] : batch) {
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+    }
+  }
+  EXPECT_EQ(seen.size(), 150u);
+}
+
+TEST_F(AmapTest, PartitionedPrefixScanReadsOneChain) {
+  // hash_prefix_delimiters = 1: every "g7:*" key hashes to the "g7:"
+  // partition, so the scan touches exactly that chain's pages.
+  auto o = options();
+  o.hash_prefix_delimiters = 1;
+  auto map = make(std::move(o));
+  for (int g = 0; g < 16; ++g)
+    for (int i = 0; i < 50; ++i)
+      ASSERT_TRUE(map->put("g" + std::to_string(g) + ":" + std::to_string(i),
+                           val("m")));
+  const auto before = map->stats();
+  std::uint64_t n = 0;
+  map->for_each_prefix("g7:", [&](const std::string& key, const Bytes&) {
+    EXPECT_EQ(key.rfind("g7:", 0), 0u);
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 50u);
+  const auto after = map->stats();
+  EXPECT_LT(after.scan_pages - before.scan_pages, before.pages)
+      << "a partitioned scan must not walk the whole table";
+}
+
+// --------------------------------------------------------------- journal ---
+
+class AmapJournalTest : public AmapTest {
+ protected:
+  AmapOptions journal_options(std::size_t journal_bytes = 64 * 1024) {
+    auto o = options();
+    o.journal_bytes = journal_bytes;
+    o.dirty_flush_bytes = 1024 * 1024;  // barriers are explicit flush() calls
+    return o;
+  }
+
+  store::MemoryStore& mem() {
+    return static_cast<store::MemoryStore&>(adversary_.inner());
+  }
+
+  /// Decrypts the manifest, lets `fn` mutate the plaintext, re-seals it.
+  void rewrite_manifest(const std::function<void(Bytes&)>& fn) {
+    const crypto::AesGcm gcm(Bytes(16, 0x22));
+    const Bytes aad = to_bytes("amap:t:table");
+    Bytes plain = crypto::pae_decrypt_with(gcm, *adversary_.get("__amap:t:dir"), aad);
+    fn(plain);
+    adversary_.tamper_replace("__amap:t:dir",
+                              crypto::pae_encrypt_with(gcm, rng_, plain, aad));
+  }
+
+  /// Offset of the journal section inside the manifest plaintext.
+  static std::size_t journal_section(const Bytes& plain) {
+    const std::uint32_t seg_count = get_u32_be(plain, 36);
+    return 40 + std::size_t{seg_count} * 16;  // core header + segment tags
+  }
+};
+
+TEST_F(AmapJournalTest, JournalCommitWritesNoPages) {
+  auto map = make(journal_options());
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(map->put("k" + std::to_string(i), val("v")));
+  ASSERT_TRUE(map->flush());  // first barrier: full checkpoint
+  EXPECT_GE(map->stats().checkpoints, 1u);
+  mem().reset_op_counts();
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(map->put("k" + std::to_string(i), val("updated")));
+  ASSERT_TRUE(map->flush());  // group commit: journal record + manifest only
+  EXPECT_EQ(mem().op_counts().puts, 2u)
+      << "a journal-mode barrier writes one sealed record and the manifest";
+  const auto s = map->stats();
+  EXPECT_EQ(s.journal_appends, 1u);
+  EXPECT_EQ(s.journal_records, 1u);
+  EXPECT_GT(s.journal_bytes, 0u);
+  EXPECT_GT(s.dirty_pages, 0u) << "pages stay dirty until the checkpoint";
+  // Reads see the journaled state immediately.
+  EXPECT_EQ(map->get("k3"), val("updated"));
+}
+
+TEST_F(AmapJournalTest, JournalBudgetTriggersCheckpoint) {
+  auto map = make(journal_options(/*journal_bytes=*/256));
+  ASSERT_TRUE(map->put("a", val("1")));
+  ASSERT_TRUE(map->flush());  // checkpoint (first barrier)
+  const auto before = map->stats();
+  // Each barrier appends a ~140-byte sealed record; the 256-byte budget
+  // forces checkpoints along the way.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(map->put("k" + std::to_string(i), Bytes(100, 0x5a)));
+    map->flush();
+  }
+  const auto after = map->stats();
+  EXPECT_GT(after.checkpoints, before.checkpoints)
+      << "exceeding amap_journal_bytes must trigger a checkpoint";
+  EXPECT_GT(after.journal_appends, before.journal_appends);
+  // A checkpoint retires its journal blobs and write-backs every page.
+  map->compact();  // forces a final checkpoint regardless of loop parity
+  EXPECT_EQ(map->stats().dirty_pages, 0u);
+  EXPECT_EQ(map->stats().journal_records, 0u);
+  for (const auto& name : adversary_.list())
+    EXPECT_NE(name.rfind("__amap:t:j", 0), 0u)
+        << "journal blob survived its checkpoint: " << name;
+}
+
+TEST_F(AmapJournalTest, JournalReplayRestoresState) {
+  {
+    auto map = make(journal_options());
+    for (int i = 0; i < 50; ++i)
+      ASSERT_TRUE(map->put("base" + std::to_string(i), val("b")));
+    map->flush();  // checkpoint
+    for (int i = 0; i < 20; ++i)
+      ASSERT_TRUE(map->put("j" + std::to_string(i), val("x" + std::to_string(i))));
+    map->flush();  // journal record 0
+    ASSERT_TRUE(map->erase("base0"));
+    ASSERT_TRUE(map->put("j0", val("rewritten")));
+    map->flush();  // journal record 1
+  }
+  auto map = make(journal_options());
+  EXPECT_GE(map->stats().journal_replayed, 2u);
+  EXPECT_EQ(map->entry_count(), 50u - 1u + 20u);
+  EXPECT_EQ(map->get("base0"), std::nullopt);
+  EXPECT_EQ(map->get("base1"), val("b"));
+  EXPECT_EQ(map->get("j0"), val("rewritten"));
+  for (int i = 1; i < 20; ++i)
+    EXPECT_EQ(map->get("j" + std::to_string(i)), val("x" + std::to_string(i)));
+}
+
+TEST_F(AmapJournalTest, ReorderedJournalRecordsFailClosed) {
+  {
+    auto map = make(journal_options());
+    ASSERT_TRUE(map->put("a", val("1")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("b", val("2")));
+    map->flush();  // record seq 0
+    ASSERT_TRUE(map->put("c", val("3")));
+    map->flush();  // record seq 1
+  }
+  rewrite_manifest([](Bytes& plain) {
+    const std::size_t js = journal_section(plain);
+    ASSERT_EQ(get_u32_be(plain, js + 8), 2u);  // two records journaled
+    // Swap the two 24-byte (seq, tag) journal entries: both records are
+    // individually authentic, but the sequence now regresses.
+    std::swap_ranges(plain.begin() + js + 12, plain.begin() + js + 12 + 24,
+                     plain.begin() + js + 12 + 24);
+  });
+  EXPECT_THROW(make(journal_options()), RollbackError);
+}
+
+TEST_F(AmapJournalTest, DuplicateJournalSequenceFailsClosed) {
+  {
+    auto map = make(journal_options());
+    ASSERT_TRUE(map->put("a", val("1")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("b", val("2")));
+    map->flush();  // record seq 0
+    ASSERT_TRUE(map->put("c", val("3")));
+    map->flush();  // record seq 1
+  }
+  rewrite_manifest([](Bytes& plain) {
+    const std::size_t js = journal_section(plain);
+    ASSERT_EQ(get_u32_be(plain, js + 8), 2u);
+    // Duplicate record 0 over record 1: a replayed (double-applied)
+    // record must be rejected even though it authenticates.
+    std::copy(plain.begin() + js + 12, plain.begin() + js + 12 + 24,
+              plain.begin() + js + 12 + 24);
+  });
+  EXPECT_THROW(make(journal_options()), RollbackError);
+}
+
+TEST_F(AmapJournalTest, TornJournalTailFailsClosed) {
+  {
+    auto map = make(journal_options());
+    ASSERT_TRUE(map->put("a", val("1")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("b", val("2")));
+    map->flush();  // record seq 0
+  }
+  ASSERT_TRUE(adversary_.exists("__amap:t:j0"));
+  const Bytes blob = *adversary_.get("__amap:t:j0");
+  // Torn write: the record's tail never hit the disk. The truncated
+  // blob's trailing bytes no longer match the pinned tag.
+  adversary_.tamper_replace("__amap:t:j0",
+                            BytesView(blob.data(), blob.size() - 5));
+  EXPECT_THROW(make(journal_options()), RollbackError);
+}
+
+TEST_F(AmapJournalTest, MissingJournalRecordFailsClosed) {
+  {
+    auto map = make(journal_options());
+    ASSERT_TRUE(map->put("a", val("1")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("b", val("2")));
+    map->flush();  // record seq 0
+  }
+  adversary_.remove("__amap:t:j0");
+  EXPECT_THROW(make(journal_options()), RollbackError);
+}
+
+TEST_F(AmapJournalTest, TamperedJournalRecordFailsClosed) {
+  {
+    auto map = make(journal_options());
+    ASSERT_TRUE(map->put("a", val("1")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("b", val("2")));
+    map->flush();  // record seq 0
+  }
+  // Flip a ciphertext-body bit (past the 12-byte IV, before the trailing
+  // tag): the pinned-tag check passes, GCM open must throw.
+  ASSERT_TRUE(adversary_.tamper_flip_bit("__amap:t:j0", 14 * 8));
+  EXPECT_THROW(make(journal_options()), IntegrityError);
+}
+
+TEST_F(AmapJournalTest, WritebackModeFoldsLeftoverJournalOnFirstBarrier) {
+  // A store written under a journal configuration must stay readable when
+  // the map is reopened with journaling off: the leftover records are
+  // replayed at load and folded into the pages at the first barrier.
+  {
+    auto map = make(journal_options());
+    for (int i = 0; i < 60; ++i)
+      ASSERT_TRUE(map->put("k" + std::to_string(i), val("v")));
+    map->flush();  // checkpoint
+    ASSERT_TRUE(map->put("late", val("journaled")));
+    map->flush();  // journal record
+  }
+  auto map = make(options());  // journal_bytes = 0
+  EXPECT_EQ(map->get("late"), val("journaled"));
+  EXPECT_EQ(map->entry_count(), 61u);
+  ASSERT_TRUE(map->flush());  // folds the journal into the pages
+  for (const auto& name : adversary_.list())
+    EXPECT_NE(name.rfind("__amap:t:j", 0), 0u)
+        << "leftover journal blob survived the fold: " << name;
+  // The folded table round-trips against its own root.
+  const auto root = map->root();
+  auto reopened = make(options());
+  EXPECT_NO_THROW(reopened->reopen(root));
+  EXPECT_EQ(reopened->get("late"), val("journaled"));
+}
+
+// ------------------------------------------------------------ compaction ---
+
+TEST_F(AmapTest, CompactionPreservesLogicalContentAndReclaimsPages) {
+  auto map = make(options());
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_TRUE(map->put("k" + std::to_string(i), val("v" + std::to_string(i))));
+  map->flush();
+  // Delete storm: leave sparse chains behind.
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 4 != 0) ASSERT_TRUE(map->erase("k" + std::to_string(i)));
+  }
+  map->flush();
+  std::map<std::string, Bytes> before;
+  map->for_each_prefix("", [&](const std::string& key, const Bytes& value) {
+    before[key] = value;
+    return true;
+  });
+  const std::uint64_t pages_before = map->stats().pages;
+  const std::uint64_t reclaimed = map->compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(map->stats().pages, pages_before - reclaimed);
+  EXPECT_GE(map->stats().compactions, 1u);
+  std::map<std::string, Bytes> after;
+  map->for_each_prefix("", [&](const std::string& key, const Bytes& value) {
+    after[key] = value;
+    return true;
+  });
+  EXPECT_EQ(before, after) << "compaction must be logically bit-identical";
+  EXPECT_EQ(map->entry_count(), 250u);
+  // The compacted table survives an honest restart against its root.
+  const auto root = map->root();
+  auto reopened = make(options());
+  EXPECT_NO_THROW(reopened->reopen(root));
+  EXPECT_EQ(reopened->entry_count(), 250u);
+}
+
+TEST_F(AmapTest, CompactionFailsClosedOnTamper) {
+  auto map = make(options());
+  for (int i = 0; i < 300; ++i)
+    ASSERT_TRUE(map->put("k" + std::to_string(i), val("v")));
+  map->flush();
+  map->reopen(std::nullopt);  // drop the clean cache
+  std::string page;
+  for (const auto& name : adversary_.list())
+    if (name.rfind("__amap:t:p", 0) == 0) page = name;
+  ASSERT_FALSE(page.empty());
+  const Bytes blob = *adversary_.get(page);
+  ASSERT_TRUE(adversary_.tamper_flip_bit(page, (blob.size() - 1) * 8));
+  EXPECT_THROW(map->compact(), IntegrityError);
+}
+
+TEST_F(AmapTest, ScanFailsClosedOnTamperedPage) {
+  auto map = make(options());
+  for (int i = 0; i < 400; ++i)
+    ASSERT_TRUE(map->put("k" + std::to_string(i), val("v")));
+  map->flush();
+  map->reopen(std::nullopt);  // drop the clean cache: the scan hits the store
+  // Tamper EVERY page's trailing tag so the scan cannot terminate before
+  // reaching a tampered page, wherever it starts.
+  for (const auto& name : adversary_.list()) {
+    if (name.rfind("__amap:t:p", 0) != 0) continue;
+    const Bytes blob = *adversary_.get(name);
+    ASSERT_TRUE(adversary_.tamper_flip_bit(name, (blob.size() - 1) * 8));
+  }
+  std::size_t yielded = 0;
+  EXPECT_THROW(map->for_each_prefix("k",
+                                    [&](const std::string&, const Bytes&) {
+                                      ++yielded;
+                                      return true;
+                                    }),
+               RollbackError);
+  EXPECT_EQ(yielded, 0u) << "a scan must not yield entries from stale pages";
 }
 
 // ---------------------------------------------------------- adversarial ---

@@ -7,8 +7,11 @@
 #          also covers the adversarial frame/parse sweeps in proto_test,
 #          the zero-copy record path and bit-identity checks in tls_test,
 #          the hostile-server client hardening in wire_test (bounds
-#          of the gather/seal/view-aliasing buffers), and the page
-#          serialize/parse framing + tamper/replay sweeps in amap_test.
+#          of the gather/seal/view-aliasing buffers), the page
+#          serialize/parse framing + tamper/replay sweeps in amap_test,
+#          and the journal record parse/replay paths (reordered,
+#          duplicated, torn and truncated sealed records) plus the
+#          chain-compaction re-pack in amap_test.
 #   tsan — ThreadSanitizer (preset "tsan",     build dir build-tsan/);
 #          exercises the concurrent request pipeline in concurrency_test,
 #          the switchless worker pool in sgx_test, the async store I/O
@@ -16,7 +19,8 @@
 #          real DiskStore in disk_integration_test, the locked
 #          DuplexChannel stats_snapshot() / wire_stats() counters in
 #          net_test/wire_test, and the internally-synchronized paged
-#          map's CryptoPool write-back batches in amap_test/tfm_test.
+#          map's CryptoPool write-back batches, journal group commits
+#          and streaming prefix scans in amap_test/tfm_test.
 set -eu
 
 repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"

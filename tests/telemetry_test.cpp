@@ -377,6 +377,46 @@ TEST(Stats, ExportsAmapGauges) {
   EXPECT_EQ(snap2.gauge("amap.meta.entries"), 0u);
 }
 
+TEST(Stats, ExportsAmapJournalAndCompactionGauges) {
+  core::EnclaveConfig config;
+  config.deduplication = true;
+  config.paged_metadata = true;
+  config.amap_journal_bytes = 64 << 10;
+  Rig rig(config);
+  auto& alice = rig.connect("alice");
+  const Bytes payload = rig.rng().bytes(8 << 10);
+  ASSERT_TRUE(alice.put_file("/a", payload).ok());  // first barrier checkpoints
+  ASSERT_TRUE(alice.put_file("/b", payload).ok());  // later barriers journal
+  ASSERT_TRUE(alice.put_file("/c", payload).ok());
+  ASSERT_TRUE(alice.add_user_to_group("bob", "team").ok());
+
+  const auto [response, snap] = alice.stats();
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(snap.gauge("amap.dedup.journal.appends"), 0u)
+      << "dedup barriers must group-commit journal records";
+  EXPECT_GT(snap.gauge("amap.dedup.journal.bytes"), 0u);
+  EXPECT_GT(snap.gauge("amap.dedup.journal.checkpoints"), 0u);
+  EXPECT_GT(snap.gauge("amap.group.journal.appends"), 0u)
+      << "membership barriers must group-commit journal records";
+  EXPECT_GT(snap.gauge("amap.group.entries"), 0u);
+  // Aggregates fold the tiers.
+  EXPECT_EQ(snap.gauge("amap.journal.appends"),
+            snap.gauge("amap.dedup.journal.appends") +
+                snap.gauge("amap.meta.journal.appends") +
+                snap.gauge("amap.group.journal.appends"));
+  EXPECT_EQ(snap.gauge("amap.compaction.runs"), 0u);
+
+  // Compaction surfaces in the same schema.
+  rig.enclave().file_manager().compact_paged_metadata();
+  const auto [response2, snap2] = alice.stats();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_GT(snap2.gauge("amap.compaction.runs"), 0u);
+  EXPECT_GT(snap2.gauge("amap.dedup.compaction.runs"), 0u);
+  EXPECT_EQ(snap2.gauge("amap.dedup.journal.records"), 0u)
+      << "a compaction checkpoint retires the journal";
+  EXPECT_GE(snap2.gauge("amap.compaction.reclaimed_pages"), 0u);
+}
+
 TEST(Stats, AmapGaugeNamesStayInMetricCharsetAndLeakNothing) {
   // The amap layer must not smuggle request-derived strings (logical
   // paths live inside amap keys!) into metric names or the export.

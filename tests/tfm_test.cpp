@@ -519,6 +519,154 @@ TEST_F(TfmTest, PagedMetaColdTierServesHeadersAfterCacheMiss) {
   EXPECT_EQ(tfm->read("/f3"), to_bytes("content-3"));
 }
 
+// ------------------------------------------ paged group membership ---
+
+EnclaveConfig paged_group_config() {
+  EnclaveConfig config;
+  config.paged_metadata = true;
+  return config;
+}
+
+TEST_F(TfmTest, PagedGroupMembershipRoundtripAndReverseIndex) {
+  auto tfm = make(paged_group_config());
+  fs::GroupList groups;
+  const auto g1 = groups.create("eng");
+  const auto g2 = groups.create("ops");
+  tfm->save_group_list(groups);
+  fs::MemberList alice, bob, carol;
+  alice.add(g1);
+  alice.add(g2);
+  bob.add(g1);
+  carol.add(g2);
+  tfm->save_member_list("alice", alice);
+  tfm->save_member_list("bob", bob);
+  tfm->save_member_list("carol", carol);
+  EXPECT_EQ(tfm->member_list_users(),
+            (std::vector<std::string>{"alice", "bob", "carol"}));
+  EXPECT_EQ(tfm->group_member_users(g1),
+            (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(tfm->group_member_users(g2),
+            (std::vector<std::string>{"alice", "carol"}));
+  // A membership change updates the reverse index by diff, not rebuild.
+  bob.remove(g1);
+  bob.add(g2);
+  tfm->save_member_list("bob", bob);
+  EXPECT_EQ(tfm->group_member_users(g1), std::vector<std::string>{"alice"});
+  EXPECT_EQ(tfm->group_member_users(g2),
+            (std::vector<std::string>{"alice", "bob", "carol"}));
+  EXPECT_GT(tfm->amap_stats().group.entries, 0u);
+}
+
+TEST_F(TfmTest, PagedGroupDeletionScanIsMemberBoundNotStoreBound) {
+  auto tfm = make(paged_group_config());
+  // 200 users, each only in their own singleton group; 3 users also share
+  // group 999. The legacy path enumerates every user for any deletion.
+  for (int i = 0; i < 200; ++i) {
+    fs::MemberList members;
+    members.add(static_cast<fs::GroupId>(i + 1));
+    if (i < 3) members.add(999);
+    tfm->save_member_list("user" + std::to_string(i), members);
+  }
+  const auto before = tfm->amap_stats().group;
+  group_.reset_op_counts();
+  EXPECT_EQ(tfm->group_member_users(999),
+            (std::vector<std::string>{"user0", "user1", "user2"}));
+  const auto after = tfm->amap_stats().group;
+  // The partitioned prefix scan reads only the "g:999:" chain — a few
+  // pages, independent of the 200-user population.
+  EXPECT_LE(after.scan_pages - before.scan_pages, 4u);
+  EXPECT_LE(group_.op_counts().gets, 8u)
+      << "group enumeration must not re-read the whole group store";
+}
+
+TEST_F(TfmTest, PagedModeDoesNotMaintainLegacyGroupdir) {
+  EnclaveConfig config = paged_group_config();
+  config.hide_names = false;  // keep group-store names observable
+  auto tfm = make(config);
+  fs::MemberList members;
+  members.add(7);
+  for (int i = 0; i < 20; ++i)
+    tfm->save_member_list("user" + std::to_string(i), members);
+  // The O(users) groupdir record (rewritten wholesale per new user in
+  // legacy mode) must not exist; enumeration runs off the amap registry.
+  for (const auto& name : group_.list())
+    EXPECT_EQ(name.find("groupdir"), std::string::npos) << name;
+  EXPECT_EQ(tfm->member_list_users().size(), 20u);
+}
+
+TEST_F(TfmTest, PagedGroupIndexSurvivesRestartAndGuardsRollback) {
+  EnclaveConfig config = paged_group_config();
+  config.fs_guard = FsRollbackGuard::kProtectedMemory;
+  fs::MemberList members;
+  members.add(1);
+  {
+    auto tfm = make(config);
+    tfm->save_member_list("alice", members);
+    tfm->save_member_list("bob", members);
+  }
+  // Honest restart: the guarded amap root matches the stored index.
+  {
+    auto tfm = make(config);
+    EXPECT_NO_THROW(tfm->startup_validation());
+    EXPECT_EQ(tfm->group_member_users(1),
+              (std::vector<std::string>{"alice", "bob"}));
+  }
+  // Deleting the index's manifest while the guard remembers a root must
+  // fail closed at the next startup, before any request runs.
+  group_.remove("__amap:group:dir");
+  auto tfm = make(config);
+  EXPECT_THROW(tfm->startup_validation(), RollbackError);
+}
+
+TEST_F(TfmTest, PagedValidationWalkKeepsResidentHeadersBounded) {
+  EnclaveConfig config = rollback_config();
+  config.paged_metadata = true;
+  config.metadata_cache_bytes = 1 << 20;  // room for every header — the
+                                          // walk must still not admit them
+  config.rollback_buckets = 4;            // big sibling sets per bucket
+  auto tfm = make(config);
+  tfm->write("/", fs::Directory{}.serialize());
+  fs::Directory root;
+  for (int i = 0; i < 120; ++i) {
+    const std::string path = "/f" + std::to_string(i);
+    root.add(path);
+    tfm->write(path, to_bytes("x"));
+  }
+  tfm->write("/", root.serialize());
+  tfm->startup_validation();  // restart: every cache tier dropped
+  // One validated read re-walks ~a quarter of the sibling headers (its
+  // bucket's chain). They must stream through the amap cold tier, not
+  // accumulate in the EPC-resident header cache.
+  EXPECT_EQ(tfm->read("/f5"), to_bytes("x"));
+  EXPECT_LT(tfm->cache_stats().headers.resident_bytes, 10'000u)
+      << "sibling headers leaked into the resident header cache";
+  EXPECT_GT(tfm->amap_stats().meta.entries, 20u)
+      << "the walk must repopulate the amap cold tier instead";
+  // The listing path keeps the same bound.
+  EXPECT_EQ(tfm->list("/").size(), 120u);
+  EXPECT_LT(tfm->cache_stats().headers.resident_bytes, 10'000u);
+}
+
+TEST_F(TfmTest, PagedGroupJournalModeCoalescesBarriers) {
+  EnclaveConfig config = paged_group_config();
+  config.amap_journal_bytes = 64 << 10;
+  fs::MemberList members;
+  members.add(5);
+  {
+    auto tfm = make(config);
+    for (int i = 0; i < 10; ++i)
+      tfm->save_member_list("user" + std::to_string(i), members);
+    const auto s = tfm->amap_stats().group;
+    EXPECT_GT(s.journal_appends, 0u)
+        << "membership barriers must group-commit journal records";
+  }
+  // The journaled mutations replay on restart and remain queryable.
+  auto tfm = make(config);
+  tfm->startup_validation();
+  EXPECT_GT(tfm->amap_stats().group.journal_replayed, 0u);
+  EXPECT_EQ(tfm->group_member_users(5).size(), 10u);
+}
+
 TEST_F(TfmTest, DedupProbeDoesNotMaterializeResidentIndex) {
   // Legacy (non-paged) mode, satellite check: a read-only probe must not
   // build a mutable resident copy of the full index.
